@@ -1,0 +1,445 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation. Each benchmark regenerates its table/figure and prints the
+// rows/series the paper reports (once per run).
+//
+//	go test -bench=. -benchmem
+package compisa
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"compisa/internal/compiler"
+	"compisa/internal/cpu"
+	"compisa/internal/explore"
+	"compisa/internal/isa"
+	"compisa/internal/power"
+	"compisa/internal/workload"
+)
+
+var (
+	benchOnce sync.Once
+	benchDB   *explore.DB
+	benchS    *explore.Searcher
+	benchErr  error
+
+	fig9Once sync.Once
+	fig9Res  *explore.Fig9Result
+	fig9Err  error
+
+	fig14Once sync.Once
+	fig14Res  *explore.Fig14Result
+	fig14Err  error
+)
+
+func harness(b *testing.B) (*explore.DB, *explore.Searcher) {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchDB = explore.NewDB()
+		benchS, benchErr = explore.NewSearcher(benchDB)
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchDB, benchS
+}
+
+func fig9(b *testing.B) *explore.Fig9Result {
+	b.Helper()
+	_, s := harness(b)
+	fig9Once.Do(func() { fig9Res, fig9Err = s.Fig9FeatureSensitivity() })
+	if fig9Err != nil {
+		b.Fatal(fig9Err)
+	}
+	return fig9Res
+}
+
+func fig14(b *testing.B) *explore.Fig14Result {
+	b.Helper()
+	db, _ := harness(b)
+	fig14Once.Do(func() { fig14Res, fig14Err = explore.Fig14DowngradeCost(db.Regions) })
+	if fig14Err != nil {
+		b.Fatal(fig14Err)
+	}
+	return fig14Res
+}
+
+func printOnce(b *testing.B, s string) {
+	b.Helper()
+	if b.N > 0 {
+		fmt.Println(s)
+	}
+}
+
+func BenchmarkSec3CodegenDeltas(b *testing.B) {
+	db, _ := harness(b)
+	var out string
+	for i := 0; i < b.N; i++ {
+		d, err := db.Sec3CodegenDeltas()
+		if err != nil {
+			b.Fatal(err)
+		}
+		out = d.Format()
+	}
+	printOnce(b, out)
+}
+
+func BenchmarkFig2InstructionMix(b *testing.B) {
+	db, _ := harness(b)
+	var out string
+	for i := 0; i < b.N; i++ {
+		f, err := db.Fig2InstructionMix()
+		if err != nil {
+			b.Fatal(err)
+		}
+		out = f.Format()
+	}
+	printOnce(b, out)
+}
+
+func sweepBench(b *testing.B, obj explore.Objective, budgets []explore.Budget, title string) {
+	_, s := harness(b)
+	var out string
+	for i := 0; i < b.N; i++ {
+		r, err := s.Sweep(obj, budgets)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out = r.Format(title)
+	}
+	printOnce(b, out)
+}
+
+func BenchmarkFig5MultiprogrammedThroughput(b *testing.B) {
+	budgets := append(append([]explore.Budget{}, explore.MPPowerBudgets...), explore.AreaBudgets...)
+	sweepBench(b, explore.ObjMPThroughput, budgets,
+		"Figure 5: multi-programmed throughput (relative to homogeneous; higher is better)")
+}
+
+func BenchmarkFig6MultiprogrammedEDP(b *testing.B) {
+	budgets := append(append([]explore.Budget{}, explore.MPPowerBudgets...), explore.AreaBudgets...)
+	sweepBench(b, explore.ObjMPEDP, budgets,
+		"Figure 6: multi-programmed EDP (relative to homogeneous; lower is better)")
+}
+
+func BenchmarkFig7SingleThreadPower(b *testing.B) {
+	sweepBench(b, explore.ObjSTPerf, explore.STPowerBudgets,
+		"Figure 7a: single-thread performance under peak power budgets")
+}
+
+func BenchmarkFig7SingleThreadPowerEDP(b *testing.B) {
+	sweepBench(b, explore.ObjSTEDP, explore.STPowerBudgets,
+		"Figure 7b: single-thread EDP under peak power budgets (lower is better)")
+}
+
+func BenchmarkFig8SingleThreadArea(b *testing.B) {
+	sweepBench(b, explore.ObjSTPerf, explore.AreaBudgets,
+		"Figure 8a: single-thread performance under area budgets")
+}
+
+func BenchmarkFig8SingleThreadAreaEDP(b *testing.B) {
+	sweepBench(b, explore.ObjSTEDP, explore.AreaBudgets,
+		"Figure 8b: single-thread EDP under area budgets (lower is better)")
+}
+
+func BenchmarkTable3ThroughputDesigns(b *testing.B) {
+	_, s := harness(b)
+	var out string
+	for i := 0; i < b.N; i++ {
+		t, err := s.OptimalDesignTable(explore.ObjMPThroughput, explore.MPPowerBudgets)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out = t
+	}
+	printOnce(b, out)
+}
+
+func BenchmarkTable4EDPDesigns(b *testing.B) {
+	_, s := harness(b)
+	var out string
+	for i := 0; i < b.N; i++ {
+		t, err := s.OptimalDesignTable(explore.ObjMPEDP, explore.MPPowerBudgets)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out = t
+	}
+	printOnce(b, out)
+}
+
+func BenchmarkFig9FeatureConstraints(b *testing.B) {
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = fig9(b).Format()
+	}
+	printOnce(b, out)
+}
+
+func BenchmarkFig10TransistorInvestment(b *testing.B) {
+	r := fig9(b)
+	var out string
+	for i := 0; i < b.N; i++ {
+		var rows []explore.StageBreakdown
+		for _, row := range r.Rows {
+			if row.CMP.Cores[0] == nil {
+				continue
+			}
+			rows = append(rows, explore.AreaBreakdown(row.Constraint, row.CMP))
+		}
+		rows = append(rows, explore.AreaBreakdown("full diversity", r.Unconstrained))
+		out = explore.FormatBreakdowns(
+			"Figure 10: transistor investment by processor area (normalized, caches excluded)", rows)
+	}
+	printOnce(b, out)
+}
+
+func BenchmarkFig11EnergyBreakdown(b *testing.B) {
+	db, _ := harness(b)
+	r := fig9(b)
+	var out string
+	for i := 0; i < b.N; i++ {
+		var rows []explore.StageBreakdown
+		for _, row := range r.Rows {
+			if row.CMP.Cores[0] == nil {
+				continue
+			}
+			br, err := explore.EnergyBreakdown(row.Constraint, row.CMP, db)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rows = append(rows, br)
+		}
+		br, err := explore.EnergyBreakdown("full diversity", r.Unconstrained, db)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows = append(rows, br)
+		out = explore.FormatBreakdowns(
+			"Figure 11: processor energy breakdown (normalized, caches excluded)", rows)
+	}
+	printOnce(b, out)
+}
+
+func BenchmarkFig12AffinitySingleThread(b *testing.B) {
+	_, s := harness(b)
+	var out string
+	for i := 0; i < b.N; i++ {
+		a, err := s.Fig12AffinitySingleThread()
+		if err != nil {
+			b.Fatal(err)
+		}
+		out = a.Format()
+	}
+	printOnce(b, out)
+}
+
+func BenchmarkFig13AffinityMultiprogrammed(b *testing.B) {
+	_, s := harness(b)
+	var out string
+	for i := 0; i < b.N; i++ {
+		a, err := s.Fig13AffinityMultiprogrammed()
+		if err != nil {
+			b.Fatal(err)
+		}
+		out = a.Format()
+	}
+	printOnce(b, out)
+}
+
+func BenchmarkFig14DowngradeCost(b *testing.B) {
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = fig14(b).Format()
+	}
+	printOnce(b, out)
+}
+
+func BenchmarkFig15MigrationOverhead(b *testing.B) {
+	_, s := harness(b)
+	costs := fig14(b)
+	var out string
+	for i := 0; i < b.N; i++ {
+		r, err := s.Fig15MigrationOverhead(explore.Budget{AreaMM2: 48}, costs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out = r.Format()
+	}
+	printOnce(b, out)
+}
+
+// BenchmarkDecoderModel exercises the Section V decoder-delta constants:
+// peak power and area of the superset, x86-64, and microx86-32 decoders.
+func BenchmarkDecoderModel(b *testing.B) {
+	cfg := explore.ReferenceConfig()
+	var out string
+	for i := 0; i < b.N; i++ {
+		x := power.Peak(power.Traits{FS: isa.X8664}, cfg)
+		sSet := power.Peak(power.Traits{FS: isa.Superset}, cfg)
+		m := power.Peak(power.Traits{FS: isa.MicroX86Min}, cfg)
+		ax := power.Area(power.Traits{FS: isa.X8664}, cfg)
+		as := power.Area(power.Traits{FS: isa.Superset}, cfg)
+		am := power.Area(power.Traits{FS: isa.MicroX86Min}, cfg)
+		out = fmt.Sprintf(
+			"Decoder deltas vs x86-64 (core-level):\n"+
+				"  superset decoder:    %+.2f%% peak power, %+.2f%% area (paper +0.3%%, +0.46%%)\n"+
+				"  microx86-32 decoder: %+.2f%% peak power, %+.2f%% area (paper -0.66%%, -1.12%%)\n",
+			100*(sSet.Decode-x.Decode)/x.Total(), 100*(as.Decode-ax.Decode)/ax.Total(),
+			100*(m.Decode-x.Decode)/x.Total(), 100*(am.Decode-ax.Decode)/ax.Total())
+	}
+	printOnce(b, out)
+}
+
+// BenchmarkAblationParetoK sweeps the candidate-pruning cap of the multicore
+// search, the tractability concession DESIGN.md calls out.
+func BenchmarkAblationParetoK(b *testing.B) {
+	db, s := harness(b)
+	cands, err := s.Candidates(explore.OrgCompositeFull)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var out string
+	for i := 0; i < b.N; i++ {
+		var lines string
+		for _, k := range []int{60, 150, 300} {
+			cmp, err := explore.Search(explore.SearchSpec{
+				Candidates:    cands,
+				Budget:        explore.Budget{AreaMM2: 64},
+				Objective:     explore.ObjMPThroughput,
+				MaxCandidates: k,
+			}, db.Regions)
+			if err != nil {
+				b.Fatal(err)
+			}
+			lines += fmt.Sprintf("  K=%3d -> score %.4f\n", k, cmp.Score)
+		}
+		out = "Ablation: candidate-set cap vs search quality (MP throughput @64mm2)\n" + lines
+	}
+	printOnce(b, out)
+}
+
+// BenchmarkAblationUopCache quantifies the micro-op cache's role: the same
+// region with and without it, on the detailed simulator.
+func BenchmarkAblationUopCache(b *testing.B) {
+	var reg workload.Region
+	for _, r := range workload.Regions() {
+		if r.Name == "sjeng.2" { // largest code footprint
+			reg = r
+		}
+	}
+	cfg := explore.ReferenceConfig()
+	var out string
+	for i := 0; i < b.N; i++ {
+		var res [2]int64
+		for v, on := range []bool{true, false} {
+			c := cfg
+			c.UopCache = on
+			f, m := reg.Build(64)
+			prog, err := compiler.Compile(f, isa.X8664, compiler.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			_, tr, err := cpu.RunTimed(prog, cpu.NewState(m), c, 50_000_000)
+			if err != nil {
+				b.Fatal(err)
+			}
+			res[v] = tr.Cycles
+		}
+		out = fmt.Sprintf("Ablation: micro-op cache on sjeng.2 (big code): with %d cycles, without %d (%+.1f%%)\n",
+			res[0], res[1], 100*(float64(res[1])/float64(res[0])-1))
+	}
+	printOnce(b, out)
+}
+
+// BenchmarkProfilePass measures the cost of one (region, feature set)
+// profiling pass — the unit of work behind the 26x49 sweep.
+func BenchmarkProfilePass(b *testing.B) {
+	var reg workload.Region
+	for _, r := range workload.Regions() {
+		if r.Name == "gobmk.0" {
+			reg = r
+		}
+	}
+	for i := 0; i < b.N; i++ {
+		f, m := reg.Build(64)
+		prog, err := compiler.Compile(f, isa.X8664, compiler.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := cpu.CollectProfile(prog, m, 40_000_000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDetailedSim measures the detailed cycle simulator's throughput.
+func BenchmarkDetailedSim(b *testing.B) {
+	var reg workload.Region
+	for _, r := range workload.Regions() {
+		if r.Name == "bzip2.0" {
+			reg = r
+		}
+	}
+	cfg := explore.ReferenceConfig()
+	var instrs int64
+	for i := 0; i < b.N; i++ {
+		f, m := reg.Build(64)
+		prog, err := compiler.Compile(f, isa.X8664, compiler.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		exec, _, err := cpu.RunTimed(prog, cpu.NewState(m), cfg, 40_000_000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		instrs += exec.Instrs
+	}
+	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds(), "instrs/s")
+}
+
+// BenchmarkAblationGreenfieldEncoding quantifies the paper's Section V.A
+// remark that a from-scratch superset ISA "would allow much tighter encoding
+// of these options": the same superset-ISA region laid out under the
+// x86-compatible encoding vs. single-byte REXBC/predicate prefixes.
+func BenchmarkAblationGreenfieldEncoding(b *testing.B) {
+	names := []string{"hmmer.0", "sjeng.2", "gobmk.0"}
+	var out string
+	for i := 0; i < b.N; i++ {
+		var lines string
+		for _, name := range names {
+			var reg workload.Region
+			for _, r := range workload.Regions() {
+				if r.Name == name {
+					reg = r
+				}
+			}
+			fs := isa.Superset
+			f1, m1 := reg.Build(fs.Width)
+			legacy, err := compiler.Compile(f1, fs, compiler.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			f2, m2 := reg.Build(fs.Width)
+			compact, err := compiler.Compile(f2, fs, compiler.Options{CompactEncoding: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg := explore.ReferenceConfig()
+			_, trL, err := cpu.RunTimed(legacy, cpu.NewState(m1), cfg, 50_000_000)
+			if err != nil {
+				b.Fatal(err)
+			}
+			_, trC, err := cpu.RunTimed(compact, cpu.NewState(m2), cfg, 50_000_000)
+			if err != nil {
+				b.Fatal(err)
+			}
+			lines += fmt.Sprintf("  %-10s code %6dB -> %6dB (%.1f%% denser); cycles %8d -> %8d (%+.1f%%)\n",
+				name, legacy.Size, compact.Size, 100*(1-float64(compact.Size)/float64(legacy.Size)),
+				trL.Cycles, trC.Cycles, 100*(float64(trC.Cycles)/float64(trL.Cycles)-1))
+		}
+		out = "Ablation: from-scratch superset encoding (1-byte REXBC/pred prefixes) on the superset ISA\n" + lines
+	}
+	printOnce(b, out)
+}

@@ -1,0 +1,215 @@
+// Command compose-explore runs the paper's experiments and prints each
+// table/figure as text. Experiments: sec3, fig2, fig5, fig6, fig7, fig8,
+// table3, table4, fig9, fig10, fig11, fig12, fig13, fig14, fig15, or all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"compisa/internal/explore"
+)
+
+func main() {
+	exp := flag.String("experiment", "all", "experiment to run (sec3, fig2, fig5..fig15, table3, table4, all)")
+	flag.Parse()
+
+	log.SetFlags(0)
+	start := time.Now()
+	db := explore.NewDB()
+	s, err := explore.NewSearcher(db)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	run := func(name string, fn func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		t0 := time.Now()
+		if err := fn(); err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", name, time.Since(t0).Round(time.Millisecond))
+	}
+
+	run("sec3", func() error {
+		d, err := db.Sec3CodegenDeltas()
+		if err != nil {
+			return err
+		}
+		fmt.Println(d.Format())
+		return nil
+	})
+	run("fig2", func() error {
+		f, err := db.Fig2InstructionMix()
+		if err != nil {
+			return err
+		}
+		fmt.Println(f.Format())
+		return nil
+	})
+	run("fig5", func() error {
+		budgets := append(append([]explore.Budget{}, explore.MPPowerBudgets...), explore.AreaBudgets...)
+		r, err := s.Sweep(explore.ObjMPThroughput, budgets)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Format("Figure 5: multi-programmed throughput (relative to homogeneous; higher is better)"))
+		return nil
+	})
+	run("fig6", func() error {
+		budgets := append(append([]explore.Budget{}, explore.MPPowerBudgets...), explore.AreaBudgets...)
+		r, err := s.Sweep(explore.ObjMPEDP, budgets)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Format("Figure 6: multi-programmed EDP (relative to homogeneous; lower is better)"))
+		return nil
+	})
+	run("fig7", func() error {
+		r, err := s.Sweep(explore.ObjSTPerf, explore.STPowerBudgets)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Format("Figure 7a: single-thread performance under peak power budgets"))
+		r2, err := s.Sweep(explore.ObjSTEDP, explore.STPowerBudgets)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r2.Format("Figure 7b: single-thread EDP under peak power budgets (lower is better)"))
+		return nil
+	})
+	run("fig8", func() error {
+		r, err := s.Sweep(explore.ObjSTPerf, explore.AreaBudgets)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Format("Figure 8a: single-thread performance under area budgets"))
+		r2, err := s.Sweep(explore.ObjSTEDP, explore.AreaBudgets)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r2.Format("Figure 8b: single-thread EDP under area budgets (lower is better)"))
+		return nil
+	})
+	run("table3", func() error {
+		t, err := s.OptimalDesignTable(explore.ObjMPThroughput, explore.MPPowerBudgets)
+		if err != nil {
+			return err
+		}
+		fmt.Println(t)
+		return nil
+	})
+	run("table4", func() error {
+		t, err := s.OptimalDesignTable(explore.ObjMPEDP, explore.MPPowerBudgets)
+		if err != nil {
+			return err
+		}
+		fmt.Println(t)
+		return nil
+	})
+	var fig9 *explore.Fig9Result
+	run("fig9", func() error {
+		r, err := s.Fig9FeatureSensitivity()
+		if err != nil {
+			return err
+		}
+		fig9 = r
+		fmt.Println(r.Format())
+		return nil
+	})
+	run("fig10", func() error {
+		if fig9 == nil {
+			r, err := s.Fig9FeatureSensitivity()
+			if err != nil {
+				return err
+			}
+			fig9 = r
+		}
+		var rows []explore.StageBreakdown
+		for _, row := range fig9.Rows {
+			if row.CMP.Cores[0] == nil {
+				continue
+			}
+			rows = append(rows, explore.AreaBreakdown(row.Constraint, row.CMP))
+		}
+		rows = append(rows, explore.AreaBreakdown("full diversity", fig9.Unconstrained))
+		fmt.Println(explore.FormatBreakdowns(
+			"Figure 10: transistor investment by processor area (normalized to full diversity, caches excluded)", rows))
+		return nil
+	})
+	run("fig11", func() error {
+		if fig9 == nil {
+			r, err := s.Fig9FeatureSensitivity()
+			if err != nil {
+				return err
+			}
+			fig9 = r
+		}
+		var rows []explore.StageBreakdown
+		for _, row := range fig9.Rows {
+			if row.CMP.Cores[0] == nil {
+				continue
+			}
+			b, err := explore.EnergyBreakdown(row.Constraint, row.CMP, db)
+			if err != nil {
+				return err
+			}
+			rows = append(rows, b)
+		}
+		b, err := explore.EnergyBreakdown("full diversity", fig9.Unconstrained, db)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, b)
+		fmt.Println(explore.FormatBreakdowns(
+			"Figure 11: processor energy breakdown (normalized to full diversity, caches excluded)", rows))
+		return nil
+	})
+	run("fig12", func() error {
+		a, err := s.Fig12AffinitySingleThread()
+		if err != nil {
+			return err
+		}
+		fmt.Println(a.Format())
+		return nil
+	})
+	run("fig13", func() error {
+		a, err := s.Fig13AffinityMultiprogrammed()
+		if err != nil {
+			return err
+		}
+		fmt.Println(a.Format())
+		return nil
+	})
+	var fig14 *explore.Fig14Result
+	run("fig14", func() error {
+		r, err := explore.Fig14DowngradeCost(db.Regions)
+		if err != nil {
+			return err
+		}
+		fig14 = r
+		fmt.Println(r.Format())
+		return nil
+	})
+	run("fig15", func() error {
+		if fig14 == nil {
+			r, err := explore.Fig14DowngradeCost(db.Regions)
+			if err != nil {
+				return err
+			}
+			fig14 = r
+		}
+		r, err := s.Fig15MigrationOverhead(explore.Budget{AreaMM2: 48}, fig14)
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.Format())
+		return nil
+	})
+	fmt.Fprintf(os.Stderr, "[total %v]\n", time.Since(start).Round(time.Millisecond))
+}

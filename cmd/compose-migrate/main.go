@@ -1,0 +1,109 @@
+// Command compose-migrate compiles a region for a source feature set,
+// binary-translates it for a downgrade target, runs both on the same core,
+// and reports the emulation cost — one cell of Figure 14.
+//
+// Usage:
+//
+//	compose-migrate -region hmmer.0 -from-depth 64 -to-depth 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"compisa/internal/code"
+	"compisa/internal/compiler"
+	"compisa/internal/cpu"
+	"compisa/internal/isa"
+	"compisa/internal/migrate"
+	"compisa/internal/workload"
+)
+
+func parseFS(complexity string, width, depth int, pred string) isa.FeatureSet {
+	c := isa.FullX86
+	if complexity == "microx86" {
+		c = isa.MicroX86
+	}
+	p := isa.PartialPredication
+	if pred == "full" {
+		p = isa.FullPredication
+	}
+	fs, err := isa.New(c, width, depth, p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return fs
+}
+
+func main() {
+	region := flag.String("region", "hmmer.0", "region name")
+	fromCplx := flag.String("from-complexity", "microx86", "x86 | microx86")
+	fromWidth := flag.Int("from-width", 32, "source register width")
+	fromDepth := flag.Int("from-depth", 64, "source register depth")
+	fromPred := flag.String("from-pred", "partial", "partial | full")
+	toCplx := flag.String("to-complexity", "microx86", "x86 | microx86")
+	toWidth := flag.Int("to-width", 32, "target register width")
+	toDepth := flag.Int("to-depth", 16, "target register depth")
+	toPred := flag.String("to-pred", "partial", "partial | full")
+	flag.Parse()
+
+	src := parseFS(*fromCplx, *fromWidth, *fromDepth, *fromPred)
+	dst := parseFS(*toCplx, *toWidth, *toDepth, *toPred)
+
+	var reg *workload.Region
+	for _, r := range workload.Regions() {
+		if r.Name == *region {
+			rr := r
+			reg = &rr
+		}
+	}
+	if reg == nil {
+		log.Fatalf("unknown region %q", *region)
+	}
+
+	f, _ := reg.Build(src.Width)
+	prog, err := compiler.Compile(f, src, compiler.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	prog.Name = reg.Name
+
+	if dst.Subsumes(src) {
+		fmt.Printf("%s -> %s is an upgrade: native execution, zero translation cost\n",
+			src.Name(), dst.Name())
+		return
+	}
+	fmt.Printf("downgrades required: %v\n", isa.Downgrades(src, dst))
+
+	trans, err := migrate.Translate(prog, dst)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := cpu.CoreConfig{
+		OoO: true, Width: 2, Predictor: cpu.PredTournament,
+		IQ: 32, ROB: 64, PRFInt: 96, PRFFP: 64,
+		IntALU: 3, IntMul: 1, FPALU: 2, LSQ: 16,
+		L1I: cpu.L1Cfg32k, L1D: cpu.L1Cfg32k, L2: cpu.L2Cfg4M,
+		UopCache: true, Fusion: true,
+	}
+	run := func(p *code.Program) (uint64, int64) {
+		_, m := reg.Build(src.Width)
+		exec, timing, err := cpu.RunTimed(p, cpu.NewState(m), cfg, 100_000_000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return exec.Ret, timing.Cycles
+	}
+	sumA, cycA := run(prog)
+	sumB, cycB := run(trans)
+	if sumA != sumB {
+		log.Fatalf("translation changed the checksum: %#x vs %#x", sumA, sumB)
+	}
+	fmt.Printf("%s: %s (%d instrs) -> %s (%d instrs)\n",
+		reg.Name, src.ShortName(), len(prog.Instrs), dst.ShortName(), len(trans.Instrs))
+	fmt.Printf("checksum %#x preserved\n", sumA)
+	fmt.Printf("cycles: native %d, translated %d => %+.1f%% emulation cost\n",
+		cycA, cycB, 100*(float64(cycB)/float64(cycA)-1))
+}

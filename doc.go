@@ -1,0 +1,8 @@
+// Package compisa is a Go reproduction of "Composite-ISA Cores: Enabling
+// Multi-ISA Heterogeneity Using a Single ISA" (HPCA 2019): a superset-ISA
+// model with 26 derivable composite feature sets, an optimizing compiler
+// backend, in-order/out-of-order core simulators with a McPAT-style
+// power/area model, a binary translator for feature-downgrade migration, and
+// the full design-space exploration behind every table and figure of the
+// paper's evaluation. See README.md, DESIGN.md, and EXPERIMENTS.md.
+package compisa

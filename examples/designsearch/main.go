@@ -1,0 +1,49 @@
+// Designsearch runs a small end-to-end design-space exploration: it finds
+// the optimal 4-core CMP for each organization under one power budget and
+// prints the chosen architectures (a single row of Figure 5 plus the
+// matching Table III entry).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"compisa/internal/explore"
+)
+
+func main() {
+	power := flag.Float64("power", 40, "peak power budget in watts (0 = unlimited)")
+	area := flag.Float64("area", 0, "area budget in mm2 (0 = unlimited)")
+	flag.Parse()
+
+	budget := explore.Budget{PeakW: *power, AreaMM2: *area}
+	db := explore.NewDB()
+	s, err := explore.NewSearcher(db)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("multi-programmed throughput search under %s\n\n", budget)
+	var homogeneous float64
+	for _, org := range explore.Organizations() {
+		cmp, err := s.Search(org, explore.ObjMPThroughput, budget)
+		if err != nil {
+			fmt.Printf("%-55s infeasible (%v)\n", org, err)
+			continue
+		}
+		if org == explore.OrgHomogeneous {
+			homogeneous = cmp.Score
+		}
+		rel := 0.0
+		if homogeneous > 0 {
+			rel = cmp.Score / homogeneous
+		}
+		fmt.Printf("%-55s score %.4f (%.2fx homogeneous), %.1fW, %.1fmm2\n",
+			org, cmp.Score, rel, cmp.TotalPeak(), cmp.TotalArea())
+		for i, c := range cmp.Cores {
+			fmt.Printf("   %s\n", explore.TableRow(i, c))
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,66 @@
+// Featureaffinity sweeps every benchmark across a few contrasting composite
+// feature sets on a fixed microarchitecture, exposing the per-application
+// ISA affinity the paper exploits (Section VII.C / Figure 12).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"compisa/internal/explore"
+	"compisa/internal/isa"
+	"compisa/internal/perfmodel"
+	"compisa/internal/workload"
+)
+
+func main() {
+	db := explore.NewDB()
+	cfg := explore.ReferenceConfig()
+	sets := []isa.FeatureSet{
+		isa.MicroX86Min, // Thumb-like
+		isa.MustNew(isa.MicroX86, 32, 64, isa.PartialPredication),
+		isa.MustNew(isa.MicroX86, 32, 32, isa.FullPredication),
+		isa.X8664,    // x86-64 + SSE
+		isa.Superset, // everything on
+	}
+
+	// Per-benchmark weighted cycles for each set, normalized to x86-64.
+	cycles := map[string]map[string]float64{}
+	for _, fs := range sets {
+		ps, err := db.Profiles(explore.ISAChoice{FS: fs})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for ri, r := range db.Regions {
+			res, err := perfmodel.Cycles(ps[ri], cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if cycles[r.Benchmark] == nil {
+				cycles[r.Benchmark] = map[string]float64{}
+			}
+			cycles[r.Benchmark][fs.ShortName()] += r.Weight * res.Cycles
+		}
+	}
+
+	fmt.Printf("%-8s", "bench")
+	for _, fs := range sets {
+		fmt.Printf(" %16s", fs.ShortName())
+	}
+	fmt.Println("   (runtime relative to x86-64; lower is better)")
+	for _, b := range workload.Names() {
+		base := cycles[b][isa.X8664.ShortName()]
+		fmt.Printf("%-8s", b)
+		bestFS, bestV := "", 1e18
+		for _, fs := range sets {
+			v := cycles[b][fs.ShortName()] / base
+			fmt.Printf(" %16.3f", v)
+			if v < bestV {
+				bestV, bestFS = v, fs.ShortName()
+			}
+		}
+		fmt.Printf("   best: %s\n", bestFS)
+	}
+	fmt.Println("\nExpected affinities: hmmer -> deep registers/x86, sjeng/gobmk -> full")
+	fmt.Println("predication, lbm/milc -> SSE (x86), mcf -> 32-bit pointers + predication.")
+}

@@ -1,0 +1,3 @@
+module compisa
+
+go 1.22

@@ -1,0 +1,178 @@
+package code
+
+import (
+	"strings"
+	"testing"
+
+	"compisa/internal/isa"
+)
+
+func prog(fs isa.FeatureSet, instrs ...Instr) *Program {
+	return &Program{Name: "t", FS: fs, Instrs: instrs}
+}
+
+func ret() Instr { return Instr{Op: RET, Dst: NoReg, Src1: 0, Src2: NoReg, Pred: NoReg} }
+
+func TestValidateDepth(t *testing.T) {
+	fs := isa.MustNew(isa.MicroX86, 32, 8, isa.PartialPredication)
+	p := prog(fs,
+		Instr{Op: ADD, Sz: 4, Dst: 9, Src1: 1, Src2: 2, Pred: NoReg},
+		ret(),
+	)
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "depth") {
+		t.Fatalf("want depth violation, got %v", err)
+	}
+	p.Instrs[0].Dst = 7
+	if err := p.Validate(); err != nil {
+		t.Fatalf("r7 is valid at depth 8: %v", err)
+	}
+}
+
+func TestValidateWidth(t *testing.T) {
+	fs := isa.MustNew(isa.MicroX86, 32, 16, isa.PartialPredication)
+	p := prog(fs,
+		Instr{Op: ADD, Sz: 8, Dst: 1, Src1: 1, Src2: 2, Pred: NoReg},
+		ret(),
+	)
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "64-bit") {
+		t.Fatalf("want width violation, got %v", err)
+	}
+}
+
+func TestValidateComplexity(t *testing.T) {
+	micro := isa.MustNew(isa.MicroX86, 64, 16, isa.PartialPredication)
+	in := Instr{Op: ADD, Sz: 4, Dst: 1, Src1: 1, Src2: NoReg, HasMem: true,
+		Mem: Mem{Base: 2, Index: NoReg, Scale: 1}, Pred: NoReg}
+	p := prog(micro, in, ret())
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "microx86") {
+		t.Fatalf("want complexity violation, got %v", err)
+	}
+	full := isa.MustNew(isa.FullX86, 64, 16, isa.PartialPredication)
+	p.FS = full
+	if err := p.Validate(); err != nil {
+		t.Fatalf("memory-operand ALU is legal on full x86: %v", err)
+	}
+}
+
+func TestValidatePredication(t *testing.T) {
+	partial := isa.MustNew(isa.FullX86, 64, 16, isa.PartialPredication)
+	in := Instr{Op: ADD, Sz: 4, Dst: 1, Src1: 1, Src2: 2, Pred: 3, PredSense: true}
+	p := prog(partial, in, ret())
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "predicat") {
+		t.Fatalf("want predication violation, got %v", err)
+	}
+	fullp := isa.MustNew(isa.FullX86, 64, 16, isa.FullPredication)
+	p.FS = fullp
+	if err := p.Validate(); err != nil {
+		t.Fatalf("predication legal on full-predication set: %v", err)
+	}
+}
+
+func TestValidateSIMD(t *testing.T) {
+	micro := isa.MustNew(isa.MicroX86, 64, 16, isa.PartialPredication)
+	in := Instr{Op: VADDF, Sz: 16, Dst: 0, Src1: 1, Src2: 2, Pred: NoReg}
+	p := prog(micro, in, ret())
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "SIMD") {
+		t.Fatalf("want SIMD violation, got %v", err)
+	}
+}
+
+func TestValidateBranchTarget(t *testing.T) {
+	fs := isa.X8664
+	p := prog(fs, Instr{Op: JMP, Dst: NoReg, Src1: NoReg, Src2: NoReg, Target: 5, Pred: NoReg}, ret())
+	if err := p.Validate(); err == nil || !strings.Contains(err.Error(), "target") {
+		t.Fatalf("want target violation, got %v", err)
+	}
+}
+
+func TestValidateNoPredicatedBranch(t *testing.T) {
+	fs := isa.Superset
+	p := prog(fs, Instr{Op: JMP, Dst: NoReg, Src1: NoReg, Src2: NoReg, Target: 1, Pred: 2, PredSense: true}, ret())
+	if err := p.Validate(); err == nil {
+		t.Fatal("predicated branches must be rejected")
+	}
+}
+
+func TestValidateRequiresRET(t *testing.T) {
+	p := prog(isa.X8664, Instr{Op: NOP, Dst: NoReg, Src1: NoReg, Src2: NoReg, Pred: NoReg})
+	if err := p.Validate(); err == nil {
+		t.Fatal("program without RET must be rejected")
+	}
+}
+
+func TestNumUops(t *testing.T) {
+	memALU := Instr{Op: ADD, Sz: 4, Dst: 1, Src1: 1, HasMem: true,
+		Mem: Mem{Base: 2, Index: NoReg}, Src2: NoReg, Pred: NoReg}
+	if memALU.NumUops() != 2 {
+		t.Error("memory-source ALU must decode to 2 uops")
+	}
+	ld := Instr{Op: LD, Sz: 4, Dst: 1, HasMem: true, Mem: Mem{Base: 2, Index: NoReg}, Src1: NoReg, Src2: NoReg, Pred: NoReg}
+	if ld.NumUops() != 1 {
+		t.Error("plain load is 1 uop")
+	}
+	add := Instr{Op: ADD, Sz: 4, Dst: 1, Src1: 1, Src2: 2, Pred: NoReg}
+	if add.NumUops() != 1 {
+		t.Error("reg-reg ALU is 1 uop")
+	}
+}
+
+func TestFlagsProperties(t *testing.T) {
+	if !CMP.WritesFlags() || !JCC.ReadsFlags() || !ADC.ReadsFlags() {
+		t.Error("flag metadata wrong")
+	}
+	if MOV.WritesFlags() || LD.ReadsFlags() {
+		t.Error("flag metadata wrong for moves/loads")
+	}
+	if !FCMP.WritesFlags() {
+		t.Error("fcmp writes flags")
+	}
+}
+
+func TestCCNegate(t *testing.T) {
+	all := []CC{CCEQ, CCNE, CCLT, CCLE, CCGT, CCGE, CCB, CCBE, CCA, CCAE}
+	for _, c := range all {
+		if c.Negate().Negate() != c || c.Negate() == c {
+			t.Errorf("negate broken for %v", c)
+		}
+	}
+}
+
+func TestRegCollection(t *testing.T) {
+	in := Instr{Op: ADD, Sz: 4, Dst: 1, Src1: 2, Src2: 3, HasMem: false, Pred: 4, PredSense: true}
+	regs := in.IntRegs(nil)
+	if len(regs) != 4 {
+		t.Fatalf("want 4 int regs, got %v", regs)
+	}
+	fin := Instr{Op: FADD, Sz: 4, Dst: 1, Src1: 2, Src2: 3, Pred: NoReg}
+	if n := len(fin.FPRegs(nil)); n != 3 {
+		t.Errorf("fadd references 3 fp regs, got %d", n)
+	}
+	if n := len(fin.IntRegs(nil)); n != 0 {
+		t.Errorf("fadd references 0 int regs, got %d", n)
+	}
+	cvt := Instr{Op: CVTIF, Sz: 4, Dst: 1, Src1: 2, Src2: NoReg, Pred: NoReg}
+	if n := len(cvt.IntRegs(nil)); n != 1 {
+		t.Errorf("cvtif reads 1 int reg, got %d", n)
+	}
+	if n := len(cvt.FPRegs(nil)); n != 1 {
+		t.Errorf("cvtif writes 1 fp reg, got %d", n)
+	}
+	st := Instr{Op: FST, Sz: 4, Dst: NoReg, Src1: 5, Src2: NoReg, HasMem: true,
+		Mem: Mem{Base: 2, Index: 3, Scale: 4}, Pred: NoReg}
+	if n := len(st.IntRegs(nil)); n != 2 {
+		t.Errorf("fst references base+index int regs, got %d", n)
+	}
+	if n := len(st.FPRegs(nil)); n != 1 {
+		t.Errorf("fst stores 1 fp reg, got %d", n)
+	}
+}
+
+func TestFormatInstr(t *testing.T) {
+	in := Instr{Op: ADD, Sz: 4, Dst: 1, Src1: 1, Src2: NoReg, HasImm: true, Imm: 42, Pred: 3, PredSense: false}
+	s := FormatInstr(&in)
+	for _, want := range []string{"add", "r1", "$42", "(!r3)"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("format %q missing %q", s, want)
+		}
+	}
+}

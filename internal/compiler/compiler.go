@@ -1,0 +1,79 @@
+package compiler
+
+import (
+	"fmt"
+
+	"compisa/internal/code"
+	"compisa/internal/ir"
+	"compisa/internal/isa"
+)
+
+// Options tunes the backend.
+type Options struct {
+	// IfConvert overrides the if-conversion heuristic; nil uses defaults.
+	IfConvert *ifConvertOptions
+	// DisableFolding turns off x86 memory-operand folding (for ablation).
+	DisableFolding bool
+	// CompactEncoding lays the program out under the hypothetical
+	// from-scratch superset encoding (1-byte REXBC/predicate prefixes),
+	// the tighter-encoding variant the paper sketches in Section V.A.
+	CompactEncoding bool
+}
+
+// stripNops removes NOP placeholders left by memory-operand folding so later
+// passes (notably if-conversion's predicability check) see clean blocks.
+func stripNops(mf *mFunc) {
+	for _, b := range mf.blocks {
+		k := 0
+		for i := range b.instrs {
+			if b.instrs[i].Op == code.NOP {
+				continue
+			}
+			b.instrs[k] = b.instrs[i]
+			k++
+		}
+		b.instrs = b.instrs[:k]
+	}
+}
+
+// Compile lowers an IR region to machine code for the given composite
+// feature set. The function is consumed: passes mutate it, so callers must
+// regenerate the IR for each compilation (the workload generators are cheap
+// and deterministic).
+func Compile(f *ir.Func, fs isa.FeatureSet, opts Options) (*code.Program, error) {
+	if err := fs.Validate(); err != nil {
+		return nil, err
+	}
+	if err := f.Verify(); err != nil {
+		return nil, fmt.Errorf("compile %s: %v", f.Name, err)
+	}
+	mf := newMFunc(f.Name)
+
+	runVectorize(f, fs, &mf.stats)
+
+	if err := runISel(f, fs, mf, opts.DisableFolding); err != nil {
+		return nil, fmt.Errorf("compile %s for %s: isel: %v", f.Name, fs.ShortName(), err)
+	}
+
+	stripNops(mf)
+
+	ico := defaultIfConvertOptions()
+	if opts.IfConvert != nil {
+		ico = *opts.IfConvert
+	}
+	runIfConvert(mf, fs, ico, &mf.stats)
+
+	runDCE(mf)
+
+	if err := mf.verify(); err != nil {
+		return nil, fmt.Errorf("compile %s for %s: %v", f.Name, fs.ShortName(), err)
+	}
+
+	alloc := runRegAlloc(mf, fs)
+
+	prog, err := emitProgram(mf, fs, alloc, f.Name, opts.CompactEncoding)
+	if err != nil {
+		return nil, fmt.Errorf("compile %s for %s: %v", f.Name, fs.ShortName(), err)
+	}
+	return prog, nil
+}

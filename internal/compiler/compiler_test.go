@@ -1,0 +1,593 @@
+package compiler
+
+import (
+	"testing"
+
+	"compisa/internal/code"
+	"compisa/internal/cpu"
+	"compisa/internal/ir"
+	"compisa/internal/isa"
+	"compisa/internal/mem"
+)
+
+// kernels are small IR regions exercising every backend feature; each build
+// is deterministic, parameterized by the target register width (pointer size
+// changes data layout, exactly as compiling for a 32- vs 64-bit feature set
+// would).
+type kernel struct {
+	name  string
+	build func(width int) (*ir.Func, *mem.Memory)
+}
+
+const dataBase = uint64(code.DataBase)
+
+func lcg(seed uint32) func() uint32 {
+	s := seed
+	return func() uint32 {
+		s = s*1664525 + 1013904223
+		return s
+	}
+}
+
+// sumLoopKernel: sum a small i32 array through an i64 accumulator.
+func sumLoopKernel(width int) (*ir.Func, *mem.Memory) {
+	m := mem.New()
+	r := lcg(1)
+	const n = 64
+	for i := 0; i < n; i++ {
+		m.Write(dataBase+uint64(i)*4, 4, uint64(r()%1000))
+	}
+	b := ir.NewBuilder("sumloop")
+	header, body, exit := b.Block("header"), b.Block("body"), b.Block("exit")
+	base := b.Const(ir.Ptr, int64(dataBase))
+	i := b.Const(ir.I64, 0)
+	acc := b.Const(ir.I64, 0)
+	lim := b.Const(ir.I64, n)
+	b.Br(header)
+	b.SetBlock(header)
+	c := b.Cmp(ir.LT, ir.I64, i, lim)
+	b.CondBr(c, body, exit, 0.95)
+	b.SetBlock(body)
+	v := b.Load(ir.I32, base, i, 4, 0)
+	v64 := b.Unary(ir.Ext, ir.I64, v)
+	b.Assign(acc, ir.Add, ir.I64, acc, v64)
+	b.AddImm(i, i, ir.I64, 1)
+	b.Br(header)
+	b.SetBlock(exit)
+	lo := b.Unary(ir.Trunc, ir.I32, acc)
+	b.Ret(lo)
+	return b.F, m
+}
+
+// pressureKernel keeps ~26 integer values live across a loop, forcing heavy
+// spilling at shallow register depths.
+func pressureKernel(width int) (*ir.Func, *mem.Memory) {
+	m := mem.New()
+	b := ir.NewBuilder("pressure")
+	header, body, exit := b.Block("header"), b.Block("body"), b.Block("exit")
+	const nv = 24
+	vals := make([]ir.VReg, nv)
+	for i := range vals {
+		vals[i] = b.Const(ir.I32, int64(i*7+3))
+	}
+	i := b.Const(ir.I32, 0)
+	lim := b.Const(ir.I32, 40)
+	acc := b.Const(ir.I32, 0x9e3779b9-1<<31)
+	b.Br(header)
+	b.SetBlock(header)
+	c := b.Cmp(ir.LT, ir.I32, i, lim)
+	b.CondBr(c, body, exit, 0.95)
+	b.SetBlock(body)
+	for k := 0; k < nv; k++ {
+		op := []ir.Op{ir.Add, ir.Xor, ir.Sub}[k%3]
+		b.Assign(acc, op, ir.I32, acc, vals[k])
+		// Keep every val live across iterations by updating it too.
+		b.Assign(vals[k], ir.Add, ir.I32, vals[k], acc)
+	}
+	b.AddImm(i, i, ir.I32, 1)
+	b.Br(header)
+	b.SetBlock(exit)
+	b.Ret(acc)
+	return b.F, m
+}
+
+// branchyKernel: a data-dependent diamond in a loop (if-conversion target).
+func branchyKernel(width int) (*ir.Func, *mem.Memory) {
+	m := mem.New()
+	r := lcg(7)
+	const n = 128
+	for i := 0; i < n; i++ {
+		m.Write(dataBase+uint64(i)*4, 4, uint64(r()))
+	}
+	b := ir.NewBuilder("branchy")
+	header, body, tArm, fArm, join, exit := b.Block("header"), b.Block("body"),
+		b.Block("t"), b.Block("f"), b.Block("join"), b.Block("exit")
+	base := b.Const(ir.Ptr, int64(dataBase))
+	i := b.Const(ir.I32, 0)
+	lim := b.Const(ir.I32, n)
+	acc := b.Const(ir.I32, 1)
+	x := b.Const(ir.I32, 0)
+	three := b.Const(ir.I32, 3)
+	seven := b.Const(ir.I32, 7)
+	one := b.Const(ir.I32, 1)
+	b.Br(header)
+	b.SetBlock(header)
+	c := b.Cmp(ir.LT, ir.I32, i, lim)
+	b.CondBr(c, body, exit, 0.95)
+	b.SetBlock(body)
+	v := b.Load(ir.I32, base, i, 4, 0)
+	lowbit := b.Bin(ir.And, ir.I32, v, one)
+	cb := b.Cmp(ir.NE, ir.I32, lowbit, x)
+	// Reuse x as the diamond's merged value: both arms assign it.
+	b.CondBr(cb, tArm, fArm, 0.5)
+	b.SetBlock(tArm)
+	t1 := b.Bin(ir.Mul, ir.I32, v, three)
+	b.Assign(x, ir.Add, ir.I32, t1, seven)
+	b.Br(join)
+	b.SetBlock(fArm)
+	b.Assign(x, ir.Xor, ir.I32, v, seven)
+	b.Br(join)
+	b.SetBlock(join)
+	b.Assign(acc, ir.Xor, ir.I32, acc, x)
+	b.Assign(acc, ir.Add, ir.I32, acc, acc) // shift-ish mix
+	b.AddImm(i, i, ir.I32, 1)
+	b.Br(header)
+	b.SetBlock(exit)
+	b.Ret(acc)
+	return b.F, m
+}
+
+// vecKernel: c[i] = a[i]*s + b[i] over f32 arrays (vectorizable), then an
+// integer checksum over the result bits.
+func vecKernel(width int) (*ir.Func, *mem.Memory) {
+	m := mem.New()
+	const n = 64
+	aAddr, bAddr, cAddr := dataBase, dataBase+0x1000, dataBase+0x2000
+	r := lcg(11)
+	for i := 0; i < n; i++ {
+		m.Write(aAddr+uint64(i)*4, 4, uint64(f32bits(float32(r()%100)/8)))
+		m.Write(bAddr+uint64(i)*4, 4, uint64(f32bits(float32(r()%100)/16)))
+	}
+	b := ir.NewBuilder("vec")
+	header, body, sumHdr, sumBody, exit := b.Block("header"), b.Block("body"),
+		b.Block("sumhdr"), b.Block("sumbody"), b.Block("exit")
+	pa := b.Const(ir.Ptr, int64(aAddr))
+	pb := b.Const(ir.Ptr, int64(bAddr))
+	pc := b.Const(ir.Ptr, int64(cAddr))
+	s := b.FConst(ir.F32, 1.5)
+	i := b.Const(ir.I32, 0)
+	lim := b.Const(ir.I32, n)
+	b.Br(header)
+	b.SetBlock(header)
+	c := b.Cmp(ir.LT, ir.I32, i, lim)
+	b.CondBr(c, body, sumHdr, 0.9)
+	b.SetBlock(body)
+	av := b.Load(ir.F32, pa, i, 4, 0)
+	bv := b.Load(ir.F32, pb, i, 4, 0)
+	t := b.Bin(ir.FMul, ir.F32, av, s)
+	u := b.Bin(ir.FAdd, ir.F32, t, bv)
+	b.Store(ir.F32, u, pc, i, 4, 0)
+	b.AddImm(i, i, ir.I32, 1)
+	b.Br(header)
+	body.VecLoop = &ir.VecLoopInfo{IndVar: i, Limit: lim, Lanes: 4}
+	// Scalar integer checksum over the produced bits.
+	b.SetBlock(sumHdr)
+	j := b.Const(ir.I32, 0)
+	acc := b.Const(ir.I32, 0)
+	b.Br(sumBody)
+	b.SetBlock(sumBody)
+	w := b.Load(ir.I32, pc, j, 4, 0)
+	b.Assign(acc, ir.Xor, ir.I32, acc, w)
+	b.AddImm(j, j, ir.I32, 1)
+	c2 := b.Cmp(ir.LT, ir.I32, j, lim)
+	b.CondBr(c2, sumBody, exit, 0.9)
+	b.SetBlock(exit)
+	b.Ret(acc)
+	return b.F, m
+}
+
+// byteKernel: byte-granularity table updates.
+func byteKernel(width int) (*ir.Func, *mem.Memory) {
+	m := mem.New()
+	for i := 0; i < 256; i++ {
+		m.Store8(dataBase+uint64(i), byte(i*37))
+	}
+	b := ir.NewBuilder("bytes")
+	body, exit := b.Block("body"), b.Block("exit")
+	base := b.Const(ir.Ptr, int64(dataBase))
+	i := b.Const(ir.I32, 0)
+	lim := b.Const(ir.I32, 200)
+	acc := b.Const(ir.I32, 0)
+	mask := b.Const(ir.I32, 255)
+	one := b.Const(ir.I32, 1)
+	b.Br(body)
+	b.SetBlock(body)
+	v := b.LoadByte(base, i, 1, 0)
+	idx2 := b.Bin(ir.Mul, ir.I32, i, b.Const(ir.I32, 7))
+	idx2m := b.Bin(ir.And, ir.I32, idx2, mask)
+	w := b.Bin(ir.Add, ir.I32, v, one)
+	b.StoreByte(w, base, idx2m, 1, 0)
+	b.Assign(acc, ir.Add, ir.I32, acc, v)
+	b.AddImm(i, i, ir.I32, 1)
+	c := b.Cmp(ir.LT, ir.I32, i, lim)
+	b.CondBr(c, body, exit, 0.95)
+	b.SetBlock(exit)
+	b.Ret(acc)
+	return b.F, m
+}
+
+// i64Kernel: 64-bit shifts, xors, and compares (pair-lowered on 32-bit).
+func i64Kernel(width int) (*ir.Func, *mem.Memory) {
+	m := mem.New()
+	m.Write(dataBase, 8, 0x0123456789abcdef)
+	m.Write(dataBase+8, 8, 0xfedcba9876543210)
+	b := ir.NewBuilder("i64ops")
+	body, exit := b.Block("body"), b.Block("exit")
+	base := b.Const(ir.Ptr, int64(dataBase))
+	x := b.Load(ir.I64, base, ir.NoReg, 1, 0)
+	y := b.Load(ir.I64, base, ir.NoReg, 1, 8)
+	i := b.Const(ir.I32, 0)
+	lim := b.Const(ir.I32, 30)
+	acc := b.Const(ir.I64, 0)
+	b.Br(body)
+	b.SetBlock(body)
+	s1 := b.Shift(ir.Shl, ir.I64, x, 13)
+	b.Assign(x, ir.Xor, ir.I64, x, s1)
+	s2 := b.Shift(ir.Shr, ir.I64, x, 7)
+	b.Assign(x, ir.Xor, ir.I64, x, s2)
+	s3 := b.Shift(ir.Sar, ir.I64, y, 3)
+	b.Assign(y, ir.Add, ir.I64, y, s3)
+	cLess := b.Cmp(ir.LT, ir.I64, x, y)
+	big := b.Select(ir.I64, cLess, y, x)
+	b.Assign(acc, ir.Add, ir.I64, acc, big)
+	b.Assign(acc, ir.Sub, ir.I64, acc, s3)
+	b.AddImm(i, i, ir.I32, 1)
+	c := b.Cmp(ir.LT, ir.I32, i, lim)
+	b.CondBr(c, body, exit, 0.95)
+	b.SetBlock(exit)
+	xl := b.Unary(ir.Trunc, ir.I32, acc)
+	s4 := b.Shift(ir.Shr, ir.I64, acc, 17)
+	xh := b.Unary(ir.Trunc, ir.I32, s4)
+	r := b.Bin(ir.Xor, ir.I32, xl, xh)
+	b.Ret(r)
+	return b.F, m
+}
+
+// ptrChaseKernel: traverse a pointer cycle whose node layout depends on the
+// target pointer size.
+func ptrChaseKernel(width int) (*ir.Func, *mem.Memory) {
+	m := mem.New()
+	ptrBytes := width / 8
+	const n = 64
+	const stride = 16
+	// Permutation cycle over n nodes (deterministic).
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = (i*29 + 13) % n
+	}
+	for i := 0; i < n; i++ {
+		node := dataBase + uint64(i)*stride
+		next := dataBase + uint64(perm[i])*stride
+		m.Write(node, ptrBytes, next)
+		m.Write(node+8, 4, uint64(i*i+7))
+	}
+	b := ir.NewBuilder("ptrchase")
+	body, exit := b.Block("body"), b.Block("exit")
+	p := b.Const(ir.Ptr, int64(dataBase))
+	i := b.Const(ir.I32, 0)
+	lim := b.Const(ir.I32, 100)
+	acc := b.Const(ir.I32, 0)
+	b.Br(body)
+	b.SetBlock(body)
+	v := b.Load(ir.I32, p, ir.NoReg, 1, 8)
+	b.Assign(acc, ir.Add, ir.I32, acc, v)
+	nx := b.Load(ir.Ptr, p, ir.NoReg, 1, 0)
+	b.Copy(p, nx)
+	b.AddImm(i, i, ir.I32, 1)
+	c := b.Cmp(ir.LT, ir.I32, i, lim)
+	b.CondBr(c, body, exit, 0.95)
+	b.SetBlock(exit)
+	b.Ret(acc)
+	return b.F, m
+}
+
+func allKernels() []kernel {
+	return []kernel{
+		{"sumloop", sumLoopKernel},
+		{"pressure", pressureKernel},
+		{"branchy", branchyKernel},
+		{"vec", vecKernel},
+		{"bytes", byteKernel},
+		{"i64ops", i64Kernel},
+		{"ptrchase", ptrChaseKernel},
+	}
+}
+
+// reference runs the IR interpreter on a fresh build.
+func reference(t *testing.T, k kernel, width int) uint64 {
+	t.Helper()
+	f, m := k.build(width)
+	if err := f.Verify(); err != nil {
+		t.Fatalf("%s: %v", k.name, err)
+	}
+	res, err := ir.Interp(f, m, width/8, 50_000_000)
+	if err != nil {
+		t.Fatalf("%s interp: %v", k.name, err)
+	}
+	return res.Ret & 0xffffffff
+}
+
+func compileAndRun(t *testing.T, k kernel, fs isa.FeatureSet, opts Options) (uint64, *code.Program, cpu.ExecResult) {
+	t.Helper()
+	f, m := k.build(fs.Width)
+	prog, err := Compile(f, fs, opts)
+	if err != nil {
+		t.Fatalf("%s for %s: %v", k.name, fs.ShortName(), err)
+	}
+	st := cpu.NewState(m)
+	res, err := cpu.Run(prog, st, 50_000_000, nil)
+	if err != nil {
+		t.Fatalf("%s for %s: run: %v\n%s", k.name, fs.ShortName(), err, prog)
+	}
+	return res.Ret & 0xffffffff, prog, res
+}
+
+// TestDifferentialAllFeatureSets is the backbone correctness test: every
+// kernel must compute the identical checksum on every one of the 26 derived
+// feature sets, matching the IR interpreter's reference result.
+func TestDifferentialAllFeatureSets(t *testing.T) {
+	for _, k := range allKernels() {
+		want32 := reference(t, k, 32)
+		want64 := reference(t, k, 64)
+		for _, fs := range isa.Derive() {
+			want := want64
+			if fs.Width == 32 {
+				want = want32
+			}
+			got, _, _ := compileAndRun(t, k, fs, Options{})
+			if got != want {
+				t.Errorf("%s on %s: got %#x want %#x", k.name, fs.ShortName(), got, want)
+			}
+		}
+	}
+}
+
+// TestDifferentialAggressiveIfConversion forces if-conversion of every
+// convertible pattern; semantics must be unchanged.
+func TestDifferentialAggressiveIfConversion(t *testing.T) {
+	opts := Options{IfConvert: &ifConvertOptions{PipelineDepth: 1000, MaxArmInstrs: 64}}
+	for _, k := range allKernels() {
+		want := reference(t, k, 64)
+		fs := isa.Superset
+		got, prog, _ := compileAndRun(t, k, fs, opts)
+		if got != want {
+			t.Errorf("%s superset aggressive ifcvt: got %#x want %#x", k.name, got, want)
+		}
+		if k.name == "branchy" && prog.Stats.IfConversions == 0 {
+			t.Errorf("branchy: expected if-conversions under aggressive options")
+		}
+	}
+}
+
+func TestMicroX86IsOneUopPerInstr(t *testing.T) {
+	fs := isa.MustNew(isa.MicroX86, 64, 32, isa.FullPredication)
+	for _, k := range allKernels() {
+		f, _ := k.build(fs.Width)
+		prog, err := Compile(f, fs, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", k.name, err)
+		}
+		for i := range prog.Instrs {
+			if n := prog.Instrs[i].NumUops(); n != 1 {
+				t.Errorf("%s: instr %d (%s) decodes to %d uops under microx86",
+					k.name, i, code.FormatInstr(&prog.Instrs[i]), n)
+			}
+		}
+		if prog.Stats.FoldedLoads != 0 {
+			t.Errorf("%s: microx86 must not fold loads", k.name)
+		}
+	}
+}
+
+func TestSpillsShrinkWithRegisterDepth(t *testing.T) {
+	k := kernel{"pressure", pressureKernel}
+	var refills [4]int
+	for di, depth := range []int{8, 16, 32, 64} {
+		fs := isa.MustNew(isa.MicroX86, 32, depth, isa.PartialPredication)
+		f, _ := k.build(32)
+		prog, err := Compile(f, fs, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		refills[di] = prog.Stats.RefillLoads
+	}
+	if refills[0] <= refills[1] || refills[1] <= refills[3] {
+		t.Errorf("refill loads must shrink with depth: %v", refills)
+	}
+	if refills[3] != 0 {
+		t.Errorf("depth 64 should not spill the pressure kernel (26 live): got %d refills", refills[3])
+	}
+}
+
+func TestIfConversionReducesBranches(t *testing.T) {
+	countJcc := func(p *code.Program) int {
+		n := 0
+		for i := range p.Instrs {
+			if p.Instrs[i].Op == code.JCC {
+				n++
+			}
+		}
+		return n
+	}
+	f1, _ := branchyKernel(64)
+	partial, err := Compile(f1, isa.MustNew(isa.FullX86, 64, 32, isa.PartialPredication), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, _ := branchyKernel(64)
+	full, err := Compile(f2, isa.MustNew(isa.FullX86, 64, 32, isa.FullPredication), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Stats.IfConversions == 0 {
+		t.Fatal("full predication should if-convert the unbiased diamond")
+	}
+	if countJcc(full) >= countJcc(partial) {
+		t.Errorf("if-conversion should reduce static branches: full=%d partial=%d",
+			countJcc(full), countJcc(partial))
+	}
+	predicated := 0
+	for i := range full.Instrs {
+		if full.Instrs[i].Predicated() {
+			predicated++
+		}
+	}
+	if predicated == 0 {
+		t.Error("converted program must contain predicated instructions")
+	}
+}
+
+func TestVectorizationOnlyWithSIMD(t *testing.T) {
+	f1, _ := vecKernel(64)
+	simd, err := Compile(f1, isa.X8664, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if simd.Stats.VectorLoops != 1 {
+		t.Errorf("x86 target should vectorize the loop: %+v", simd.Stats)
+	}
+	hasVec := false
+	for i := range simd.Instrs {
+		if simd.Instrs[i].Op.IsVector() {
+			hasVec = true
+		}
+	}
+	if !hasVec {
+		t.Error("vectorized program must contain SSE instructions")
+	}
+	f2, _ := vecKernel(64)
+	scalar, err := Compile(f2, isa.X86izedAlpha, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scalar.Stats.VectorLoops != 0 || scalar.Stats.ScalarLoops != 1 {
+		t.Errorf("microx86 target must scalarize: %+v", scalar.Stats)
+	}
+}
+
+// foldKernel: acc += a[i] with a single-use i32 load feeding the add — the
+// canonical memory-operand folding opportunity.
+func foldKernel(width int) (*ir.Func, *mem.Memory) {
+	m := mem.New()
+	const n = 32
+	for i := 0; i < n; i++ {
+		m.Write(dataBase+uint64(i)*4, 4, uint64(i*11+1))
+	}
+	b := ir.NewBuilder("fold")
+	body, exit := b.Block("body"), b.Block("exit")
+	base := b.Const(ir.Ptr, int64(dataBase))
+	i := b.Const(ir.I32, 0)
+	lim := b.Const(ir.I32, n)
+	acc := b.Const(ir.I32, 0)
+	b.Br(body)
+	b.SetBlock(body)
+	v := b.Load(ir.I32, base, i, 4, 0)
+	b.Assign(acc, ir.Add, ir.I32, acc, v)
+	b.AddImm(i, i, ir.I32, 1)
+	c := b.Cmp(ir.LT, ir.I32, i, lim)
+	b.CondBr(c, body, exit, 0.9)
+	b.SetBlock(exit)
+	b.Ret(acc)
+	return b.F, m
+}
+
+func TestFoldedLoadsOnlyOnFullX86(t *testing.T) {
+	k := kernel{"fold", foldKernel}
+	want := reference(t, k, 64)
+	got, x86, _ := compileAndRun(t, k, isa.X8664, Options{})
+	if got != want {
+		t.Fatalf("fold kernel wrong on x86-64: %#x vs %#x", got, want)
+	}
+	if x86.Stats.FoldedLoads == 0 {
+		t.Error("x86 should fold the single-use array load into the add")
+	}
+	f2, _ := foldKernel(64)
+	noFold, err := Compile(f2, isa.X8664, Options{DisableFolding: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noFold.Stats.FoldedLoads != 0 {
+		t.Error("DisableFolding must suppress memory-operand folding")
+	}
+	if len(noFold.Instrs) <= len(x86.Instrs) {
+		t.Error("folding should shrink static code")
+	}
+	// The folded instruction decodes into 2 micro-ops — the 1:n case.
+	twoUop := 0
+	for i := range x86.Instrs {
+		if x86.Instrs[i].NumUops() == 2 {
+			twoUop++
+		}
+	}
+	if twoUop == 0 {
+		t.Error("folded program must contain 1:2 macro-ops")
+	}
+}
+
+func TestRegisterDepthTradesSpillsForPrefixes(t *testing.T) {
+	maxReg := func(p *code.Program) int {
+		max := 0
+		var regs []code.Reg
+		for i := range p.Instrs {
+			regs = p.Instrs[i].IntRegs(regs[:0])
+			for _, r := range regs {
+				if int(r) > max {
+					max = int(r)
+				}
+			}
+		}
+		return max
+	}
+	f1, _ := pressureKernel(32)
+	d64, err := Compile(f1, isa.MustNew(isa.MicroX86, 32, 64, isa.PartialPredication), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, _ := pressureKernel(32)
+	d8, err := Compile(f2, isa.MustNew(isa.MicroX86, 32, 8, isa.PartialPredication), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Depth 64 holds the working set in REXBC-range registers instead of
+	// spilling; depth 8 never references registers above 7.
+	if maxReg(d64) < 16 {
+		t.Errorf("depth-64 compile of a 26-live kernel should reach REXBC registers, max reg %d", maxReg(d64))
+	}
+	if maxReg(d8) > 7 {
+		t.Errorf("depth-8 compile uses register r%d beyond its depth", maxReg(d8))
+	}
+	// Depth 8 pays in spill instructions instead of prefix bytes.
+	if len(d8.Instrs) <= len(d64.Instrs) {
+		t.Errorf("depth 8 must add spill instructions: %d vs %d", len(d8.Instrs), len(d64.Instrs))
+	}
+	if d8.Stats.RefillLoads == 0 || d64.Stats.RefillLoads != 0 {
+		t.Errorf("spill counts wrong: d8=%d d64=%d", d8.Stats.RefillLoads, d64.Stats.RefillLoads)
+	}
+}
+
+func TestCompileStatsPopulated(t *testing.T) {
+	f, _ := sumLoopKernel(64)
+	prog, err := Compile(f, isa.X8664, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Stats.StaticInstrs != len(prog.Instrs) {
+		t.Error("StaticInstrs mismatch")
+	}
+	if prog.Stats.CodeBytes != prog.Size {
+		t.Error("CodeBytes mismatch")
+	}
+	if prog.Size == 0 || len(prog.PC) != len(prog.Instrs) {
+		t.Error("layout missing")
+	}
+}

@@ -1,0 +1,238 @@
+package compiler
+
+import (
+	"testing"
+
+	"compisa/internal/cpu"
+	"compisa/internal/ir"
+	"compisa/internal/isa"
+	"compisa/internal/mem"
+)
+
+// randProg builds a random-but-valid IR region from a seed: straight-line
+// integer arithmetic, memory traffic into a scratch array, data-dependent
+// diamonds, and a counted loop — everything defined before use, shifts in
+// range, addresses in bounds. Differential testing across all feature sets
+// then gives broad coverage of isel/if-conversion/regalloc interactions that
+// the hand-written kernels may miss.
+type randGen struct {
+	state uint64
+}
+
+func (g *randGen) next() uint64 {
+	g.state = g.state*6364136223846793005 + 1442695040888963407
+	return g.state >> 11
+}
+
+func (g *randGen) intn(n int) int { return int(g.next() % uint64(n)) }
+
+func randProg(seed uint64) (*ir.Func, *mem.Memory) {
+	g := &randGen{state: seed*2654435761 + 12345}
+	m := mem.New()
+	const base = uint64(0x0800_0000)
+	const words = 256
+	for i := 0; i < words; i++ {
+		m.Write(base+uint64(i)*4, 4, g.next()&0xffffffff)
+		m.Write(base+0x1000+uint64(i)*8, 8, g.next())
+	}
+
+	b := ir.NewBuilder("fuzz")
+	header := b.Block("header")
+	body := b.Block("body")
+	exit := b.Block("exit")
+
+	p32 := b.Const(ir.Ptr, int64(base))
+	p64 := b.Const(ir.Ptr, int64(base)+0x1000)
+	mask := b.Const(ir.I32, words-1)
+
+	// Pools of defined values.
+	var vals32 []ir.VReg
+	var vals64 []ir.VReg
+	for i := 0; i < 4+g.intn(6); i++ {
+		vals32 = append(vals32, b.Const(ir.I32, int64(g.next()&0xffff)))
+	}
+	for i := 0; i < 3+g.intn(4); i++ {
+		vals64 = append(vals64, b.Const(ir.I64, int64(g.next())))
+	}
+	i := b.Const(ir.I32, 0)
+	trip := b.Const(ir.I32, int64(8+g.intn(40)))
+	acc := b.Const(ir.I32, 1)
+	b.Br(header)
+
+	b.SetBlock(header)
+	c := b.Cmp(ir.LT, ir.I32, i, trip)
+	b.CondBr(c, body, exit, 0.9)
+
+	b.SetBlock(body)
+	pick32 := func() ir.VReg { return vals32[g.intn(len(vals32))] }
+	pick64 := func() ir.VReg { return vals64[g.intn(len(vals64))] }
+	binops := []ir.Op{ir.Add, ir.Sub, ir.Mul, ir.And, ir.Or, ir.Xor}
+	n := 6 + g.intn(14)
+	for k := 0; k < n; k++ {
+		switch g.intn(10) {
+		case 0, 1, 2: // 32-bit arithmetic
+			op := binops[g.intn(len(binops))]
+			vals32 = append(vals32, b.Bin(op, ir.I32, pick32(), pick32()))
+		case 3: // 64-bit arithmetic (no Mul: not emulatable on w32)
+			op := binops[g.intn(len(binops))]
+			if op == ir.Mul {
+				op = ir.Add
+			}
+			vals64 = append(vals64, b.Bin(op, ir.I64, pick64(), pick64()))
+		case 4: // shifts
+			if g.intn(2) == 0 {
+				op := []ir.Op{ir.Shl, ir.Shr, ir.Sar}[g.intn(3)]
+				vals32 = append(vals32, b.Shift(op, ir.I32, pick32(), int64(1+g.intn(30))))
+			} else {
+				op := []ir.Op{ir.Shl, ir.Shr, ir.Sar}[g.intn(3)]
+				vals64 = append(vals64, b.Shift(op, ir.I64, pick64(), int64(1+g.intn(30))))
+			}
+		case 5: // 32-bit load
+			idx := b.Bin(ir.And, ir.I32, pick32(), mask)
+			vals32 = append(vals32, b.Load(ir.I32, p32, idx, 4, 0))
+		case 6: // 64-bit load/store
+			idx := b.Bin(ir.And, ir.I32, pick32(), mask)
+			if g.intn(2) == 0 {
+				vals64 = append(vals64, b.Load(ir.I64, p64, idx, 8, 0))
+			} else {
+				b.Store(ir.I64, pick64(), p64, idx, 8, 0)
+			}
+		case 7: // store + select
+			idx := b.Bin(ir.And, ir.I32, pick32(), mask)
+			b.Store(ir.I32, pick32(), p32, idx, 4, 0)
+			cc := []ir.Cond{ir.EQ, ir.NE, ir.LT, ir.GE, ir.ULT, ir.UGE}[g.intn(6)]
+			cv := b.Cmp(cc, ir.I32, pick32(), pick32())
+			vals32 = append(vals32, b.Select(ir.I32, cv, pick32(), pick32()))
+		case 8: // 64-bit compare + select
+			cc := []ir.Cond{ir.EQ, ir.NE, ir.LT, ir.LE, ir.GT, ir.GE, ir.ULT, ir.ULE, ir.UGT, ir.UGE}[g.intn(10)]
+			cv := b.Cmp(cc, ir.I64, pick64(), pick64())
+			vals64 = append(vals64, b.Select(ir.I64, cv, pick64(), pick64()))
+		case 9: // diamond
+			cc := []ir.Cond{ir.EQ, ir.NE, ir.LT, ir.GE}[g.intn(4)]
+			cv := b.Cmp(cc, ir.I32, pick32(), pick32())
+			tArm := b.Block("t")
+			fArm := b.Block("f")
+			join := b.Block("j")
+			x, y := pick32(), pick32()
+			b.CondBr(cv, tArm, fArm, 0.5)
+			b.SetBlock(tArm)
+			b.Assign(acc, ir.Add, ir.I32, acc, x)
+			b.Br(join)
+			b.SetBlock(fArm)
+			b.Assign(acc, ir.Xor, ir.I32, acc, y)
+			b.Br(join)
+			b.SetBlock(join)
+		}
+	}
+	// Fold the freshest values into acc so nothing is trivially dead.
+	b.Assign(acc, ir.Xor, ir.I32, acc, vals32[len(vals32)-1])
+	lo := b.Unary(ir.Trunc, ir.I32, vals64[len(vals64)-1])
+	b.Assign(acc, ir.Add, ir.I32, acc, lo)
+	b.AddImm(i, i, ir.I32, 1)
+	b.Br(header)
+
+	b.SetBlock(exit)
+	b.Ret(acc)
+	return b.F, m
+}
+
+// fuzzFeatureSets is a representative slice of the 26 (all dimensions vary).
+var fuzzFeatureSets = []isa.FeatureSet{
+	isa.MicroX86Min,
+	isa.MustNew(isa.MicroX86, 32, 64, isa.FullPredication),
+	isa.MustNew(isa.MicroX86, 64, 16, isa.PartialPredication),
+	isa.MustNew(isa.FullX86, 32, 8, isa.PartialPredication),
+	isa.MustNew(isa.FullX86, 32, 16, isa.FullPredication),
+	isa.X8664,
+	isa.Superset,
+}
+
+func TestFuzzDifferentialCompile(t *testing.T) {
+	seeds := 40
+	if testing.Short() {
+		seeds = 8
+	}
+	for seed := 1; seed <= seeds; seed++ {
+		var want [2]uint64
+		for wi, width := range []int{32, 64} {
+			f, m := randProg(uint64(seed))
+			if err := f.Verify(); err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			res, err := ir.Interp(f, m, width/8, 10_000_000)
+			if err != nil {
+				t.Fatalf("seed %d interp: %v", seed, err)
+			}
+			want[wi] = res.Ret & 0xffffffff
+		}
+		// Note: randProg's data layout is width-independent, so the two
+		// interpreter runs agree unless 64-bit truncation semantics
+		// differ (they must not for these ops).
+		for _, fs := range fuzzFeatureSets {
+			f, m := randProg(uint64(seed))
+			prog, err := Compile(f, fs, Options{})
+			if err != nil {
+				t.Fatalf("seed %d on %s: %v", seed, fs.ShortName(), err)
+			}
+			st := cpu.NewState(m)
+			res, err := cpu.Run(prog, st, 10_000_000, nil)
+			if err != nil {
+				t.Fatalf("seed %d on %s: %v", seed, fs.ShortName(), err)
+			}
+			w := want[1]
+			if fs.Width == 32 {
+				w = want[0]
+			}
+			if res.Ret&0xffffffff != w {
+				t.Errorf("seed %d on %s: got %#x want %#x", seed, fs.ShortName(), res.Ret, w)
+			}
+		}
+	}
+}
+
+func TestFuzzAggressivePredication(t *testing.T) {
+	opts := Options{IfConvert: &ifConvertOptions{PipelineDepth: 1000, MaxArmInstrs: 64}}
+	fs := isa.MustNew(isa.MicroX86, 64, 32, isa.FullPredication)
+	seeds := 25
+	if testing.Short() {
+		seeds = 5
+	}
+	for seed := 1; seed <= seeds; seed++ {
+		f, m := randProg(uint64(seed))
+		ref, err := ir.Interp(f, m.Clone(), 8, 10_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f2, m2 := randProg(uint64(seed))
+		prog, err := Compile(f2, fs, opts)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		res, err := cpu.Run(prog, cpu.NewState(m2), 10_000_000, nil)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Ret&0xffffffff != ref.Ret&0xffffffff {
+			t.Errorf("seed %d: aggressive if-conversion changed result: %#x vs %#x",
+				seed, res.Ret, ref.Ret)
+		}
+	}
+}
+
+func TestFuzzValidateAllFeatureSets(t *testing.T) {
+	// Every compile of every seed must pass the feature-set validator
+	// (Compile validates internally; this asserts it also holds for the
+	// full 26-set sweep on a couple of seeds).
+	for _, seed := range []uint64{3, 17} {
+		for _, fs := range isa.Derive() {
+			f, _ := randProg(seed)
+			prog, err := Compile(f, fs, Options{})
+			if err != nil {
+				t.Fatalf("seed %d on %s: %v", seed, fs.ShortName(), err)
+			}
+			if err := prog.Validate(); err != nil {
+				t.Errorf("seed %d on %s: %v", seed, fs.ShortName(), err)
+			}
+		}
+	}
+}

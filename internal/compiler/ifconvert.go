@@ -1,0 +1,218 @@
+package compiler
+
+import (
+	"compisa/internal/code"
+	"compisa/internal/isa"
+)
+
+// ifConvertOptions tunes the profitability heuristic. The defaults mirror
+// LLVM's machine if-converter: profitability weighs the expected
+// misprediction cost of the branch (derived from profile probability and the
+// configured pipeline depth) against the wasted work of executing both arms.
+type ifConvertOptions struct {
+	// PipelineDepth approximates the misprediction penalty in cycles.
+	PipelineDepth float64
+	// MaxArmInstrs bounds the size of a predicable arm.
+	MaxArmInstrs int
+}
+
+func defaultIfConvertOptions() ifConvertOptions {
+	return ifConvertOptions{PipelineDepth: 14, MaxArmInstrs: 12}
+}
+
+// runIfConvert performs machine-level if-conversion for feature sets with
+// full predication, handling the three LLVM patterns (Section IV): diamond
+// (both arms rejoin), triangle (the true block falls into the false block),
+// and simple (the arms split without rejoining). It repeats until no pattern
+// converts, so nested hammocks collapse bottom-up.
+func runIfConvert(f *mFunc, fs isa.FeatureSet, opts ifConvertOptions, stats *code.CompileStats) {
+	if fs.Predication != isa.FullPredication {
+		return
+	}
+	for {
+		f.computeCFG()
+		if !ifConvertOnce(f, opts, stats) {
+			return
+		}
+	}
+}
+
+func ifConvertOnce(f *mFunc, opts ifConvertOptions, stats *code.CompileStats) bool {
+	for _, a := range f.blocks {
+		if a.term.Kind != termJcc {
+			continue
+		}
+		t := a.term.Taken
+		fb := f.fallTarget(a)
+		if t == nil || fb == nil || t == fb || t == a || fb == a {
+			continue
+		}
+		// Diamond: A -> {T, F}; T and F rejoin at the same block.
+		if singlePred(t, a) && singlePred(fb, a) {
+			tj, fj := onlySucc(f, t), onlySucc(f, fb)
+			if tj != nil && tj == fj && predicable(t, opts) && predicable(fb, opts) &&
+				profitableDiamond(a, t, fb, opts) {
+				convertDiamond(f, a, t, fb, tj)
+				stats.IfConversions++
+				return true
+			}
+		}
+		// Triangle: A -> {T, F}; T's only successor is F.
+		if singlePred(t, a) && onlySucc(f, t) == fb && predicable(t, opts) &&
+			profitableTriangle(a, t, opts) {
+			convertTriangle(f, a, t, fb)
+			stats.IfConversions++
+			return true
+		}
+		// Simple: A -> {T, F}; T leaves for elsewhere without rejoining F.
+		if singlePred(t, a) {
+			x := onlySucc(f, t)
+			if x != nil && x != fb && predicable(t, opts) && profitableSimple(a, t, opts) {
+				convertSimple(f, a, t, fb, x)
+				stats.IfConversions++
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func singlePred(b, pred *mBlock) bool {
+	return len(b.preds) == 1 && b.preds[0] == pred
+}
+
+// onlySucc returns b's unique successor, or nil.
+func onlySucc(f *mFunc, b *mBlock) *mBlock {
+	if len(b.succs) == 1 {
+		return b.succs[0]
+	}
+	return nil
+}
+
+// predicable reports whether every instruction of the block can carry a
+// predicate prefix: no flag consumers or producers-for-consumption (the
+// predicate definition consumes the dominating compare's flags first), and
+// no already-predicated instructions.
+func predicable(b *mBlock, opts ifConvertOptions) bool {
+	if len(b.instrs) > opts.MaxArmInstrs {
+		return false
+	}
+	for i := range b.instrs {
+		in := &b.instrs[i]
+		if in.predicated() {
+			return false
+		}
+		switch in.Op {
+		case code.CMP, code.TEST, code.FCMP, code.SETCC, code.CMOVCC, code.NOP:
+			return false
+		}
+		if in.KeepFlags {
+			return false
+		}
+	}
+	return true
+}
+
+func armCost(b *mBlock) float64 { return float64(len(b.instrs)) }
+
+// profitability: expected misprediction cost saved vs. wasted issue slots of
+// the arm(s) that would not have executed, as in LLVM's
+// MachineBranchProbability-driven heuristic.
+func profitableDiamond(a, t, fb *mBlock, opts ifConvertOptions) bool {
+	p := float64(a.term.Prob)
+	minp := p
+	if 1-p < minp {
+		minp = 1 - p
+	}
+	branchCost := minp*opts.PipelineDepth + 1        // +1: the branch itself
+	predCost := (1-p)*armCost(t) + p*armCost(fb) + 1 // +1: SETcc
+	return predCost < branchCost
+}
+
+func profitableTriangle(a, t *mBlock, opts ifConvertOptions) bool {
+	p := float64(a.term.Prob) // probability T executes
+	minp := p
+	if 1-p < minp {
+		minp = 1 - p
+	}
+	branchCost := minp*opts.PipelineDepth + 1
+	predCost := (1-p)*armCost(t) + 1
+	return predCost < branchCost
+}
+
+func profitableSimple(a, t *mBlock, opts ifConvertOptions) bool {
+	// Only the duplicated-work tradeoff of the T arm matters; the
+	// conditional branch itself remains. Convert small arms under
+	// unbiased branches (scheduling freedom + one JMP removed).
+	p := float64(a.term.Prob)
+	minp := p
+	if 1-p < minp {
+		minp = 1 - p
+	}
+	return minp >= 0.25 && armCost(t) <= 4
+}
+
+// predicate stamps every instruction of the block with (pred, sense).
+func predicate(b *mBlock, pred vreg, sense bool) {
+	for i := range b.instrs {
+		b.instrs[i].Pred = pred
+		b.instrs[i].PredSense = sense
+	}
+}
+
+// setccInto appends "SETcc p" to a, consuming the flags its compare set.
+func setccInto(f *mFunc, a *mBlock) vreg {
+	p := f.newVReg(false)
+	set := minstr(code.SETCC, 4)
+	set.Dst, set.CC = p, a.term.CC
+	a.instrs = append(a.instrs, set)
+	return p
+}
+
+func removeBlocks(f *mFunc, dead ...*mBlock) {
+	isDead := map[*mBlock]bool{}
+	for _, d := range dead {
+		isDead[d] = true
+	}
+	var keep []*mBlock
+	for _, b := range f.blocks {
+		if !isDead[b] {
+			keep = append(keep, b)
+		}
+	}
+	f.blocks = keep
+	for i, b := range f.blocks {
+		b.id = i
+	}
+}
+
+func convertDiamond(f *mFunc, a, t, fb, join *mBlock) {
+	p := setccInto(f, a)
+	predicate(t, p, true)
+	predicate(fb, p, false)
+	a.instrs = append(a.instrs, t.instrs...)
+	a.instrs = append(a.instrs, fb.instrs...)
+	a.term = mTerm{Kind: termJmp, Taken: join}
+	removeBlocks(f, t, fb)
+}
+
+func convertTriangle(f *mFunc, a, t, fb *mBlock) {
+	p := setccInto(f, a)
+	predicate(t, p, true)
+	a.instrs = append(a.instrs, t.instrs...)
+	a.term = mTerm{Kind: termJmp, Taken: fb}
+	removeBlocks(f, t)
+}
+
+func convertSimple(f *mFunc, a, t, fb, x *mBlock) {
+	p := setccInto(f, a)
+	predicate(t, p, true)
+	a.instrs = append(a.instrs, t.instrs...)
+	// Re-test the predicate: branch to X when it held, else fall to F.
+	tst := minstr(code.TEST, 4)
+	tst.Src1, tst.Src2 = p, p
+	tst.KeepFlags = true
+	a.instrs = append(a.instrs, tst)
+	a.term = mTerm{Kind: termJcc, CC: code.CCNE, Taken: x, Fall: fb, Prob: a.term.Prob}
+	removeBlocks(f, t)
+}

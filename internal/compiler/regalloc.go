@@ -1,0 +1,321 @@
+package compiler
+
+import (
+	"sort"
+
+	"compisa/internal/code"
+	"compisa/internal/ir"
+	"compisa/internal/isa"
+)
+
+// Location kinds after allocation.
+type locKind uint8
+
+const (
+	locPhys locKind = iota
+	locSpill
+	locRemat
+)
+
+// loc is the allocated home of a virtual register.
+type loc struct {
+	kind locKind
+	phys code.Reg // locPhys
+	slot int32    // locSpill: slot index; address = SpillBase + slot*16
+	imm  int64    // locRemat: constant to rematerialize
+	fp   bool
+}
+
+// allocation is the register allocator's result.
+type allocation struct {
+	locs []loc
+	// scratch registers reserved from the architectural file.
+	intScratch []code.Reg
+	fpScratch  []code.Reg
+	numSlots   int32
+	// vsz records the maximum operand size observed per FP vreg (4, 8, or
+	// 16), which determines the spill access width.
+	vsz []uint8
+}
+
+func slotAddr(slot int32) int32 { return code.SpillBase + slot*16 }
+
+// intScratchCount returns how many integer registers are reserved for spill
+// addressing at a given register depth; the worst-case rewrite (predicated
+// store with spilled base, index, value, and predicate) needs three, but
+// depth-8 feature sets never carry predication and get by with two.
+func intScratchCount(depth int) int {
+	if depth >= 16 {
+		return 3
+	}
+	return 2
+}
+
+// runRegAlloc allocates machine virtual registers to the architectural file
+// of the feature set using linear scan over block-extended live intervals.
+// Registers with cheaper prefix encodings (r0-r7, then r8-r15) are
+// preferred, matching the compiler strategy of Section IV. Unallocated
+// intervals are spilled to the register context block, except single-def
+// constants, which are rematerialized at their uses.
+func runRegAlloc(f *mFunc, fs isa.FeatureSet) *allocation {
+	n := f.nvregs
+	a := &allocation{locs: make([]loc, n), vsz: make([]uint8, n)}
+
+	nScratch := intScratchCount(fs.Depth)
+	for i := 0; i < nScratch; i++ {
+		a.intScratch = append(a.intScratch, code.Reg(fs.Depth-1-i))
+	}
+	fpRegs := fs.FPRegs()
+	a.fpScratch = []code.Reg{code.Reg(fpRegs - 1), code.Reg(fpRegs - 2)}
+	intAvail := fs.Depth - nScratch
+	fpAvail := fpRegs - 2
+
+	// Record FP operand sizes and remat candidates.
+	defCnt := make([]int, n)
+	constOf := make([]int64, n)
+	isConst := make([]bool, n)
+	for _, b := range f.blocks {
+		for i := range b.instrs {
+			in := &b.instrs[i]
+			if d, fp := in.def(); d != noVR {
+				defCnt[d]++
+				isConst[d] = in.Op == code.MOV && in.HasImm
+				constOf[d] = in.Imm
+				if fp && in.Sz > a.vsz[d] {
+					a.vsz[d] = in.Sz
+				}
+			}
+			in.uses(func(r vreg, fp bool) {
+				if fp && in.Sz > a.vsz[r] {
+					a.vsz[r] = in.Sz
+				}
+			})
+		}
+	}
+
+	// Live intervals from block-extended liveness.
+	lv := mLiveness(f)
+	type interval struct {
+		v        vreg
+		from, to int
+	}
+	from := make([]int, n)
+	to := make([]int, n)
+	for i := range from {
+		from[i] = -1
+	}
+	touch := func(v vreg, pos int) {
+		if from[v] == -1 || pos < from[v] {
+			from[v] = pos
+		}
+		if pos > to[v] {
+			to[v] = pos
+		}
+	}
+	pos := 0
+	for _, b := range f.blocks {
+		blockStart := pos
+		lv.in[b.id].ForEach(func(v ir.VReg) { touch(vreg(v), blockStart) })
+		for i := range b.instrs {
+			in := &b.instrs[i]
+			in.uses(func(r vreg, _ bool) { touch(r, pos) })
+			if d, _ := in.def(); d != noVR {
+				touch(d, pos)
+			}
+			pos++
+		}
+		if b.term.Kind == termRet && b.term.Ret != noVR {
+			touch(b.term.Ret, pos)
+		}
+		pos++ // terminator position
+		blockEnd := pos - 1
+		lv.out[b.id].ForEach(func(v ir.VReg) { touch(vreg(v), blockEnd) })
+	}
+
+	var ints, fps []interval
+	for v := 0; v < n; v++ {
+		if from[v] == -1 {
+			continue
+		}
+		iv := interval{v: vreg(v), from: from[v], to: to[v]}
+		if f.isFP[v] {
+			fps = append(fps, iv)
+		} else {
+			ints = append(ints, iv)
+		}
+	}
+
+	scan := func(ivs []interval, avail int, fp bool) {
+		sort.Slice(ivs, func(i, j int) bool {
+			if ivs[i].from != ivs[j].from {
+				return ivs[i].from < ivs[j].from
+			}
+			return ivs[i].v < ivs[j].v
+		})
+		inUse := make([]vreg, avail) // phys -> owning vreg (noVR = free)
+		for i := range inUse {
+			inUse[i] = noVR
+		}
+		type active struct {
+			v    vreg
+			to   int
+			phys int
+		}
+		var act []active
+		spill := func(v vreg) {
+			if isConst[v] && defCnt[v] == 1 {
+				a.locs[v] = loc{kind: locRemat, imm: constOf[v], fp: fp}
+				return
+			}
+			a.locs[v] = loc{kind: locSpill, slot: a.numSlots, fp: fp}
+			a.numSlots++
+		}
+		for _, iv := range ivs {
+			// Expire.
+			k := 0
+			for _, ac := range act {
+				if ac.to < iv.from {
+					inUse[ac.phys] = noVR
+				} else {
+					act[k] = ac
+					k++
+				}
+			}
+			act = act[:k]
+			// Lowest free register (cheapest prefix encoding first).
+			phys := -1
+			for r := 0; r < avail; r++ {
+				if inUse[r] == noVR {
+					phys = r
+					break
+				}
+			}
+			if phys >= 0 {
+				inUse[phys] = iv.v
+				a.locs[iv.v] = loc{kind: locPhys, phys: code.Reg(phys), fp: fp}
+				act = append(act, active{v: iv.v, to: iv.to, phys: phys})
+				continue
+			}
+			// Spill the interval that ends last.
+			victim := -1
+			worst := iv.to
+			for i, ac := range act {
+				if ac.to > worst {
+					worst = ac.to
+					victim = i
+				}
+			}
+			if victim < 0 {
+				spill(iv.v)
+				continue
+			}
+			ac := act[victim]
+			spill(ac.v)
+			inUse[ac.phys] = iv.v
+			a.locs[iv.v] = loc{kind: locPhys, phys: code.Reg(ac.phys), fp: fp}
+			act[victim] = active{v: iv.v, to: iv.to, phys: ac.phys}
+		}
+	}
+	scan(ints, intAvail, false)
+	scan(fps, fpAvail, true)
+	return a
+}
+
+// liveSets holds per-block live-in/out over machine vregs.
+type liveSets struct {
+	in, out []ir.BitSet
+}
+
+// mLiveness computes backward liveness over the machine CFG.
+func mLiveness(f *mFunc) *liveSets {
+	f.computeCFG()
+	n := f.nvregs
+	nb := len(f.blocks)
+	lv := &liveSets{in: make([]ir.BitSet, nb), out: make([]ir.BitSet, nb)}
+	gen := make([]ir.BitSet, nb)
+	kill := make([]ir.BitSet, nb)
+	for _, b := range f.blocks {
+		g, k := ir.NewBitSet(n), ir.NewBitSet(n)
+		for i := range b.instrs {
+			in := &b.instrs[i]
+			in.uses(func(r vreg, _ bool) {
+				if !k.Has(ir.VReg(r)) {
+					g.Set(ir.VReg(r))
+				}
+			})
+			if d, _ := in.def(); d != noVR {
+				// Predicated and CMOV defs merge, so they do not
+				// kill the incoming value.
+				if !b.instrs[i].predicated() && in.Op != code.CMOVCC {
+					k.Set(ir.VReg(d))
+				}
+			}
+		}
+		if b.term.Kind == termRet && b.term.Ret != noVR {
+			if !k.Has(ir.VReg(b.term.Ret)) {
+				g.Set(ir.VReg(b.term.Ret))
+			}
+		}
+		gen[b.id], kill[b.id] = g, k
+		lv.in[b.id] = ir.NewBitSet(n)
+		lv.out[b.id] = ir.NewBitSet(n)
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := len(f.blocks) - 1; i >= 0; i-- {
+			b := f.blocks[i]
+			out := lv.out[b.id]
+			for _, s := range b.succs {
+				if out.OrInto(lv.in[s.id]) {
+					changed = true
+				}
+			}
+			tmp := ir.NewBitSet(n)
+			tmp.Copy(out)
+			for j := range tmp {
+				tmp[j] &^= kill[b.id][j]
+				tmp[j] |= gen[b.id][j]
+			}
+			if lv.in[b.id].OrInto(tmp) {
+				changed = true
+			}
+		}
+	}
+	return lv
+}
+
+// runDCE removes instructions whose results are never used and which have no
+// side effects, iterating to a fixed point. It cleans up constants fully
+// folded into immediates and moves orphaned by other passes.
+func runDCE(f *mFunc) {
+	for {
+		used := make([]bool, f.nvregs)
+		mark := func(r vreg, _ bool) { used[r] = true }
+		for _, b := range f.blocks {
+			for i := range b.instrs {
+				b.instrs[i].uses(mark)
+			}
+			if b.term.Kind == termRet && b.term.Ret != noVR {
+				used[b.term.Ret] = true
+			}
+		}
+		removed := false
+		for _, b := range f.blocks {
+			k := 0
+			for i := range b.instrs {
+				in := b.instrs[i]
+				d, _ := in.def()
+				if in.Op == code.NOP || (d != noVR && !used[d] && !in.hasSideEffect()) {
+					removed = true
+					continue
+				}
+				b.instrs[k] = in
+				k++
+			}
+			b.instrs = b.instrs[:k]
+		}
+		if !removed {
+			return
+		}
+	}
+}

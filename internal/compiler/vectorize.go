@@ -1,0 +1,210 @@
+package compiler
+
+import (
+	"compisa/internal/code"
+	"compisa/internal/ir"
+	"compisa/internal/isa"
+)
+
+// runVectorize widens every annotated, provably element-wise counted loop to
+// 128-bit SSE when the target feature set implements SIMD, and counts the
+// loops left scalar otherwise. Cores without SIMD units "execute a
+// precompiled scalarized version" of vector code (Section III), which is
+// exactly the scalar loop the generator wrote.
+//
+// A loop qualifies when:
+//   - its body block carries a VecLoopInfo annotation,
+//   - every load/store indexes memory as base + IndVar*4 with scalar
+//     F32/I32 element type,
+//   - arithmetic is element-wise F32 (add/sub/mul) or I32 (add/sub/mul),
+//   - every value defined in the body (other than the induction variable)
+//     is defined before any body use (no loop-carried dependences), and
+//   - loop-invariant F32 operands can be broadcast with a splat in the
+//     preheader.
+//
+// The generator guarantees the trip count is a multiple of the lane count.
+func runVectorize(f *ir.Func, fs isa.FeatureSet, stats *code.CompileStats) {
+	f.ComputeCFG()
+	for _, body := range f.Blocks {
+		if body.VecLoop == nil {
+			continue
+		}
+		if !fs.HasSIMD() {
+			stats.ScalarLoops++
+			continue
+		}
+		if vectorizeLoop(f, body) {
+			stats.VectorLoops++
+		} else {
+			stats.ScalarLoops++
+		}
+	}
+}
+
+func vectorizeLoop(f *ir.Func, body *ir.Block) bool {
+	info := body.VecLoop
+	iv := info.IndVar
+
+	// The body must end with an unconditional branch back to the header.
+	term := body.Terminator()
+	if term == nil || term.Op != ir.Br {
+		return false
+	}
+	header := term.Succs[0]
+
+	// Find the preheader: the header predecessor that is not the body.
+	var preheader *ir.Block
+	for _, p := range header.Preds() {
+		if p != body {
+			preheader = p
+		}
+	}
+	if preheader == nil {
+		return false
+	}
+
+	// Verify and classify the body.
+	defined := map[ir.VReg]bool{iv: true}
+	var widen []int // instruction indices to widen
+	splats := map[ir.VReg]bool{}
+	var stepConst *ir.Instr // the Const 1 feeding the induction update
+	vecType := func(t ir.Type) ir.Type {
+		if t == ir.F32 {
+			return ir.V4F32
+		}
+		return ir.V4I32
+	}
+	for idx := range body.Instrs {
+		in := &body.Instrs[idx]
+		switch in.Op {
+		case ir.Br:
+			continue
+		case ir.Const:
+			defined[in.Dst] = true
+			continue
+		case ir.Load, ir.Store:
+			t := in.Type
+			if (t != ir.F32 && t != ir.I32) || in.MemSize != 0 {
+				return false
+			}
+			if in.Mem.Index != iv || in.Mem.Scale != 4 {
+				return false
+			}
+			if in.Op == ir.Store && !defined[in.A] && f.TypeOf(in.A) == ir.F32 {
+				splats[in.A] = true
+			}
+			if in.Op == ir.Load {
+				defined[in.Dst] = true
+			}
+			widen = append(widen, idx)
+			continue
+		case ir.Add, ir.Sub, ir.Mul, ir.FAdd, ir.FSub, ir.FMul:
+			// Induction update: iv = iv + 1.
+			if in.Op == ir.Add && in.Dst == iv && in.A == iv {
+				c := findBodyConstDef(body, idx, in.B)
+				if c == nil || c.Imm != 1 {
+					return false
+				}
+				stepConst = c
+				continue
+			}
+			t := in.Type
+			if t != ir.F32 && t != ir.I32 {
+				return false
+			}
+			if in.Dst == iv || in.A == iv || in.B == iv {
+				return false
+			}
+			for _, src := range []ir.VReg{in.A, in.B} {
+				if defined[src] {
+					continue
+				}
+				if f.TypeOf(src) == ir.F32 {
+					splats[src] = true
+				} else {
+					return false // loop-invariant integers are not splattable
+				}
+			}
+			// Loop-carried scalar dependence (e.g. a reduction):
+			// dst already live into the loop -> not element-wise.
+			if !defined[in.Dst] && usedBefore(body, idx, in.Dst) {
+				return false
+			}
+			if in.Dst == in.A && !defined[in.Dst] {
+				return false // accumulator pattern acc = acc op x
+			}
+			defined[in.Dst] = true
+			widen = append(widen, idx)
+			continue
+		default:
+			return false
+		}
+	}
+	if stepConst == nil {
+		return false
+	}
+
+	// Commit the transformation.
+	stepConst.Imm = int64(info.Lanes)
+	splatOf := map[ir.VReg]ir.VReg{}
+	// Insert splats at the end of the preheader, before its terminator.
+	for src := range splats {
+		v := f.NewVReg(ir.V4F32)
+		sp := ir.Instr{Op: ir.Splat, Type: ir.V4F32, Dst: v, A: src,
+			B: ir.NoReg, C: ir.NoReg, Mem: ir.MemRef{Base: ir.NoReg, Index: ir.NoReg}}
+		pos := len(preheader.Instrs) - 1
+		preheader.Instrs = append(preheader.Instrs, ir.Instr{})
+		copy(preheader.Instrs[pos+1:], preheader.Instrs[pos:])
+		preheader.Instrs[pos] = sp
+		splatOf[src] = v
+	}
+	retype := map[ir.VReg]bool{}
+	for _, idx := range widen {
+		in := &body.Instrs[idx]
+		in.Type = vecType(in.Type)
+		for _, op := range []*ir.VReg{&in.A, &in.B} {
+			if v, ok := splatOf[*op]; ok {
+				*op = v
+			}
+		}
+		if d := in.Def(); d != ir.NoReg {
+			retype[d] = true
+		}
+		if in.Op == ir.Store && retype[in.A] {
+			// store value already widened via its def
+		}
+	}
+	for v := range retype {
+		f.SetTypeOf(v, vecType(f.TypeOf(v)))
+	}
+	return true
+}
+
+// findBodyConstDef returns the Const instruction in body defining v before
+// position pos, or nil.
+func findBodyConstDef(body *ir.Block, pos int, v ir.VReg) *ir.Instr {
+	for i := pos - 1; i >= 0; i-- {
+		in := &body.Instrs[i]
+		if in.Def() == v {
+			if in.Op == ir.Const {
+				return in
+			}
+			return nil
+		}
+	}
+	return nil
+}
+
+// usedBefore reports whether v is read in body before position pos.
+func usedBefore(body *ir.Block, pos int, v ir.VReg) bool {
+	var us []ir.VReg
+	for i := 0; i < pos; i++ {
+		us = body.Instrs[i].Uses(us[:0])
+		for _, u := range us {
+			if u == v {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,201 @@
+package cpu
+
+// CacheCfg describes one cache of the exploration space (Table I).
+type CacheCfg struct {
+	SizeKB int
+	Assoc  int
+	Banks  int // >1 only for the shared L2
+}
+
+// Standard options from Table I.
+var (
+	L1Cfg32k = CacheCfg{SizeKB: 32, Assoc: 4}
+	L1Cfg64k = CacheCfg{SizeKB: 64, Assoc: 4}
+	// Per-CMP shared L2 options; a 4-core CMP gives each core a quarter
+	// of the capacity on average, which is what the paper's per-core
+	// tables list as 1MB/4 and 2MB/8.
+	L2Cfg4M = CacheCfg{SizeKB: 4096, Assoc: 4, Banks: 4}
+	L2Cfg8M = CacheCfg{SizeKB: 8192, Assoc: 8, Banks: 4}
+)
+
+// PerCoreKB returns the per-core share of a shared cache in a 4-core CMP.
+func (c CacheCfg) PerCoreKB() int {
+	if c.Banks > 1 {
+		return c.SizeKB / 4
+	}
+	return c.SizeKB
+}
+
+const cacheLineBytes = 64
+
+// Cache is a set-associative LRU cache model.
+type Cache struct {
+	sets  int
+	assoc int
+	tags  []uint64 // sets*assoc, 0 = invalid (tag stored +1)
+	lru   []uint32 // per-line last-use stamp
+	stamp uint32
+
+	Accesses int64
+	Misses   int64
+}
+
+// NewCache builds a cache with 64-byte lines.
+func NewCache(cfg CacheCfg) *Cache {
+	lines := cfg.SizeKB * 1024 / cacheLineBytes
+	sets := lines / cfg.Assoc
+	if sets < 1 {
+		sets = 1
+	}
+	return &Cache{
+		sets:  sets,
+		assoc: cfg.Assoc,
+		tags:  make([]uint64, sets*cfg.Assoc),
+		lru:   make([]uint32, sets*cfg.Assoc),
+	}
+}
+
+// Access looks up addr, fills on miss, and reports whether it hit.
+func (c *Cache) Access(addr uint64) bool {
+	c.Accesses++
+	c.stamp++
+	line := addr / cacheLineBytes
+	set := int(line % uint64(c.sets))
+	tag := line + 1
+	base := set * c.assoc
+	victim := base
+	oldest := c.lru[base]
+	for w := 0; w < c.assoc; w++ {
+		i := base + w
+		if c.tags[i] == tag {
+			c.lru[i] = c.stamp
+			return true
+		}
+		if c.lru[i] < oldest || c.tags[i] == 0 {
+			if c.tags[i] == 0 {
+				victim, oldest = i, 0
+			} else {
+				victim, oldest = i, c.lru[i]
+			}
+		}
+	}
+	c.Misses++
+	c.tags[victim] = tag
+	c.lru[victim] = c.stamp
+	return false
+}
+
+// MissRate returns misses/accesses (0 when idle).
+func (c *Cache) MissRate() float64 {
+	if c.Accesses == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(c.Accesses)
+}
+
+// Hierarchy is one core's view of the memory system: private L1I/L1D and a
+// (possibly shared) L2.
+type Hierarchy struct {
+	L1I, L1D *Cache
+	L2       *Cache
+
+	lastFetchLine uint64 // fetch-stream line filter used by the profiler
+}
+
+// NewHierarchy builds a single-core hierarchy.
+func NewHierarchy(l1i, l1d, l2 CacheCfg) *Hierarchy {
+	return &Hierarchy{L1I: NewCache(l1i), L1D: NewCache(l1d), L2: NewCache(l2)}
+}
+
+// Latencies of the memory system in cycles.
+const (
+	LatL1  = 3
+	LatL2  = 14
+	LatL3  = 0 // no L3 in the design space
+	LatMem = 140
+)
+
+// DataAccess performs a data access and returns its latency in cycles.
+func (h *Hierarchy) DataAccess(addr uint64) int {
+	if h.L1D.Access(addr) {
+		return LatL1
+	}
+	if h.L2.Access(addr) {
+		return LatL2
+	}
+	return LatMem
+}
+
+// FetchAccess performs an instruction-fetch access and returns its latency.
+func (h *Hierarchy) FetchAccess(addr uint64) int {
+	if h.L1I.Access(addr) {
+		return 0 // pipelined hit
+	}
+	if h.L2.Access(addr) {
+		return LatL2
+	}
+	return LatMem
+}
+
+// UopCache models the decoded micro-op cache (Section V, [106]-[108]): 32
+// sets x 8 ways of up to 6 micro-ops per 32-byte fetch window. A hit streams
+// micro-ops without activating the ILD and legacy decoders.
+type UopCache struct {
+	sets, ways, perLine int
+	tags                []uint64
+	lru                 []uint32
+	stamp               uint32
+
+	Accesses int64
+	Misses   int64
+}
+
+// NewUopCache builds the standard 1.5K-uop cache.
+func NewUopCache() *UopCache {
+	return &UopCache{sets: 32, ways: 8, perLine: 6,
+		tags: make([]uint64, 32*8), lru: make([]uint32, 32*8)}
+}
+
+const uopWindowBytes = 32
+
+// Access looks up the fetch window containing pc, and reports whether
+// decoded micro-ops can stream from the cache. nuops is the window's
+// micro-op count contribution used to model capacity (windows needing more
+// than 6 micro-ops cannot be cached, as on real hardware).
+func (u *UopCache) Access(pc uint32, nuops int) bool {
+	u.Accesses++
+	u.stamp++
+	if nuops > u.perLine {
+		u.Misses++
+		return false
+	}
+	win := uint64(pc / uopWindowBytes)
+	set := int(win % uint64(u.sets))
+	tag := win + 1
+	base := set * u.ways
+	victim, oldest := base, u.lru[base]
+	for w := 0; w < u.ways; w++ {
+		i := base + w
+		if u.tags[i] == tag {
+			u.lru[i] = u.stamp
+			return true
+		}
+		if u.tags[i] == 0 {
+			victim, oldest = i, 0
+		} else if u.lru[i] < oldest {
+			victim, oldest = i, u.lru[i]
+		}
+	}
+	u.Misses++
+	u.tags[victim] = tag
+	u.lru[victim] = u.stamp
+	return false
+}
+
+// HitRate returns the fraction of window accesses served from the cache.
+func (u *UopCache) HitRate() float64 {
+	if u.Accesses == 0 {
+		return 0
+	}
+	return 1 - float64(u.Misses)/float64(u.Accesses)
+}

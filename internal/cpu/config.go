@@ -1,0 +1,95 @@
+package cpu
+
+import "fmt"
+
+// CoreConfig is one microarchitectural configuration from the exploration
+// space of Table I. Together with an isa.FeatureSet it forms a single-core
+// design point.
+type CoreConfig struct {
+	// OoO selects out-of-order execution; false is an in-order core.
+	OoO bool
+	// Width is the fetch/issue width (1, 2, or 4).
+	Width int
+	// Predictor selects the branch predictor organization.
+	Predictor PredictorKind
+	// IQ and ROB sizes (ROB meaningful for OoO only).
+	IQ, ROB int
+	// PRFInt/PRFFP are physical register file sizes (OoO).
+	PRFInt, PRFFP int
+	// Functional units.
+	IntALU, IntMul, FPALU int
+	// LSQ is the load/store queue size.
+	LSQ int
+	// Caches.
+	L1I, L1D, L2 CacheCfg
+	// UopCache enables the decoded micro-op cache.
+	UopCache bool
+	// Fusion enables macro-op fusion (CMP+JCC) and micro-op fusion of
+	// load+op pairs. Not applicable to microx86 code, which is 1:1.
+	Fusion bool
+}
+
+// FrontendDepth is the number of front-end stages between fetch and
+// dispatch; a branch misprediction refills it.
+const FrontendDepth = 12
+
+// Validate rejects configurations outside the design space.
+func (c CoreConfig) Validate() error {
+	switch c.Width {
+	case 1, 2, 4:
+	default:
+		return fmt.Errorf("cpu: invalid width %d", c.Width)
+	}
+	if c.IntALU < 1 || c.FPALU < 1 || c.IntMul < 1 {
+		return fmt.Errorf("cpu: cores need at least one unit of each kind")
+	}
+	if c.OoO && (c.ROB < 1 || c.IQ < 1 || c.PRFInt < 1) {
+		return fmt.Errorf("cpu: out-of-order cores need ROB/IQ/PRF")
+	}
+	if c.LSQ < 1 {
+		return fmt.Errorf("cpu: LSQ required")
+	}
+	return nil
+}
+
+// Name returns a compact identifier, e.g. "ooo4-T-rob128".
+func (c CoreConfig) Name() string {
+	k := "io"
+	if c.OoO {
+		k = "ooo"
+	}
+	return fmt.Sprintf("%s%d-%s-iq%d-rob%d-a%df%d-lsq%d-l1%d/%d-l2%d",
+		k, c.Width, c.Predictor.ShortString(), c.IQ, c.ROB, c.IntALU, c.FPALU,
+		c.LSQ, c.L1I.SizeKB, c.L1D.SizeKB, c.L2.SizeKB/1024)
+}
+
+// uop execution classes.
+type UopClass uint8
+
+const (
+	UcInt UopClass = iota
+	UcMul
+	UcFP
+	UcFDiv
+	UcLoad
+	UcStore
+	UcBranch
+	NumUopClasses
+)
+
+// latOf returns the execution latency of a class (loads add cache time).
+func latOf(c UopClass) int {
+	switch c {
+	case UcInt, UcBranch, UcStore:
+		return 1
+	case UcMul:
+		return 3
+	case UcFP:
+		return 4
+	case UcFDiv:
+		return 12
+	case UcLoad:
+		return 0 // cache latency dominates
+	}
+	return 1
+}

@@ -1,0 +1,655 @@
+package cpu
+
+import (
+	"testing"
+
+	"compisa/internal/code"
+	"compisa/internal/encoding"
+	"compisa/internal/isa"
+	"compisa/internal/mem"
+)
+
+// hand-assembled helpers -----------------------------------------------------
+
+func ci(op code.Op, sz uint8) code.Instr {
+	return code.Instr{Op: op, Sz: sz, Dst: code.NoReg, Src1: code.NoReg,
+		Src2: code.NoReg, Pred: code.NoReg, Mem: code.Mem{Base: code.NoReg, Index: code.NoReg, Scale: 1}}
+}
+
+func movImm(dst code.Reg, v int64, sz uint8) code.Instr {
+	in := ci(code.MOV, sz)
+	in.Dst = dst
+	in.HasImm, in.Imm = true, v
+	return in
+}
+
+func alu(op code.Op, dst, src2 code.Reg, sz uint8) code.Instr {
+	in := ci(op, sz)
+	in.Dst, in.Src1, in.Src2 = dst, dst, src2
+	return in
+}
+
+func mkProg(t *testing.T, fs isa.FeatureSet, instrs ...code.Instr) *code.Program {
+	t.Helper()
+	p := &code.Program{Name: "hand", FS: fs, Instrs: instrs}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := encoding.Layout(p, code.CodeBase); err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func run(t *testing.T, p *code.Program) (ExecResult, *State) {
+	t.Helper()
+	st := NewState(mem.New())
+	res, err := Run(p, st, 1_000_000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, st
+}
+
+func retR(r code.Reg) code.Instr {
+	in := ci(code.RET, 0)
+	in.Src1 = r
+	return in
+}
+
+// executor semantics ----------------------------------------------------------
+
+func TestExecArith(t *testing.T) {
+	p := mkProg(t, isa.X8664,
+		movImm(0, 10, 8),
+		movImm(1, 3, 8),
+		alu(code.SUB, 0, 1, 8),  // 7
+		alu(code.IMUL, 0, 1, 8), // 21
+		retR(0),
+	)
+	res, _ := run(t, p)
+	if res.Ret != 21 {
+		t.Errorf("got %d want 21", res.Ret)
+	}
+}
+
+func TestExec32BitZeroExtends(t *testing.T) {
+	p := mkProg(t, isa.X8664,
+		movImm(0, -1, 8), // all ones
+		movImm(1, 1, 4),  // 32-bit write must clear upper half
+		alu(code.ADD, 1, 1, 4),
+		retR(1),
+	)
+	res, _ := run(t, p)
+	if res.Ret != 2 {
+		t.Errorf("32-bit ops must zero-extend: got %#x", res.Ret)
+	}
+}
+
+func TestExecAdcCarryChain(t *testing.T) {
+	// 0xffffffff + 1 at 32 bits sets CF; ADC propagates into the high word.
+	p := mkProg(t, isa.MustNew(isa.FullX86, 32, 16, isa.PartialPredication),
+		movImm(0, -1, 4), // lo a
+		movImm(1, 0, 4),  // hi a
+		movImm(2, 1, 4),  // lo b
+		movImm(3, 0, 4),  // hi b
+		alu(code.ADD, 0, 2, 4),
+		alu(code.ADC, 1, 3, 4),
+		retR(1),
+	)
+	res, _ := run(t, p)
+	if res.Ret != 1 {
+		t.Errorf("carry not propagated: hi=%d", res.Ret)
+	}
+}
+
+func TestExecSbbCompareTrick(t *testing.T) {
+	// 64-bit signed compare via CMP lo / SBB hi: (-1 as i64) < 1?
+	cmp := ci(code.CMP, 4)
+	cmp.Src1, cmp.Src2 = 0, 2
+	sbb := alu(code.SBB, 1, 3, 4)
+	set := ci(code.SETCC, 4)
+	set.Dst, set.CC = 4, code.CCLT
+	p := mkProg(t, isa.MustNew(isa.FullX86, 32, 16, isa.PartialPredication),
+		movImm(0, -1, 4), // a = 0xffffffff_ffffffff = -1
+		movImm(1, -1, 4),
+		movImm(2, 1, 4), // b = 1
+		movImm(3, 0, 4),
+		cmp, sbb, set,
+		retR(4),
+	)
+	res, _ := run(t, p)
+	if res.Ret != 1 {
+		t.Error("-1 < 1 must hold via CMP/SBB trick")
+	}
+}
+
+func TestExecPredication(t *testing.T) {
+	fs := isa.Superset
+	addT := alu(code.ADD, 0, 1, 8)
+	addT.Pred, addT.PredSense = 2, true
+	addF := alu(code.ADD, 0, 1, 8)
+	addF.Pred, addF.PredSense = 2, false
+	p := mkProg(t, fs,
+		movImm(0, 100, 8),
+		movImm(1, 11, 8),
+		movImm(2, 1, 8), // predicate true
+		addT,            // executes: 111
+		addF,            // predicated off
+		retR(0),
+	)
+	res, _ := run(t, p)
+	if res.Ret != 111 {
+		t.Errorf("predication wrong: got %d want 111", res.Ret)
+	}
+	if res.PredOff != 1 {
+		t.Errorf("expected 1 predicated-off instr, got %d", res.PredOff)
+	}
+}
+
+func TestExecPredicatedStoreSuppressed(t *testing.T) {
+	fs := isa.Superset
+	st := ci(code.ST, 8)
+	st.Src1 = 0
+	st.HasMem = true
+	st.Mem = code.Mem{Base: 1, Index: code.NoReg, Scale: 1}
+	st.Pred, st.PredSense = 2, true // predicate is 0 -> suppressed
+	ld := ci(code.LD, 8)
+	ld.Dst = 3
+	ld.HasMem = true
+	ld.Mem = code.Mem{Base: 1, Index: code.NoReg, Scale: 1}
+	p := mkProg(t, fs,
+		movImm(0, 42, 8),
+		movImm(1, int64(code.DataBase), 8),
+		movImm(2, 0, 8),
+		st,
+		ld,
+		retR(3),
+	)
+	res, _ := run(t, p)
+	if res.Ret != 0 {
+		t.Errorf("suppressed store leaked: %d", res.Ret)
+	}
+}
+
+func TestExecMemOperandALU(t *testing.T) {
+	add := ci(code.ADD, 4)
+	add.Dst, add.Src1 = 0, 0
+	add.HasMem = true
+	add.Mem = code.Mem{Base: 1, Index: code.NoReg, Scale: 1, Disp: 4}
+	p := mkProg(t, isa.X8664,
+		movImm(0, 5, 4),
+		movImm(1, int64(code.DataBase), 8),
+		add,
+		retR(0),
+	)
+	st := NewState(mem.New())
+	st.Mem.Write(uint64(code.DataBase)+4, 4, 37)
+	res, err := Run(p, st, 1000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ret != 42 {
+		t.Errorf("mem-operand add: got %d", res.Ret)
+	}
+	if res.Loads != 1 {
+		t.Errorf("mem-operand ALU must count as a load, got %d", res.Loads)
+	}
+}
+
+// predictors ------------------------------------------------------------------
+
+func TestPredictorsLearnLoopBranch(t *testing.T) {
+	for _, k := range []PredictorKind{PredLocal, PredGShare, PredTournament} {
+		p := NewPredictor(k)
+		pc := uint32(0x1000)
+		correct := 0
+		for i := 0; i < 1000; i++ {
+			taken := i%10 != 9 // 9 taken, 1 not, repeating
+			if p.Predict(pc) == taken {
+				correct++
+			}
+			p.Update(pc, taken)
+		}
+		if correct < 850 {
+			t.Errorf("%v: only %d/1000 correct on a loop branch", k, correct)
+		}
+	}
+}
+
+func TestLocalBeatsGshareOnShortPeriodicPattern(t *testing.T) {
+	// A per-branch periodic pattern is exactly what local history captures.
+	score := func(k PredictorKind) int {
+		p := NewPredictor(k)
+		correct := 0
+		pat := []bool{true, true, false, true, false, false}
+		// Interfering second branch to pollute global history.
+		for i := 0; i < 3000; i++ {
+			taken := pat[i%len(pat)]
+			if p.Predict(0x4000) == taken {
+				correct++
+			}
+			p.Update(0x4000, taken)
+			p.Update(0x8000+uint32(i%64)*4, i%3 == 0)
+		}
+		return correct
+	}
+	l := score(PredLocal)
+	if l < 2500 {
+		t.Errorf("local predictor should learn the period-6 pattern, got %d/3000", l)
+	}
+}
+
+func TestTournamentAtLeastAsGoodAsComponents(t *testing.T) {
+	run := func(k PredictorKind, seed uint32) int {
+		p := NewPredictor(k)
+		s := seed
+		correct := 0
+		for i := 0; i < 4000; i++ {
+			s = s*1664525 + 1013904223
+			pc := 0x100 + (s%16)*8
+			taken := (s>>16)%4 != 0 // biased taken
+			if p.Predict(uint32(pc)) == taken {
+				correct++
+			}
+			p.Update(uint32(pc), taken)
+		}
+		return correct
+	}
+	tr := run(PredTournament, 5)
+	lo := run(PredLocal, 5)
+	gs := run(PredGShare, 5)
+	min := lo
+	if gs < min {
+		min = gs
+	}
+	if tr < min-200 {
+		t.Errorf("tournament %d far below components (local %d, gshare %d)", tr, lo, gs)
+	}
+}
+
+// caches ----------------------------------------------------------------------
+
+func TestCacheBasics(t *testing.T) {
+	c := NewCache(CacheCfg{SizeKB: 1, Assoc: 2}) // 16 lines, 8 sets
+	if c.Access(0) {
+		t.Error("cold miss expected")
+	}
+	if !c.Access(0) {
+		t.Error("hit expected")
+	}
+	if !c.Access(32) {
+		t.Error("same line (offset 32) must hit")
+	}
+	if c.Access(64) {
+		t.Error("different line must miss")
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(CacheCfg{SizeKB: 1, Assoc: 2}) // 8 sets
+	// Three lines mapping to set 0: line numbers 0, 8, 16.
+	a, b, d := uint64(0), uint64(8*64), uint64(16*64)
+	c.Access(a)
+	c.Access(b)
+	c.Access(a) // a more recent than b
+	c.Access(d) // evicts b
+	if !c.Access(a) {
+		t.Error("a should survive")
+	}
+	if c.Access(b) {
+		t.Error("b should have been evicted (LRU)")
+	}
+}
+
+func TestCacheCapacity(t *testing.T) {
+	small := NewCache(L1Cfg32k)
+	big := NewCache(L1Cfg64k)
+	// Touch a 48KB working set twice; the 64KB cache holds it, 32KB not.
+	for pass := 0; pass < 2; pass++ {
+		for a := uint64(0); a < 48*1024; a += 64 {
+			small.Access(a)
+			big.Access(a)
+		}
+	}
+	if small.MissRate() <= big.MissRate() {
+		t.Errorf("32KB cache must miss more on 48KB set: %.3f vs %.3f",
+			small.MissRate(), big.MissRate())
+	}
+	if big.Misses != 48*1024/64 {
+		t.Errorf("64KB cache should only cold-miss: %d", big.Misses)
+	}
+}
+
+func TestUopCache(t *testing.T) {
+	u := NewUopCache()
+	if u.Access(0x100, 2) {
+		t.Error("cold miss expected")
+	}
+	if !u.Access(0x110, 2) {
+		t.Error("same 32B window must hit")
+	}
+	if u.Access(0x100, 7) {
+		t.Error("window needing >6 uops cannot be cached")
+	}
+	// A tight loop should reach a high hit rate.
+	u2 := NewUopCache()
+	for i := 0; i < 1000; i++ {
+		u2.Access(uint32(0x2000+(i%8)*32), 4)
+	}
+	if u2.HitRate() < 0.98 {
+		t.Errorf("loop hit rate %.3f", u2.HitRate())
+	}
+}
+
+// timing ----------------------------------------------------------------------
+
+// loopProg builds a small register-only counted loop.
+func loopProg(t *testing.T, n int64, extraALU int) *code.Program {
+	instrs := []code.Instr{
+		movImm(0, 0, 8),
+		movImm(1, n, 8),
+	}
+	body := len(instrs)
+	for i := 0; i < extraALU; i++ {
+		instrs = append(instrs, alu(code.ADD, code.Reg(2+i%4), 0, 8))
+	}
+	add1 := ci(code.ADD, 8)
+	add1.Dst, add1.Src1 = 0, 0
+	add1.HasImm, add1.Imm = true, 1
+	instrs = append(instrs, add1)
+	cmp := ci(code.CMP, 8)
+	cmp.Src1, cmp.Src2 = 0, 1
+	instrs = append(instrs, cmp)
+	jcc := ci(code.JCC, 0)
+	jcc.CC = code.CCLT
+	jcc.Target = int32(body)
+	instrs = append(instrs, jcc)
+	instrs = append(instrs, retR(0))
+	return mkProg(t, isa.X8664, instrs...)
+}
+
+func baseCfg() CoreConfig {
+	return CoreConfig{
+		OoO: true, Width: 4, Predictor: PredTournament,
+		IQ: 64, ROB: 128, PRFInt: 192, PRFFP: 160,
+		IntALU: 6, IntMul: 2, FPALU: 2, LSQ: 32,
+		L1I: L1Cfg32k, L1D: L1Cfg32k, L2: L2Cfg4M,
+		UopCache: true, Fusion: true,
+	}
+}
+
+func timed(t *testing.T, p *code.Program, cfg CoreConfig) TimingResult {
+	t.Helper()
+	st := NewState(mem.New())
+	_, tr, err := RunTimed(p, st, cfg, 10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestTimingWiderIsFaster(t *testing.T) {
+	p := loopProg(t, 2000, 6)
+	w4 := baseCfg()
+	w1 := baseCfg()
+	w1.Width = 1
+	w1.IntALU = 1
+	c4 := timed(t, p, w4).Cycles
+	c1 := timed(t, p, w1).Cycles
+	if c4 >= c1 {
+		t.Errorf("4-wide (%d cyc) must beat 1-wide (%d cyc)", c4, c1)
+	}
+}
+
+func TestTimingOoOBeatsInOrderOnILP(t *testing.T) {
+	p := loopProg(t, 2000, 6)
+	ooo := baseCfg()
+	io := baseCfg()
+	io.OoO = false
+	io.Width = 2
+	io.IntALU = 3
+	co := timed(t, p, ooo).Cycles
+	cio := timed(t, p, io).Cycles
+	if co >= cio {
+		t.Errorf("OoO (%d) must beat in-order (%d) on this loop", co, cio)
+	}
+}
+
+func TestTimingPredictableLoopLowMPKI(t *testing.T) {
+	p := loopProg(t, 4000, 2)
+	tr := timed(t, p, baseCfg())
+	if tr.MPKI() > 2 {
+		t.Errorf("predictable loop MPKI %.2f too high", tr.MPKI())
+	}
+	if tr.Branches == 0 || tr.Cycles == 0 || tr.Uops == 0 {
+		t.Error("timing counters empty")
+	}
+	if tr.IPC() <= 0.5 {
+		t.Errorf("tight ALU loop IPC %.2f too low", tr.IPC())
+	}
+}
+
+func TestTimingUopCacheCapturesLoop(t *testing.T) {
+	p := loopProg(t, 1000, 2)
+	tr := timed(t, p, baseCfg())
+	hit := float64(tr.UopCacheHits) / float64(tr.UopCacheAccesses)
+	if hit < 0.95 {
+		t.Errorf("tiny loop should stream from the uop cache, hit=%.3f", hit)
+	}
+	if tr.DecodeActivations > tr.UopCacheAccesses/10 {
+		t.Errorf("decode pipeline should be mostly off: %d activations", tr.DecodeActivations)
+	}
+}
+
+func TestTimingCacheMissesCostCycles(t *testing.T) {
+	// Strided loads over a 1MB footprint (misses in 32KB L1) vs a small
+	// footprint (hits).
+	mk := func(maskImm int64) *code.Program {
+		and := ci(code.AND, 8)
+		and.Dst, and.Src1 = 2, 2
+		and.HasImm, and.Imm = true, maskImm
+		ld := ci(code.LD, 8)
+		ld.Dst = 3
+		ld.HasMem = true
+		ld.Mem = code.Mem{Base: 4, Index: 2, Scale: 1}
+		add64 := ci(code.ADD, 8)
+		add64.Dst, add64.Src1, add64.Src2 = 5, 5, 3
+		step := ci(code.ADD, 8)
+		step.Dst, step.Src1 = 2, 2
+		step.HasImm, step.Imm = true, 4159 // odd-ish stride
+		inc := ci(code.ADD, 8)
+		inc.Dst, inc.Src1 = 0, 0
+		inc.HasImm, inc.Imm = true, 1
+		cmp := ci(code.CMP, 8)
+		cmp.Src1, cmp.Src2 = 0, 1
+		jcc := ci(code.JCC, 0)
+		jcc.CC = code.CCLT
+		jcc.Target = 4
+		return mkProg(t, isa.X8664,
+			movImm(0, 0, 8), movImm(1, 4000, 8), movImm(2, 0, 8),
+			movImm(4, int64(code.DataBase), 8),
+			and, ld, add64, step, inc, cmp, jcc, retR(5))
+	}
+	big := mk(1<<20 - 1)
+	small := mk(1<<10 - 1)
+	cb := timed(t, big, baseCfg())
+	cs := timed(t, small, baseCfg())
+	if cb.Cycles <= cs.Cycles {
+		t.Errorf("1MB-footprint loop (%d cyc) must be slower than 1KB (%d cyc)", cb.Cycles, cs.Cycles)
+	}
+	if cb.L1DMisses <= cs.L1DMisses {
+		t.Errorf("miss counts wrong: %d vs %d", cb.L1DMisses, cs.L1DMisses)
+	}
+}
+
+func TestTimingMispredictsCostCycles(t *testing.T) {
+	// A data-dependent branch driven by an LCG: unpredictable.
+	mk := func(pattern bool) *code.Program {
+		// r2 = lcg state; branch on bit; both paths rejoin.
+		mul := ci(code.IMUL, 8)
+		mul.Dst, mul.Src1 = 2, 2
+		mul.HasImm, mul.Imm = true, 1664525
+		addc := ci(code.ADD, 8)
+		addc.Dst, addc.Src1 = 2, 2
+		addc.HasImm, addc.Imm = true, 1013904223
+		cpy := ci(code.MOV, 8)
+		cpy.Dst, cpy.Src1 = 3, 2
+		andp := ci(code.AND, 8)
+		andp.Dst, andp.Src1 = 3, 3
+		if pattern {
+			andp.HasImm, andp.Imm = true, 0 // always zero: predictable
+		} else {
+			andp.HasImm, andp.Imm = true, 1<<16 // random bit
+		}
+		jz := ci(code.JCC, 0)
+		jz.CC = code.CCEQ
+		jz.Target = 8 // skip the add below
+		skip := alu(code.ADD, 5, 2, 8)
+		inc := ci(code.ADD, 8)
+		inc.Dst, inc.Src1 = 0, 0
+		inc.HasImm, inc.Imm = true, 1
+		cmp := ci(code.CMP, 8)
+		cmp.Src1, cmp.Src2 = 0, 1
+		jcc := ci(code.JCC, 0)
+		jcc.CC = code.CCLT
+		jcc.Target = 3
+		return mkProg(t, isa.X8664,
+			movImm(0, 0, 8), movImm(1, 4000, 8), movImm(2, 12345, 8),
+			mul, addc, cpy, andp, jz, skip, inc, cmp, jcc, retR(5))
+	}
+	good := timed(t, mk(true), baseCfg())
+	bad := timed(t, mk(false), baseCfg())
+	if bad.Mispredicts <= good.Mispredicts*2 {
+		t.Errorf("random branch must mispredict more: %d vs %d", bad.Mispredicts, good.Mispredicts)
+	}
+	if bad.Cycles <= good.Cycles {
+		t.Errorf("mispredictions must cost cycles: %d vs %d", bad.Cycles, good.Cycles)
+	}
+}
+
+func TestTimingDeterministic(t *testing.T) {
+	p := loopProg(t, 500, 3)
+	a := timed(t, p, baseCfg())
+	b := timed(t, p, baseCfg())
+	if a != b {
+		t.Error("timing simulation must be deterministic")
+	}
+}
+
+func TestTimingLSQLimitsMemoryBursts(t *testing.T) {
+	// A stream of independent loads: a 4-entry LSQ must throttle them
+	// relative to a 32-entry one.
+	var instrs []code.Instr
+	instrs = append(instrs, movImm(0, 0, 8), movImm(1, 3000, 8),
+		movImm(4, int64(code.DataBase), 8))
+	body := len(instrs)
+	for k := 0; k < 10; k++ {
+		ld := ci(code.LD, 8)
+		ld.Dst = code.Reg(5 + k%8)
+		ld.HasMem = true
+		// Strided misses: index scaled so consecutive iterations miss.
+		ld.Mem = code.Mem{Base: 4, Index: 0, Scale: 8, Disp: int32(k * 640000)}
+		instrs = append(instrs, ld)
+	}
+	inc := ci(code.ADD, 8)
+	inc.Dst, inc.Src1 = 0, 0
+	inc.HasImm, inc.Imm = true, 64
+	instrs = append(instrs, inc)
+	cmp := ci(code.CMP, 8)
+	cmp.Src1, cmp.Src2 = 0, 1
+	instrs = append(instrs, cmp)
+	jcc := ci(code.JCC, 0)
+	jcc.CC = code.CCLT
+	jcc.Target = int32(body)
+	instrs = append(instrs, jcc, retR(0))
+	p := mkProg(t, isa.X8664, instrs...)
+
+	big := baseCfg()
+	big.LSQ = 32
+	small := baseCfg()
+	small.LSQ = 4
+	cb := timed(t, p, big).Cycles
+	cs := timed(t, p, small).Cycles
+	if cs <= cb {
+		t.Errorf("a tiny LSQ must throttle independent misses: lsq4=%d lsq32=%d", cs, cb)
+	}
+}
+
+func TestTimingFusionSavesDispatchSlots(t *testing.T) {
+	// CMP+JCC pairs in a tight predictable loop: fusion should not hurt
+	// and typically helps when dispatch-bound.
+	p := loopProg(t, 3000, 6)
+	on := baseCfg()
+	off := baseCfg()
+	off.Fusion = false
+	con := timed(t, p, on).Cycles
+	coff := timed(t, p, off).Cycles
+	if con > coff {
+		t.Errorf("macro-op fusion must not slow the loop: on=%d off=%d", con, coff)
+	}
+}
+
+func TestTimingPredicatedCodeAvoidsMispredicts(t *testing.T) {
+	// Hand-build: random condition, predicated increment vs branchy
+	// increment. The predicated version has no conditional branches in
+	// the hot path, so its mispredict count must be ~zero.
+	mk := func(predicated bool) *code.Program {
+		fs := isa.MustNew(isa.FullX86, 64, 16, isa.FullPredication)
+		var instrs []code.Instr
+		instrs = append(instrs, movImm(0, 0, 8), movImm(1, 3000, 8), movImm(2, 12345, 8))
+		body := len(instrs)
+		mul := ci(code.IMUL, 8)
+		mul.Dst, mul.Src1 = 2, 2
+		mul.HasImm, mul.Imm = true, 6364136223846793005
+		and := ci(code.MOV, 8)
+		and.Dst, and.Src1 = 3, 2
+		sh := ci(code.SHR, 8)
+		sh.Dst, sh.Src1 = 3, 3
+		sh.HasImm, sh.Imm = true, 33
+		msk := ci(code.AND, 8)
+		msk.Dst, msk.Src1 = 3, 3
+		msk.HasImm, msk.Imm = true, 1
+		instrs = append(instrs, mul, and, sh, msk)
+		if predicated {
+			tst := ci(code.TEST, 8)
+			tst.Src1, tst.Src2 = 3, 3
+			set := ci(code.SETCC, 4)
+			set.Dst, set.CC = 6, code.CCNE
+			add := ci(code.ADD, 8)
+			add.Dst, add.Src1 = 5, 5
+			add.HasImm, add.Imm = true, 1
+			add.Pred, add.PredSense = 6, true
+			instrs = append(instrs, tst, set, add)
+		} else {
+			tst := ci(code.TEST, 8)
+			tst.Src1, tst.Src2 = 3, 3
+			jz := ci(code.JCC, 0)
+			jz.CC = code.CCEQ
+			add := ci(code.ADD, 8)
+			add.Dst, add.Src1 = 5, 5
+			add.HasImm, add.Imm = true, 1
+			jz.Target = int32(len(instrs) + 3) // skip the add
+			instrs = append(instrs, tst, jz, add)
+		}
+		inc := ci(code.ADD, 8)
+		inc.Dst, inc.Src1 = 0, 0
+		inc.HasImm, inc.Imm = true, 1
+		cmp := ci(code.CMP, 8)
+		cmp.Src1, cmp.Src2 = 0, 1
+		jcc := ci(code.JCC, 0)
+		jcc.CC = code.CCLT
+		jcc.Target = int32(body)
+		instrs = append(instrs, inc, cmp, jcc, retR(5))
+		return mkProg(t, fs, instrs...)
+	}
+	brt := timed(t, mk(false), baseCfg())
+	prt := timed(t, mk(true), baseCfg())
+	if prt.Mispredicts >= brt.Mispredicts/4 {
+		t.Errorf("predicated version must avoid data-dependent mispredicts: %d vs %d",
+			prt.Mispredicts, brt.Mispredicts)
+	}
+	if prt.PredOffUops == 0 {
+		t.Error("predicated run must report predicated-off uops")
+	}
+}

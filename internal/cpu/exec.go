@@ -1,0 +1,598 @@
+// Package cpu implements the execution substrate: a functional executor for
+// superset-ISA machine code that produces a dynamic micro-op trace, branch
+// predictor models (2-level local, gshare, tournament), set-associative
+// caches, micro-op cache and decode-pipeline models, and in-order and
+// out-of-order timing simulators covering every structure of the paper's
+// microarchitectural exploration space (Table I).
+package cpu
+
+import (
+	"fmt"
+	"math"
+
+	"compisa/internal/code"
+	"compisa/internal/encoding"
+	"compisa/internal/mem"
+)
+
+// Event is one dynamically executed macro-instruction, streamed to trace
+// consumers (profiler, timing simulators, basic-block-vector collectors).
+type Event struct {
+	// Idx is the instruction's index in the program.
+	Idx int32
+	// PC and Len come from the code layout.
+	PC  uint32
+	Len uint8
+	// Uops is the number of micro-ops the macro-op decodes into.
+	Uops uint8
+	// Taken is the branch outcome for JCC (JMP/RET always "taken").
+	Taken bool
+	// MemAddr/MemSz describe the data access, if any (loads, stores, and
+	// memory-operand ALU instructions).
+	MemAddr uint64
+	MemSz   uint8
+	IsLoad  bool
+	IsStore bool
+	// PredOff marks a predicated instruction whose predicate did not
+	// hold: it flows through the pipeline but commits no result.
+	PredOff bool
+}
+
+// ExecResult summarizes a functional execution.
+type ExecResult struct {
+	// Ret is the region checksum from RET.
+	Ret uint64
+	// Dynamic instruction counts.
+	Instrs   int64
+	Uops     int64
+	Loads    int64
+	Stores   int64
+	Branches int64 // conditional branches executed
+	Taken    int64
+	PredOff  int64 // predicated-off instructions
+}
+
+// flags is the condition-code state.
+type flags struct {
+	zf, sf, of, cf bool
+}
+
+// State is the architectural state of a composite-ISA core.
+type State struct {
+	Int   [64]uint64
+	FP    [16][2]uint64
+	Flags flags
+	Mem   *mem.Memory
+}
+
+// NewState returns a zeroed state over the given memory.
+func NewState(m *mem.Memory) *State { return &State{Mem: m} }
+
+// InstallPool writes the program's constant pool into memory. Run calls it
+// automatically.
+func InstallPool(p *code.Program, m *mem.Memory) {
+	for _, pc := range p.Pool {
+		m.Write(uint64(pc.Addr), int(pc.Size), pc.Bits)
+	}
+}
+
+// Run executes the program functionally from instruction 0 until RET,
+// streaming one Event per executed macro-instruction to consume (which may
+// be nil). maxInstrs bounds runaway execution.
+func Run(p *code.Program, st *State, maxInstrs int64, consume func(*Event)) (ExecResult, error) {
+	var res ExecResult
+	InstallPool(p, st.Mem)
+	width := p.FS.Width
+	var addrMask uint64 = math.MaxUint64
+	if width == 32 {
+		addrMask = math.MaxUint32
+	}
+	idx := 0
+	n := len(p.Instrs)
+	var ev Event
+	for {
+		if idx < 0 || idx >= n {
+			return res, fmt.Errorf("cpu: %s: pc %d out of range", p.Name, idx)
+		}
+		if res.Instrs >= maxInstrs {
+			return res, fmt.Errorf("cpu: %s exceeded %d instructions", p.Name, maxInstrs)
+		}
+		in := &p.Instrs[idx]
+		res.Instrs++
+		nuops := in.NumUops()
+		res.Uops += int64(nuops)
+
+		ev = Event{Idx: int32(idx), PC: p.PC[idx], Len: uint8(encoding.Length(p, idx)), Uops: uint8(nuops)}
+
+		// Predication gate.
+		active := true
+		if in.Pred != code.NoReg {
+			pv := uint32(st.Int[in.Pred]) != 0
+			active = pv == in.PredSense
+			if !active {
+				ev.PredOff = true
+				res.PredOff++
+			}
+		}
+
+		next := idx + 1
+		if active {
+			var err error
+			next, err = st.step(p, idx, in, &ev, addrMask, &res)
+			if err != nil {
+				return res, err
+			}
+			if in.Op == code.RET {
+				res.Ret = ev.MemAddr // stashed return value
+				ev.MemAddr, ev.MemSz = 0, 0
+				ev.Taken = true
+				if consume != nil {
+					consume(&ev)
+				}
+				return res, nil
+			}
+		}
+		if in.Op == code.JCC {
+			res.Branches++
+			if ev.Taken {
+				res.Taken++
+			}
+		}
+		if ev.IsLoad {
+			res.Loads++
+		}
+		if ev.IsStore {
+			res.Stores++
+		}
+		if consume != nil {
+			consume(&ev)
+		}
+		idx = next
+	}
+}
+
+// writeInt stores v into an integer register honoring x86 width semantics:
+// 32-bit (and narrower) writes zero-extend into the full register.
+func (st *State) writeInt(r code.Reg, v uint64, sz uint8) {
+	switch sz {
+	case 1:
+		v &= 0xff
+	case 4:
+		v &= math.MaxUint32
+	}
+	st.Int[r] = v
+}
+
+func szMask(sz uint8) uint64 {
+	switch sz {
+	case 1:
+		return 0xff
+	case 4:
+		return math.MaxUint32
+	default:
+		return math.MaxUint64
+	}
+}
+
+func signBit(v uint64, sz uint8) bool {
+	switch sz {
+	case 1:
+		return v&0x80 != 0
+	case 4:
+		return v&0x8000_0000 != 0
+	default:
+		return v&(1<<63) != 0
+	}
+}
+
+// setAddFlags sets flags for r = a + b (+carry) at width sz.
+func (st *State) setAddFlags(a, b, r uint64, carryIn bool, sz uint8) {
+	m := szMask(sz)
+	a, b, r = a&m, b&m, r&m
+	st.Flags.zf = r == 0
+	st.Flags.sf = signBit(r, sz)
+	cin := uint64(0)
+	if carryIn {
+		cin = 1
+	}
+	if sz == 8 {
+		s1 := a + b
+		st.Flags.cf = s1 < a || s1+cin < s1
+	} else {
+		st.Flags.cf = (a+b+cin)&^m != 0
+	}
+	// Classic hardware formula; exact including carry-in.
+	st.Flags.of = signBit(^(a^b)&(a^r), sz)
+}
+
+// setSubFlags sets flags for r = a - b (-borrow) at width sz.
+func (st *State) setSubFlags(a, b, r uint64, borrowIn bool, sz uint8) {
+	m := szMask(sz)
+	a, b, r = a&m, b&m, r&m
+	st.Flags.zf = r == 0
+	st.Flags.sf = signBit(r, sz)
+	if borrowIn {
+		st.Flags.cf = a <= b // borrows iff a < b + 1
+	} else {
+		st.Flags.cf = a < b
+	}
+	// Classic hardware formula; exact including borrow-in.
+	st.Flags.of = signBit((a^b)&(a^r), sz)
+}
+
+func (st *State) setLogicFlags(r uint64, sz uint8) {
+	m := szMask(sz)
+	r &= m
+	st.Flags.zf = r == 0
+	st.Flags.sf = signBit(r, sz)
+	st.Flags.cf = false
+	st.Flags.of = false
+}
+
+// cond evaluates an x86 condition code against the flags.
+func (st *State) cond(cc code.CC) bool {
+	f := st.Flags
+	switch cc {
+	case code.CCEQ:
+		return f.zf
+	case code.CCNE:
+		return !f.zf
+	case code.CCLT:
+		return f.sf != f.of
+	case code.CCGE:
+		return f.sf == f.of
+	case code.CCLE:
+		return f.zf || f.sf != f.of
+	case code.CCGT:
+		return !f.zf && f.sf == f.of
+	case code.CCB:
+		return f.cf
+	case code.CCAE:
+		return !f.cf
+	case code.CCBE:
+		return f.cf || f.zf
+	case code.CCA:
+		return !f.cf && !f.zf
+	}
+	return false
+}
+
+// ea computes the effective address of a memory operand.
+func (st *State) ea(m code.Mem, addrMask uint64) uint64 {
+	var a uint64
+	if m.Base != code.NoReg {
+		a = st.Int[m.Base]
+	}
+	if m.Index != code.NoReg {
+		a += st.Int[m.Index] * uint64(m.Scale)
+	}
+	return (a + uint64(int64(m.Disp))) & addrMask
+}
+
+func f32of(bits uint64) float32 { return math.Float32frombits(uint32(bits)) }
+func f32to(f float32) uint64    { return uint64(math.Float32bits(f)) }
+func f64of(bits uint64) float64 { return math.Float64frombits(bits) }
+func f64to(f float64) uint64    { return math.Float64bits(f) }
+func lane(r [2]uint64, l int) uint32 {
+	w := r[l/2]
+	if l%2 == 1 {
+		w >>= 32
+	}
+	return uint32(w)
+}
+func packLanes(l [4]uint32) [2]uint64 {
+	return [2]uint64{uint64(l[0]) | uint64(l[1])<<32, uint64(l[2]) | uint64(l[3])<<32}
+}
+
+// step executes one active instruction and returns the next index.
+func (st *State) step(p *code.Program, idx int, in *code.Instr, ev *Event, addrMask uint64, res *ExecResult) (int, error) {
+	sz := in.Sz
+	// Resolve the second integer operand (register, immediate, or memory).
+	intOp2 := func() uint64 {
+		switch {
+		case in.HasImm:
+			return uint64(in.Imm) & szMask(sz)
+		case in.MemSrcALU():
+			a := st.ea(in.Mem, addrMask)
+			ev.MemAddr, ev.MemSz, ev.IsLoad = a, sz, true
+			return st.Mem.Read(a, int(sz))
+		default:
+			return st.Int[in.Src2] & szMask(sz)
+		}
+	}
+	fpOp2 := func() [2]uint64 {
+		if in.MemSrcALU() {
+			a := st.ea(in.Mem, addrMask)
+			ev.MemAddr, ev.MemSz, ev.IsLoad = a, sz, true
+			if sz == 16 {
+				lo, hi := st.Mem.Read128(a)
+				return [2]uint64{lo, hi}
+			}
+			return [2]uint64{st.Mem.Read(a, int(sz)), 0}
+		}
+		return st.FP[in.Src2]
+	}
+
+	switch in.Op {
+	case code.NOP:
+
+	case code.MOV:
+		var v uint64
+		if in.HasImm {
+			v = uint64(in.Imm)
+		} else {
+			v = st.Int[in.Src1]
+		}
+		st.writeInt(in.Dst, v&szMask(sz), sz)
+
+	case code.MOVSX:
+		st.Int[in.Dst] = uint64(int64(int32(uint32(st.Int[in.Src1]))))
+
+	case code.LEA:
+		st.writeInt(in.Dst, st.ea(in.Mem, addrMask), sz)
+
+	case code.LD:
+		a := st.ea(in.Mem, addrMask)
+		ev.MemAddr, ev.MemSz, ev.IsLoad = a, sz, true
+		st.writeInt(in.Dst, st.Mem.Read(a, int(sz)), 8 /* loads zero-extend */)
+
+	case code.ST:
+		a := st.ea(in.Mem, addrMask)
+		ev.MemAddr, ev.MemSz, ev.IsStore = a, sz, true
+		st.Mem.Write(a, int(sz), st.Int[in.Src1])
+
+	case code.ADD, code.ADC:
+		a := st.Int[in.Src1] & szMask(sz)
+		b := intOp2()
+		cin := in.Op == code.ADC && st.Flags.cf
+		r := a + b
+		if cin {
+			r++
+		}
+		st.setAddFlags(a, b, r, cin, sz)
+		st.writeInt(in.Dst, r&szMask(sz), sz)
+
+	case code.SUB, code.SBB:
+		a := st.Int[in.Src1] & szMask(sz)
+		b := intOp2()
+		bin := in.Op == code.SBB && st.Flags.cf
+		r := a - b
+		if bin {
+			r--
+		}
+		st.setSubFlags(a, b, r, bin, sz)
+		st.writeInt(in.Dst, r&szMask(sz), sz)
+
+	case code.IMUL:
+		a := st.Int[in.Src1] & szMask(sz)
+		b := intOp2()
+		r := (a * b) & szMask(sz)
+		// x86 IMUL leaves ZF/SF undefined and sets CF/OF on overflow;
+		// nothing downstream consumes them in generated code.
+		st.setLogicFlags(r, sz)
+		st.writeInt(in.Dst, r, sz)
+
+	case code.AND, code.OR, code.XOR:
+		a := st.Int[in.Src1] & szMask(sz)
+		b := intOp2()
+		var r uint64
+		switch in.Op {
+		case code.AND:
+			r = a & b
+		case code.OR:
+			r = a | b
+		default:
+			r = a ^ b
+		}
+		st.setLogicFlags(r, sz)
+		st.writeInt(in.Dst, r, sz)
+
+	case code.SHL, code.SHR, code.SAR:
+		a := st.Int[in.Src1] & szMask(sz)
+		k := uint(in.Imm)
+		var r uint64
+		switch in.Op {
+		case code.SHL:
+			r = a << k
+		case code.SHR:
+			r = a >> k
+		default:
+			if sz == 4 {
+				r = uint64(uint32(int32(uint32(a)) >> k))
+			} else {
+				r = uint64(int64(a) >> k)
+			}
+		}
+		r &= szMask(sz)
+		st.setLogicFlags(r, sz)
+		st.writeInt(in.Dst, r, sz)
+
+	case code.CMP:
+		a := st.Int[in.Src1] & szMask(sz)
+		b := intOp2()
+		st.setSubFlags(a, b, a-b, false, sz)
+
+	case code.TEST:
+		a := st.Int[in.Src1] & szMask(sz)
+		b := intOp2()
+		st.setLogicFlags(a&b, sz)
+
+	case code.SETCC:
+		var v uint64
+		if st.cond(in.CC) {
+			v = 1
+		}
+		st.writeInt(in.Dst, v, 4)
+
+	case code.CMOVCC:
+		var v uint64
+		if in.HasMem {
+			// CMOV with a memory source always performs the load.
+			a := st.ea(in.Mem, addrMask)
+			ev.MemAddr, ev.MemSz, ev.IsLoad = a, sz, true
+			v = st.Mem.Read(a, int(sz))
+		} else {
+			v = st.Int[in.Src1] & szMask(sz)
+		}
+		if st.cond(in.CC) {
+			st.writeInt(in.Dst, v, sz)
+		}
+
+	case code.JCC:
+		if st.cond(in.CC) {
+			ev.Taken = true
+			return int(in.Target), nil
+		}
+		return idx + 1, nil
+
+	case code.JMP:
+		ev.Taken = true
+		return int(in.Target), nil
+
+	case code.RET:
+		var v uint64
+		if in.Src1 != code.NoReg {
+			v = st.Int[in.Src1]
+		}
+		ev.MemAddr = v // stashed; Run extracts it
+		return idx, nil
+
+	case code.FMOV:
+		st.FP[in.Dst] = st.FP[in.Src1]
+
+	case code.FLD:
+		a := st.ea(in.Mem, addrMask)
+		ev.MemAddr, ev.MemSz, ev.IsLoad = a, sz, true
+		st.FP[in.Dst] = [2]uint64{st.Mem.Read(a, int(sz)), 0}
+
+	case code.FST:
+		a := st.ea(in.Mem, addrMask)
+		ev.MemAddr, ev.MemSz, ev.IsStore = a, sz, true
+		st.Mem.Write(a, int(sz), st.FP[in.Src1][0])
+
+	case code.FADD, code.FSUB, code.FMUL, code.FDIV:
+		a := st.FP[in.Src1]
+		b := fpOp2()
+		var r uint64
+		if sz == 4 {
+			x, y := f32of(a[0]), f32of(b[0])
+			var f float32
+			switch in.Op {
+			case code.FADD:
+				f = x + y
+			case code.FSUB:
+				f = x - y
+			case code.FMUL:
+				f = x * y
+			default:
+				f = x / y
+			}
+			r = f32to(f)
+		} else {
+			x, y := f64of(a[0]), f64of(b[0])
+			var f float64
+			switch in.Op {
+			case code.FADD:
+				f = x + y
+			case code.FSUB:
+				f = x - y
+			case code.FMUL:
+				f = x * y
+			default:
+				f = x / y
+			}
+			r = f64to(f)
+		}
+		st.FP[in.Dst] = [2]uint64{r, 0}
+
+	case code.FCMP:
+		var x, y float64
+		if sz == 4 {
+			x, y = float64(f32of(st.FP[in.Src1][0])), float64(f32of(st.FP[in.Src2][0]))
+		} else {
+			x, y = f64of(st.FP[in.Src1][0]), f64of(st.FP[in.Src2][0])
+		}
+		// UCOMISS/SD: ZF = equal, CF = below; SF/OF cleared.
+		st.Flags = flags{zf: x == y, cf: x < y}
+
+	case code.CVTIF:
+		s := int64(int32(uint32(st.Int[in.Src1])))
+		if sz == 4 {
+			st.FP[in.Dst] = [2]uint64{f32to(float32(s)), 0}
+		} else {
+			st.FP[in.Dst] = [2]uint64{f64to(float64(s)), 0}
+		}
+
+	case code.CVTFI:
+		var f float64
+		if sz == 4 {
+			f = float64(f32of(st.FP[in.Src1][0]))
+		} else {
+			f = f64of(st.FP[in.Src1][0])
+		}
+		st.writeInt(in.Dst, uint64(uint32(int32(f))), 4)
+
+	case code.VLD:
+		a := st.ea(in.Mem, addrMask)
+		ev.MemAddr, ev.MemSz, ev.IsLoad = a, 16, true
+		lo, hi := st.Mem.Read128(a)
+		st.FP[in.Dst] = [2]uint64{lo, hi}
+
+	case code.VST:
+		a := st.ea(in.Mem, addrMask)
+		ev.MemAddr, ev.MemSz, ev.IsStore = a, 16, true
+		st.Mem.Write128(a, st.FP[in.Src1][0], st.FP[in.Src1][1])
+
+	case code.VADDF, code.VSUBF, code.VMULF:
+		a := st.FP[in.Src1]
+		b := fpOp2()
+		var out [4]uint32
+		for l := 0; l < 4; l++ {
+			x, y := math.Float32frombits(lane(a, l)), math.Float32frombits(lane(b, l))
+			var f float32
+			switch in.Op {
+			case code.VADDF:
+				f = x + y
+			case code.VSUBF:
+				f = x - y
+			default:
+				f = x * y
+			}
+			out[l] = math.Float32bits(f)
+		}
+		st.FP[in.Dst] = packLanes(out)
+
+	case code.VADDI, code.VSUBI, code.VMULI:
+		a := st.FP[in.Src1]
+		b := fpOp2()
+		var out [4]uint32
+		for l := 0; l < 4; l++ {
+			x, y := lane(a, l), lane(b, l)
+			switch in.Op {
+			case code.VADDI:
+				out[l] = x + y
+			case code.VSUBI:
+				out[l] = x - y
+			default:
+				out[l] = x * y
+			}
+		}
+		st.FP[in.Dst] = packLanes(out)
+
+	case code.VSPLAT:
+		v := lane(st.FP[in.Src1], 0)
+		st.FP[in.Dst] = packLanes([4]uint32{v, v, v, v})
+
+	case code.VRSUM:
+		a := st.FP[in.Src1]
+		var s float32
+		for l := 0; l < 4; l++ {
+			s += math.Float32frombits(lane(a, l))
+		}
+		st.FP[in.Dst] = [2]uint64{f32to(s), 0}
+
+	default:
+		return 0, fmt.Errorf("cpu: unimplemented op %v", in.Op)
+	}
+	return idx + 1, nil
+}

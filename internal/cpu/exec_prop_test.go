@@ -1,0 +1,206 @@
+package cpu
+
+import (
+	"testing"
+	"testing/quick"
+
+	"compisa/internal/code"
+	"compisa/internal/encoding"
+	"compisa/internal/isa"
+	"compisa/internal/mem"
+)
+
+// evalBinop runs "r0 = a; r1 = b; r0 = r0 OP r1; ret r0" and returns r0.
+func evalBinop(t *testing.T, op code.Op, sz uint8, a, b uint64) uint64 {
+	t.Helper()
+	loadA := ci(code.MOV, 8)
+	loadA.Dst, loadA.HasImm, loadA.Imm = 0, true, int64(a)
+	loadB := ci(code.MOV, 8)
+	loadB.Dst, loadB.HasImm, loadB.Imm = 1, true, int64(b)
+	o := ci(op, sz)
+	o.Dst, o.Src1, o.Src2 = 0, 0, 1
+	p := mkProg(t, isa.X8664, loadA, loadB, o, retR(0))
+	res, _ := run(t, p)
+	return res.Ret
+}
+
+func TestExecIntSemanticsQuick(t *testing.T) {
+	type opcase struct {
+		op code.Op
+		f  func(a, b uint64) uint64
+	}
+	cases64 := []opcase{
+		{code.ADD, func(a, b uint64) uint64 { return a + b }},
+		{code.SUB, func(a, b uint64) uint64 { return a - b }},
+		{code.AND, func(a, b uint64) uint64 { return a & b }},
+		{code.OR, func(a, b uint64) uint64 { return a | b }},
+		{code.XOR, func(a, b uint64) uint64 { return a ^ b }},
+		{code.IMUL, func(a, b uint64) uint64 { return a * b }},
+	}
+	for _, c := range cases64 {
+		c := c
+		f := func(a, b uint64) bool {
+			return evalBinop(t, c.op, 8, a, b) == c.f(a, b)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+			t.Errorf("%v (64-bit): %v", c.op, err)
+		}
+		f32 := func(a, b uint32) bool {
+			return evalBinop(t, c.op, 4, uint64(a), uint64(b)) == uint64(uint32(c.f(uint64(a), uint64(b))))
+		}
+		if err := quick.Check(f32, &quick.Config{MaxCount: 40}); err != nil {
+			t.Errorf("%v (32-bit zero-extension): %v", c.op, err)
+		}
+	}
+}
+
+func TestExecShiftSemanticsQuick(t *testing.T) {
+	shift := func(op code.Op, sz uint8, a uint64, k int64) uint64 {
+		loadA := ci(code.MOV, 8)
+		loadA.Dst, loadA.HasImm, loadA.Imm = 0, true, int64(a)
+		o := ci(op, sz)
+		o.Dst, o.Src1 = 0, 0
+		o.HasImm, o.Imm = true, k
+		p := mkProg(t, isa.X8664, loadA, o, retR(0))
+		res, _ := run(t, p)
+		return res.Ret
+	}
+	f := func(a uint64, kk uint8) bool {
+		k := int64(kk%31) + 1
+		if shift(code.SHL, 8, a, k) != a<<uint(k) {
+			return false
+		}
+		if shift(code.SHR, 8, a, k) != a>>uint(k) {
+			return false
+		}
+		if shift(code.SAR, 8, a, k) != uint64(int64(a)>>uint(k)) {
+			return false
+		}
+		a32 := uint32(a)
+		if shift(code.SAR, 4, uint64(a32), k) != uint64(uint32(int32(a32)>>uint(k))) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestExecSetccMatchesGoComparisons: CMP+SETcc over every condition code
+// agrees with Go's comparison operators at both widths.
+func TestExecSetccMatchesGoComparisons(t *testing.T) {
+	eval := func(cc code.CC, sz uint8, a, b uint64) uint64 {
+		la := ci(code.MOV, 8)
+		la.Dst, la.HasImm, la.Imm = 0, true, int64(a)
+		lb := ci(code.MOV, 8)
+		lb.Dst, lb.HasImm, lb.Imm = 1, true, int64(b)
+		cmp := ci(code.CMP, sz)
+		cmp.Src1, cmp.Src2 = 0, 1
+		set := ci(code.SETCC, 4)
+		set.Dst, set.CC = 2, cc
+		p := mkProg(t, isa.X8664, la, lb, cmp, set, retR(2))
+		res, _ := run(t, p)
+		return res.Ret
+	}
+	b2u := func(v bool) uint64 {
+		if v {
+			return 1
+		}
+		return 0
+	}
+	f := func(a, b uint64) bool {
+		// 64-bit signed and unsigned.
+		sa, sb := int64(a), int64(b)
+		checks := []struct {
+			cc   code.CC
+			want bool
+		}{
+			{code.CCEQ, a == b}, {code.CCNE, a != b},
+			{code.CCLT, sa < sb}, {code.CCLE, sa <= sb},
+			{code.CCGT, sa > sb}, {code.CCGE, sa >= sb},
+			{code.CCB, a < b}, {code.CCBE, a <= b},
+			{code.CCA, a > b}, {code.CCAE, a >= b},
+		}
+		for _, c := range checks {
+			if eval(c.cc, 8, a, b) != b2u(c.want) {
+				return false
+			}
+		}
+		// 32-bit signed.
+		a32, b32 := uint32(a), uint32(b)
+		if eval(code.CCLT, 4, uint64(a32), uint64(b32)) != b2u(int32(a32) < int32(b32)) {
+			return false
+		}
+		if eval(code.CCB, 4, uint64(a32), uint64(b32)) != b2u(a32 < b32) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestExecAdcSbbPairQuick: the 32-bit ADD/ADC (SUB/SBB) pair computes exact
+// 64-bit sums/differences — the foundation of 64-on-32 lowering.
+func TestExecAdcSbbPairQuick(t *testing.T) {
+	pair := func(lo1, hi1, lo2, hi2 uint32, sub bool) (uint32, uint32) {
+		mk := func(r code.Reg, v uint32) code.Instr {
+			m := ci(code.MOV, 4)
+			m.Dst, m.HasImm, m.Imm = r, true, int64(v)
+			return m
+		}
+		op1, op2 := code.ADD, code.ADC
+		if sub {
+			op1, op2 = code.SUB, code.SBB
+		}
+		o1 := ci(op1, 4)
+		o1.Dst, o1.Src1, o1.Src2 = 0, 0, 2
+		o2 := ci(op2, 4)
+		o2.Dst, o2.Src1, o2.Src2 = 1, 1, 3
+		// Pack results: r0 = lo, r1 = hi; return via memory.
+		st1 := ci(code.ST, 4)
+		st1.Src1 = 0
+		st1.HasMem, st1.Mem = true, code.Mem{Base: code.NoReg, Index: code.NoReg, Scale: 1, Disp: 0x08000000}
+		st2 := ci(code.ST, 4)
+		st2.Src1 = 1
+		st2.HasMem, st2.Mem = true, code.Mem{Base: code.NoReg, Index: code.NoReg, Scale: 1, Disp: 0x08000004}
+		fs := isa.MustNew(isa.FullX86, 32, 16, isa.PartialPredication)
+		p := mkProg(t, fs, mk(0, lo1), mk(1, hi1), mk(2, lo2), mk(3, hi2), o1, o2, st1, st2, retR(0))
+		st := NewState(mem.New())
+		if _, err := Run(p, st, 1000, nil); err != nil {
+			t.Fatal(err)
+		}
+		return uint32(st.Mem.Read(0x08000000, 4)), uint32(st.Mem.Read(0x08000004, 4))
+	}
+	f := func(a, b uint64) bool {
+		lo, hi := pair(uint32(a), uint32(a>>32), uint32(b), uint32(b>>32), false)
+		if uint64(lo)|uint64(hi)<<32 != a+b {
+			return false
+		}
+		lo, hi = pair(uint32(a), uint32(a>>32), uint32(b), uint32(b>>32), true)
+		return uint64(lo)|uint64(hi)<<32 == a-b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEventLengthsMatchLayout: the executor's reported instruction lengths
+// must equal the encoder's layout.
+func TestEventLengthsMatchLayout(t *testing.T) {
+	p := loopProg(t, 50, 3)
+	var ok = true
+	consume := func(ev *Event) {
+		if int(ev.Len) != encoding.Length(p, int(ev.Idx)) {
+			ok = false
+		}
+	}
+	if _, err := Run(p, NewState(mem.New()), 1_000_000, consume); err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("event lengths disagree with layout")
+	}
+}

@@ -1,0 +1,308 @@
+package encoding
+
+import (
+	"fmt"
+
+	"compisa/internal/code"
+)
+
+// This file defines the concrete byte-level encoding of the superset ISA and
+// the instruction-length decoder (ILD) that parses it — the unit the paper
+// synthesized to RTL (Section V.B, after Madduri et al.'s parallel length
+// decoder). The encoding follows Figure 3's format:
+//
+//	[REXBC 0xD6+payload] [predicate 0xF1+payload] [REX 0x4x]
+//	[legacy SSE prefix 0x66/0xF2/0xF3] [0x0F escape] [opcode]
+//	[ModRM] [SIB] [disp8/disp32] [imm8/imm32/imm64]
+//
+// Under the compact "greenfield" style the REXBC and predicate prefixes are
+// single bytes (0xD7 and 0xF4), as a from-scratch superset ISA could define.
+//
+// The opcode byte packs an immediate-size class in its top bits so the
+// length calculator can size the immediate without knowing operand values:
+// non-escaped opcodes are 0x80 | immClass<<5 | op (op < 22, so no opcode
+// collides with a prefix byte); escaped opcodes follow 0x0F freely.
+
+// Prefix marker bytes.
+const (
+	bREXBC      = 0xD6
+	bREXBCSlim  = 0xD7 // compact single-byte form
+	bPred       = 0xF1
+	bPredSlim   = 0xF4
+	bEscape     = 0x0F
+	bPrefix66   = 0x66
+	bPrefixF2   = 0xF2
+	bPrefixF3   = 0xF3
+	rexBase     = 0x40 // 0x40-0x4F
+	opcodeFlag  = 0x80
+	immClassSh  = 5
+	immClassMax = 3
+)
+
+// intOpIndex maps non-escaped (integer) ops to 5-bit opcode indices 0-21.
+// SETCC/CMOVCC and all FP/SSE ops live in the 0x0F-escaped space, as on x86.
+var intOpIndex = map[code.Op]byte{
+	code.NOP: 0, code.MOV: 1, code.MOVSX: 2, code.LEA: 3, code.LD: 4,
+	code.ST: 5, code.ADD: 6, code.SUB: 7, code.IMUL: 8, code.AND: 9,
+	code.OR: 10, code.XOR: 11, code.SHL: 12, code.SHR: 13, code.SAR: 14,
+	code.ADC: 15, code.SBB: 16, code.CMP: 17, code.TEST: 18, code.JCC: 19,
+	code.JMP: 20, code.RET: 21,
+}
+
+var intOpFromIndex = func() map[byte]code.Op {
+	m := map[byte]code.Op{}
+	for op, i := range intOpIndex {
+		m[i] = op
+	}
+	return m
+}()
+
+// escOpIndex maps 0x0F-escaped ops to opcode indices.
+var escOpIndex = map[code.Op]byte{
+	code.SETCC: 1, code.CMOVCC: 2,
+	code.FMOV: 3, code.FLD: 4, code.FST: 5, code.FADD: 6, code.FSUB: 7,
+	code.FMUL: 8, code.FDIV: 9, code.FCMP: 10, code.CVTIF: 11, code.CVTFI: 12,
+	code.VLD: 13, code.VST: 14, code.VADDF: 15, code.VSUBF: 16, code.VMULF: 17,
+	code.VADDI: 18, code.VSUBI: 19, code.VMULI: 20, code.VSPLAT: 21, code.VRSUM: 22,
+	code.JCC: 23, code.JMP: 24, // rel32 long-branch forms
+}
+
+var escOpFromIndex = func() map[byte]code.Op {
+	m := map[byte]code.Op{}
+	for op, i := range escOpIndex {
+		m[i] = op
+	}
+	return m
+}()
+
+// immClass returns the immediate-size class encoded in the opcode byte:
+// 0 none, 1 imm8, 2 imm32, 3 imm64.
+func immClass(in *code.Instr, longBranch bool) byte {
+	switch in.Op {
+	case code.JCC, code.JMP:
+		if longBranch {
+			return 2
+		}
+		return 1
+	}
+	if !in.HasImm {
+		return 0
+	}
+	switch {
+	case in.Op == code.SHL || in.Op == code.SHR || in.Op == code.SAR:
+		return 1
+	case in.Op == code.MOV && in.Sz == 8 && (in.Imm > 0x7fffffff || in.Imm < -0x80000000):
+		return 3
+	case fitsInt8(in.Imm):
+		return 1
+	default:
+		return 2
+	}
+}
+
+func immBytes(class byte) int {
+	switch class {
+	case 1:
+		return 1
+	case 2:
+		return 4
+	case 3:
+		return 8
+	}
+	return 0
+}
+
+// hasModRM reports whether the op carries a ModRM byte.
+func hasModRM(op code.Op) bool {
+	switch op {
+	case code.JMP, code.RET, code.NOP, code.JCC:
+		return false
+	}
+	return true
+}
+
+// needsEscape reports whether the op's opcode lives behind 0x0F. JMP's long
+// form keeps a single-byte opcode (x86's E9 rel32); only the long JCC pays
+// the 0F 8x escape, matching the layout's byte accounting.
+func needsEscape(op code.Op, longBranch bool) bool {
+	if op == code.JCC {
+		return longBranch
+	}
+	if op == code.JMP {
+		return false
+	}
+	if _, ok := intOpIndex[op]; ok {
+		return false
+	}
+	return true
+}
+
+// ssePrefix returns the legacy SSE prefix byte for the op, or 0.
+func ssePrefix(op code.Op) byte {
+	switch op {
+	case code.FMOV, code.FLD, code.FST, code.FADD, code.FSUB, code.FMUL,
+		code.FDIV, code.FCMP, code.CVTIF, code.CVTFI:
+		return bPrefixF3
+	case code.VADDI, code.VSUBI, code.VMULI, code.VSPLAT, code.VRSUM:
+		return bPrefix66
+	}
+	return 0
+}
+
+// EncodeInstr renders one laid-out instruction into bytes. length is the
+// final layout length (which resolves rel8 vs rel32 branch forms).
+func EncodeInstr(in *code.Instr, length int, compact bool) ([]byte, error) {
+	var out []byte
+	base := BaseLengthStyle(in, compact)
+	longBranch := false
+	if in.Op == code.JCC || in.Op == code.JMP {
+		longBranch = length > base+1
+	}
+
+	// Prefixes.
+	switch regClass(in) {
+	case 1:
+		out = append(out, rexBase|0x8) // REX with extension bits
+	case 2:
+		if compact {
+			out = append(out, bREXBCSlim)
+		} else {
+			out = append(out, bREXBC, payloadRegs(in))
+		}
+	default:
+		if in.Sz == 8 && !in.Op.IsFP() {
+			out = append(out, rexBase|0x8) // REX.W
+		}
+	}
+	if in.Predicated() {
+		sense := byte(0)
+		if in.PredSense {
+			sense = 0x80
+		}
+		if compact {
+			out = append(out, bPredSlim)
+		} else {
+			out = append(out, bPred, sense|byte(in.Pred&0x3f))
+		}
+	}
+	if p := ssePrefix(in.Op); p != 0 {
+		out = append(out, p)
+	}
+
+	// Opcode.
+	ic := immClass(in, longBranch)
+	if needsEscape(in.Op, longBranch) {
+		idx, ok := escOpIndex[in.Op]
+		if !ok {
+			return nil, fmt.Errorf("encoding: op %v has no escaped opcode", in.Op)
+		}
+		out = append(out, bEscape, ic<<immClassSh|idx)
+	} else {
+		idx, ok := intOpIndex[in.Op]
+		if !ok {
+			return nil, fmt.Errorf("encoding: op %v has no opcode", in.Op)
+		}
+		if ic == 3 && in.Op != code.MOV {
+			return nil, fmt.Errorf("encoding: imm64 only on MOV")
+		}
+		out = append(out, opcodeFlag|ic<<immClassSh|idx)
+	}
+
+	// ModRM / SIB / displacement.
+	if hasModRM(in.Op) {
+		if in.HasMem {
+			m := in.Mem
+			if m.Base == code.NoReg && m.Index != code.NoReg {
+				return nil, fmt.Errorf("encoding: absolute addressing with an index register is not encodable")
+			}
+			var mod, rm byte
+			dispLen := 0
+			switch {
+			case m.Base == code.NoReg:
+				mod, rm, dispLen = 0, 0b101, 4 // absolute disp32
+			case m.Disp == 0:
+				mod, rm = 0, byte(m.Base&7)
+				if rm == 0b101 || rm == 0b100 {
+					rm = 0b000 // avoid the special encodings in this model
+				}
+			case fitsInt8(int64(m.Disp)):
+				mod, rm, dispLen = 0b01, byte(m.Base&7), 1
+			default:
+				mod, rm, dispLen = 0b10, byte(m.Base&7), 4
+			}
+			sib := false
+			if m.Index != code.NoReg {
+				rm = 0b100
+				sib = true
+			}
+			out = append(out, mod<<6|byte(in.Dst&7)<<3|rm)
+			if sib {
+				out = append(out, byte(log2u(m.Scale))<<6|byte(m.Index&7)<<3|byte(m.Base&7))
+			}
+			for i := 0; i < dispLen; i++ {
+				out = append(out, byte(uint32(m.Disp)>>(8*i)))
+			}
+		} else {
+			out = append(out, 0b11<<6|byte(in.Dst&7)<<3|byte(in.Src2&7))
+		}
+	}
+
+	// Immediate / branch displacement.
+	switch in.Op {
+	case code.JCC, code.JMP:
+		n := 1
+		if longBranch {
+			n = 4
+		}
+		for i := 0; i < n; i++ {
+			out = append(out, byte(uint32(in.Target)>>(8*i)))
+		}
+	default:
+		for i := 0; i < immBytes(ic); i++ {
+			out = append(out, byte(uint64(in.Imm)>>(8*i)))
+		}
+	}
+
+	if len(out) != length {
+		return nil, fmt.Errorf("encoding: %s encodes to %d bytes, layout says %d",
+			code.FormatInstr(in), len(out), length)
+	}
+	return out, nil
+}
+
+func payloadRegs(in *code.Instr) byte {
+	// REXBC payload: two extension bits each for dst/src/index (Fig. 3).
+	var b byte
+	if in.Dst != code.NoReg {
+		b |= byte(in.Dst>>3) & 0x3
+	}
+	if in.Src2 != code.NoReg {
+		b |= (byte(in.Src2>>3) & 0x3) << 2
+	}
+	if in.HasMem && in.Mem.Index != code.NoReg {
+		b |= (byte(in.Mem.Index>>3) & 0x3) << 4
+	}
+	return b
+}
+
+func log2u(s uint8) byte {
+	n := byte(0)
+	for s > 1 {
+		s >>= 1
+		n++
+	}
+	return n
+}
+
+// Image encodes the whole laid-out program into its byte image.
+func Image(p *code.Program) ([]byte, error) {
+	out := make([]byte, 0, p.Size)
+	for i := range p.Instrs {
+		b, err := EncodeInstr(&p.Instrs[i], Length(p, i), p.CompactEncoding)
+		if err != nil {
+			return nil, fmt.Errorf("%s[%d]: %v", p.Name, i, err)
+		}
+		out = append(out, b...)
+	}
+	return out, nil
+}

@@ -1,0 +1,206 @@
+// Package encoding implements the superset ISA's variable-length x86-style
+// instruction encoding (Figure 3): legacy/REX/REXBC/predicate prefixes,
+// opcode, ModRM, SIB, displacement and immediate fields. It computes
+// instruction lengths, lays programs out in memory (with branch relaxation
+// between rel8 and rel32 forms), and synthesizes encoded bytes. Instruction
+// addresses drive the I-cache and micro-op-cache models; instruction lengths
+// drive the instruction-length-decoder (ILD) model.
+package encoding
+
+import (
+	"fmt"
+
+	"compisa/internal/code"
+	"compisa/internal/isa"
+)
+
+// regBits returns the REX/REXBC class (0, 1, 2) required by the instruction's
+// register numbers: r8-r15 need the REX prefix, r16-r63 the 2-byte REXBC.
+func regClass(in *code.Instr) int {
+	cls := 0
+	upd := func(r code.Reg) {
+		if r == code.NoReg {
+			return
+		}
+		c := isa.RegPrefixClass(int(r))
+		if c > cls {
+			cls = c
+		}
+	}
+	upd(in.Dst)
+	upd(in.Src1)
+	upd(in.Src2)
+	if in.HasMem {
+		upd(in.Mem.Base)
+		upd(in.Mem.Index)
+	}
+	upd(in.Pred)
+	return cls
+}
+
+func fitsInt8(v int64) bool { return v >= -128 && v <= 127 }
+
+// BaseLength returns the encoded length of the instruction excluding any
+// branch displacement (branches add 1 or 4 bytes depending on reach), under
+// the backward-compatible x86 encoding.
+func BaseLength(in *code.Instr) int { return BaseLengthStyle(in, false) }
+
+// BaseLengthStyle computes the encoded length under either the x86-
+// compatible encoding (compact=false) or the hypothetical from-scratch
+// superset encoding (compact=true), which folds the REXBC and predicate
+// prefixes into single bytes.
+func BaseLengthStyle(in *code.Instr, compact bool) int {
+	n := 0
+
+	// Prefixes.
+	switch regClass(in) {
+	case 1:
+		n++ // REX
+	case 2:
+		if compact {
+			n++ // single-byte wide-register prefix
+		} else {
+			n += 2 // REXBC (0xd6 marker + payload byte)
+		}
+	default:
+		// REX.W is still required for 64-bit operand size even when
+		// all registers encode without extension bits.
+		if in.Sz == 8 && !in.Op.IsFP() {
+			n++
+		}
+	}
+	if in.Predicated() {
+		if compact {
+			n++ // single-byte predicate prefix
+		} else {
+			n += isa.PredicatePrefixBytes // 0xf1 marker + predicate byte
+		}
+	}
+
+	// Opcode.
+	switch in.Op {
+	case code.SETCC, code.CMOVCC:
+		n += 2 // 0F 9x / 0F 4x
+	case code.JCC:
+		n++ // rel8 form 7x; rel32 form 0F 8x handled by the caller
+	case code.FMOV, code.FLD, code.FST, code.FADD, code.FSUB, code.FMUL,
+		code.FDIV, code.FCMP, code.CVTIF, code.CVTFI:
+		n += 3 // F3/F2 prefix + 0F + opcode
+	case code.VLD, code.VST, code.VADDF, code.VSUBF, code.VMULF:
+		n += 2 // 0F + opcode (packed single)
+	case code.VADDI, code.VSUBI, code.VMULI, code.VSPLAT, code.VRSUM:
+		n += 3 // 66 + 0F + opcode (packed integer / shuffles)
+	default:
+		n++ // single-byte opcode
+	}
+
+	// ModRM for anything with register or memory operands.
+	switch in.Op {
+	case code.JMP, code.RET, code.NOP:
+	case code.JCC:
+	default:
+		n++
+	}
+
+	// SIB when an index register participates.
+	if in.HasMem && in.Mem.Index != code.NoReg {
+		n++
+	}
+
+	// Displacement. Absolute (base-less) addressing always carries a
+	// 32-bit displacement.
+	if in.HasMem {
+		switch {
+		case in.Mem.Base == code.NoReg:
+			n += 4
+		case in.Mem.Disp != 0 && fitsInt8(int64(in.Mem.Disp)):
+			n++
+		case in.Mem.Disp != 0:
+			n += 4
+		}
+	}
+
+	// Immediate.
+	if in.HasImm {
+		switch {
+		case in.Op == code.SHL || in.Op == code.SHR || in.Op == code.SAR:
+			n++ // shift counts are imm8
+		case in.Op == code.MOV && in.Sz == 8 && (in.Imm > 0x7fffffff || in.Imm < -0x80000000):
+			n += 8 // movabs imm64
+		case fitsInt8(in.Imm):
+			n++ // sign-extended imm8 ALU forms
+		default:
+			n += 4
+		}
+	}
+	return n
+}
+
+// MaxInstrLen bounds any encodable instruction (prefixes + opcode + modrm +
+// sib + disp32 + imm64).
+const MaxInstrLen = 20
+
+// Layout assigns byte addresses to every instruction of the program,
+// relaxing branch displacements: it starts with every branch in its short
+// rel8 form and grows branches that cannot reach their targets until a fixed
+// point. It fills p.PC and p.Size.
+func Layout(p *code.Program, base uint32) error {
+	n := len(p.Instrs)
+	long := make([]bool, n) // branch needs rel32
+	lens := make([]int, n)
+	p.PC = make([]uint32, n)
+	for iter := 0; ; iter++ {
+		if iter > n+2 {
+			return fmt.Errorf("encoding: layout of %s did not converge", p.Name)
+		}
+		pc := base
+		for i := range p.Instrs {
+			in := &p.Instrs[i]
+			l := BaseLengthStyle(in, p.CompactEncoding)
+			switch in.Op {
+			case code.JCC:
+				if long[i] {
+					l += 4 + 1 // rel32 + second opcode byte (0F 8x)
+				} else {
+					l++ // rel8
+				}
+			case code.JMP:
+				if long[i] {
+					l += 4
+				} else {
+					l++
+				}
+			}
+			p.PC[i] = pc
+			lens[i] = l
+			pc += uint32(l)
+		}
+		p.Size = int(pc - base)
+		grew := false
+		for i := range p.Instrs {
+			in := &p.Instrs[i]
+			if (in.Op != code.JCC && in.Op != code.JMP) || long[i] {
+				continue
+			}
+			next := int64(p.PC[i]) + int64(lens[i])
+			delta := int64(p.PC[in.Target]) - next
+			if !fitsInt8(delta) {
+				long[i] = true
+				grew = true
+			}
+		}
+		if !grew {
+			p.Base = base
+			return nil
+		}
+	}
+}
+
+// Length returns the final encoded length of instruction i of a laid-out
+// program.
+func Length(p *code.Program, i int) int {
+	if i+1 < len(p.PC) {
+		return int(p.PC[i+1] - p.PC[i])
+	}
+	return p.Size - int(p.PC[i]-p.Base)
+}

@@ -1,0 +1,222 @@
+package encoding
+
+import (
+	"testing"
+	"testing/quick"
+
+	"compisa/internal/code"
+	"compisa/internal/isa"
+)
+
+func ilen(in code.Instr) int { return BaseLength(&in) }
+
+func TestRegisterPrefixCosts(t *testing.T) {
+	// add r1, r2 (low regs, 32-bit): opcode + modrm = 2 bytes.
+	base := ilen(code.Instr{Op: code.ADD, Sz: 4, Dst: 1, Src1: 1, Src2: 2, Pred: code.NoReg})
+	if base != 2 {
+		t.Errorf("low-register add = %d bytes, want 2", base)
+	}
+	// REX register (r9) adds one byte.
+	rex := ilen(code.Instr{Op: code.ADD, Sz: 4, Dst: 9, Src1: 9, Src2: 2, Pred: code.NoReg})
+	if rex != base+1 {
+		t.Errorf("REX add = %d, want %d", rex, base+1)
+	}
+	// REXBC register (r40) adds two bytes.
+	rexbc := ilen(code.Instr{Op: code.ADD, Sz: 4, Dst: 40, Src1: 40, Src2: 2, Pred: code.NoReg})
+	if rexbc != base+2 {
+		t.Errorf("REXBC add = %d, want %d", rexbc, base+2)
+	}
+	// 64-bit operand size needs REX.W even for low registers.
+	w := ilen(code.Instr{Op: code.ADD, Sz: 8, Dst: 1, Src1: 1, Src2: 2, Pred: code.NoReg})
+	if w != base+1 {
+		t.Errorf("REX.W add = %d, want %d", w, base+1)
+	}
+}
+
+func TestPredicatePrefixCost(t *testing.T) {
+	plain := ilen(code.Instr{Op: code.ADD, Sz: 4, Dst: 1, Src1: 1, Src2: 2, Pred: code.NoReg})
+	pred := ilen(code.Instr{Op: code.ADD, Sz: 4, Dst: 1, Src1: 1, Src2: 2, Pred: 3, PredSense: true})
+	if pred != plain+isa.PredicatePrefixBytes {
+		t.Errorf("predicated add = %d, want %d", pred, plain+isa.PredicatePrefixBytes)
+	}
+}
+
+func TestImmediateSizing(t *testing.T) {
+	i8 := ilen(code.Instr{Op: code.ADD, Sz: 4, Dst: 1, Src1: 1, HasImm: true, Imm: 5, Src2: code.NoReg, Pred: code.NoReg})
+	i32 := ilen(code.Instr{Op: code.ADD, Sz: 4, Dst: 1, Src1: 1, HasImm: true, Imm: 500, Src2: code.NoReg, Pred: code.NoReg})
+	if i32 != i8+3 {
+		t.Errorf("imm32 form = %d, imm8 form = %d, want +3", i32, i8)
+	}
+	movabs := ilen(code.Instr{Op: code.MOV, Sz: 8, Dst: 1, HasImm: true, Imm: 1 << 40, Src1: code.NoReg, Src2: code.NoReg, Pred: code.NoReg})
+	if movabs < 10 {
+		t.Errorf("movabs imm64 = %d bytes, want >= 10", movabs)
+	}
+}
+
+func TestMemOperandSizing(t *testing.T) {
+	plain := ilen(code.Instr{Op: code.LD, Sz: 4, Dst: 1, HasMem: true,
+		Mem: code.Mem{Base: 2, Index: code.NoReg, Scale: 1}, Src1: code.NoReg, Src2: code.NoReg, Pred: code.NoReg})
+	sib := ilen(code.Instr{Op: code.LD, Sz: 4, Dst: 1, HasMem: true,
+		Mem: code.Mem{Base: 2, Index: 3, Scale: 4}, Src1: code.NoReg, Src2: code.NoReg, Pred: code.NoReg})
+	if sib != plain+1 {
+		t.Errorf("SIB must add 1 byte: %d vs %d", sib, plain)
+	}
+	d8 := ilen(code.Instr{Op: code.LD, Sz: 4, Dst: 1, HasMem: true,
+		Mem: code.Mem{Base: 2, Index: code.NoReg, Scale: 1, Disp: 16}, Src1: code.NoReg, Src2: code.NoReg, Pred: code.NoReg})
+	d32 := ilen(code.Instr{Op: code.LD, Sz: 4, Dst: 1, HasMem: true,
+		Mem: code.Mem{Base: 2, Index: code.NoReg, Scale: 1, Disp: 4096}, Src1: code.NoReg, Src2: code.NoReg, Pred: code.NoReg})
+	if d8 != plain+1 || d32 != plain+4 {
+		t.Errorf("disp sizing: plain=%d d8=%d d32=%d", plain, d8, d32)
+	}
+}
+
+func TestLayoutShortBranch(t *testing.T) {
+	p := &code.Program{Name: "b", FS: isa.X8664, Instrs: []code.Instr{
+		{Op: code.CMP, Sz: 4, Dst: code.NoReg, Src1: 1, Src2: 2, Pred: code.NoReg},
+		{Op: code.JCC, CC: code.CCEQ, Target: 3, Dst: code.NoReg, Src1: code.NoReg, Src2: code.NoReg, Pred: code.NoReg},
+		{Op: code.ADD, Sz: 4, Dst: 1, Src1: 1, Src2: 2, Pred: code.NoReg},
+		{Op: code.RET, Dst: code.NoReg, Src1: 1, Src2: code.NoReg, Pred: code.NoReg},
+	}}
+	if err := Layout(p, 0x1000); err != nil {
+		t.Fatal(err)
+	}
+	// jcc over one small instruction must use the 2-byte rel8 form.
+	if got := Length(p, 1); got != 2 {
+		t.Errorf("short jcc = %d bytes, want 2", got)
+	}
+	if p.PC[0] != 0x1000 {
+		t.Errorf("base address not honored: %#x", p.PC[0])
+	}
+}
+
+func TestLayoutLongBranchRelaxation(t *testing.T) {
+	instrs := []code.Instr{
+		{Op: code.JMP, Target: 201, Dst: code.NoReg, Src1: code.NoReg, Src2: code.NoReg, Pred: code.NoReg},
+	}
+	for i := 0; i < 200; i++ {
+		instrs = append(instrs, code.Instr{Op: code.ADD, Sz: 4, Dst: 1, Src1: 1, Src2: 2, Pred: code.NoReg})
+	}
+	instrs = append(instrs, code.Instr{Op: code.RET, Dst: code.NoReg, Src1: 1, Src2: code.NoReg, Pred: code.NoReg})
+	p := &code.Program{Name: "far", FS: isa.X8664, Instrs: instrs}
+	if err := Layout(p, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := Length(p, 0); got != 5 {
+		t.Errorf("far jmp = %d bytes, want 5 (rel32)", got)
+	}
+	// Total size: 5 + 200*2 + 1.
+	if p.Size != 5+400+1 {
+		t.Errorf("size = %d", p.Size)
+	}
+}
+
+func TestLayoutAddressesMonotonic(t *testing.T) {
+	f := func(seed uint8) bool {
+		n := int(seed%40) + 2
+		var instrs []code.Instr
+		for i := 0; i < n-1; i++ {
+			instrs = append(instrs, code.Instr{Op: code.ADD, Sz: 4, Dst: code.Reg(i % 60), Src1: 1, Src2: 2, Pred: code.NoReg})
+		}
+		instrs = append(instrs, code.Instr{Op: code.RET, Dst: code.NoReg, Src1: 1, Src2: code.NoReg, Pred: code.NoReg})
+		p := &code.Program{Name: "q", FS: isa.Superset, Instrs: instrs}
+		if err := Layout(p, 64); err != nil {
+			return false
+		}
+		for i := 1; i < n; i++ {
+			if p.PC[i] <= p.PC[i-1] {
+				return false
+			}
+			if Length(p, i-1) > MaxInstrLen {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBytesMatchLayout(t *testing.T) {
+	p := &code.Program{Name: "img", FS: isa.Superset, Instrs: []code.Instr{
+		{Op: code.MOV, Sz: 8, Dst: 20, HasImm: true, Imm: 7, Src1: code.NoReg, Src2: code.NoReg, Pred: code.NoReg},
+		{Op: code.ADD, Sz: 8, Dst: 20, Src1: 20, Src2: 21, Pred: 5, PredSense: true},
+		{Op: code.RET, Dst: code.NoReg, Src1: 20, Src2: code.NoReg, Pred: code.NoReg},
+	}}
+	if err := Layout(p, 0); err != nil {
+		t.Fatal(err)
+	}
+	img, err := Image(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(img) != p.Size {
+		t.Fatalf("image %d bytes, layout says %d", len(img), p.Size)
+	}
+	// REXBC marker must lead the first instruction (register 20 >= 16).
+	if img[0] != 0xd6 {
+		t.Errorf("first byte %#x, want REXBC marker 0xd6", img[0])
+	}
+}
+
+func TestMicroX86CodeIsSmallerThanPrefixHeavySuperset(t *testing.T) {
+	// The same logical op stream encoded with low registers vs REXBC-range
+	// registers: register depth costs code bytes, which is why the
+	// allocator prioritizes low registers.
+	mk := func(reg code.Reg) *code.Program {
+		var instrs []code.Instr
+		for i := 0; i < 50; i++ {
+			instrs = append(instrs, code.Instr{Op: code.ADD, Sz: 4, Dst: reg, Src1: reg, Src2: reg, Pred: code.NoReg})
+		}
+		instrs = append(instrs, code.Instr{Op: code.RET, Dst: code.NoReg, Src1: reg, Src2: code.NoReg, Pred: code.NoReg})
+		return &code.Program{Name: "m", FS: isa.Superset, Instrs: instrs}
+	}
+	lo, hi := mk(3), mk(45)
+	if err := Layout(lo, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := Layout(hi, 0); err != nil {
+		t.Fatal(err)
+	}
+	if lo.Size >= hi.Size {
+		t.Errorf("low-register code (%dB) must be denser than REXBC code (%dB)", lo.Size, hi.Size)
+	}
+}
+
+func TestCompactEncodingShrinksPrefixes(t *testing.T) {
+	// A REXBC-register, predicated instruction: 2+2 prefix bytes under
+	// x86 compatibility, 1+1 under the from-scratch superset encoding.
+	in := code.Instr{Op: code.ADD, Sz: 4, Dst: 40, Src1: 40, Src2: 2, Pred: 5, PredSense: true}
+	x86 := BaseLengthStyle(&in, false)
+	compact := BaseLengthStyle(&in, true)
+	if x86-compact != 2 {
+		t.Errorf("compact encoding should save 2 bytes here: %d vs %d", x86, compact)
+	}
+	// Low-register unpredicated code is identical under both styles.
+	plain := code.Instr{Op: code.ADD, Sz: 4, Dst: 1, Src1: 1, Src2: 2, Pred: code.NoReg}
+	if BaseLengthStyle(&plain, false) != BaseLengthStyle(&plain, true) {
+		t.Error("compact encoding must not change base-ISA instructions")
+	}
+}
+
+func TestCompactLayoutSmaller(t *testing.T) {
+	mk := func(compact bool) *code.Program {
+		var instrs []code.Instr
+		for i := 0; i < 60; i++ {
+			instrs = append(instrs, code.Instr{Op: code.ADD, Sz: 4,
+				Dst: 45, Src1: 45, Src2: 50, Pred: 3, PredSense: true})
+		}
+		instrs = append(instrs, code.Instr{Op: code.RET, Dst: code.NoReg, Src1: 1, Src2: code.NoReg, Pred: code.NoReg})
+		return &code.Program{Name: "c", FS: isa.Superset, Instrs: instrs, CompactEncoding: compact}
+	}
+	a, b := mk(false), mk(true)
+	if err := Layout(a, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := Layout(b, 0); err != nil {
+		t.Fatal(err)
+	}
+	if b.Size >= a.Size {
+		t.Errorf("compact layout must shrink prefix-heavy code: %d vs %d", b.Size, a.Size)
+	}
+}

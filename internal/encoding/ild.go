@@ -1,0 +1,165 @@
+package encoding
+
+import (
+	"fmt"
+
+	"compisa/internal/code"
+)
+
+// ILD models the parallel instruction-length decoder of Section V.B
+// ([109]): it parses raw bytes — prefixes, opcode, ModRM, SIB, displacement,
+// immediate — and marks instruction boundaries, consuming fixed-width fetch
+// chunks per cycle. The customizations the paper adds (REXBC and predicate
+// prefixes) appear here as extra decode cases, exactly the "comparators that
+// generate extra decode signals" of the RTL discussion.
+type ILD struct {
+	// ChunkBytes is the fetch-chunk width processed per cycle (8 in the
+	// paper's RTL, 16 in modern parts).
+	ChunkBytes int
+	// Compact selects the greenfield single-byte prefix forms.
+	Compact bool
+}
+
+// NewILD returns an ILD with the paper's 8-byte chunks.
+func NewILD(compact bool) *ILD { return &ILD{ChunkBytes: 8, Compact: compact} }
+
+// DecodeLength parses one instruction at the start of buf and returns its
+// encoded length. It is the pure length-calculation function the eight
+// decode subunits implement.
+func (d *ILD) DecodeLength(buf []byte) (int, error) {
+	i := 0
+	escaped := false
+	sawPred, sawRexbc := false, false
+
+	// Prefix phase.
+prefixes:
+	for {
+		if i >= len(buf) {
+			return 0, fmt.Errorf("ild: ran out of bytes in prefixes")
+		}
+		switch b := buf[i]; {
+		case b == bREXBC && !d.Compact && !sawRexbc:
+			i += 2 // marker + payload
+			sawRexbc = true
+		case b == bREXBCSlim && d.Compact && !sawRexbc:
+			i++
+			sawRexbc = true
+		case b == bPred && !d.Compact && !sawPred:
+			i += 2
+			sawPred = true
+		case b == bPredSlim && d.Compact && !sawPred:
+			i++
+			sawPred = true
+		case b >= rexBase && b < rexBase+16:
+			i++
+		case b == bPrefix66 || b == bPrefixF2 || b == bPrefixF3:
+			i++
+		case b == bEscape:
+			escaped = true
+			i++
+			break prefixes
+		default:
+			break prefixes
+		}
+	}
+
+	// Opcode phase.
+	if i >= len(buf) {
+		return 0, fmt.Errorf("ild: missing opcode")
+	}
+	opByte := buf[i]
+	i++
+	var op code.Op
+	var ic byte
+	if escaped {
+		ic = opByte >> immClassSh & 0x3
+		o, ok := escOpFromIndex[opByte&0x1f]
+		if !ok {
+			return 0, fmt.Errorf("ild: unknown escaped opcode %#x", opByte)
+		}
+		op = o
+	} else {
+		if opByte&opcodeFlag == 0 {
+			return 0, fmt.Errorf("ild: byte %#x is not an opcode", opByte)
+		}
+		ic = opByte >> immClassSh & 0x3
+		o, ok := intOpFromIndex[opByte&0x1f]
+		if !ok {
+			return 0, fmt.Errorf("ild: unknown opcode %#x", opByte)
+		}
+		op = o
+	}
+
+	// ModRM / SIB / displacement phase.
+	if hasModRM(op) {
+		if i >= len(buf) {
+			return 0, fmt.Errorf("ild: missing modrm")
+		}
+		modrm := buf[i]
+		i++
+		mod := modrm >> 6
+		rm := modrm & 0x7
+		if mod != 0b11 {
+			if rm == 0b100 {
+				i++ // SIB
+			}
+			switch {
+			case mod == 0b01:
+				i++
+			case mod == 0b10:
+				i += 4
+			case mod == 0 && rm == 0b101:
+				i += 4 // absolute disp32
+			}
+		}
+	}
+
+	// Immediate / branch displacement phase.
+	switch op {
+	case code.JCC, code.JMP:
+		if ic >= 2 {
+			i += 4
+		} else {
+			i++
+		}
+	default:
+		i += immBytes(ic)
+	}
+	if i > len(buf) {
+		return 0, fmt.Errorf("ild: instruction overruns buffer")
+	}
+	return i, nil
+}
+
+// MarkResult is the outcome of scanning a code image.
+type MarkResult struct {
+	// Boundaries are the byte offsets where instructions begin.
+	Boundaries []int
+	// Cycles is the number of fetch-chunk cycles the scan consumed: one
+	// per ChunkBytes, plus one extra whenever an instruction straddles
+	// into the next chunk (the "overflow into the next chunk" case the
+	// instruction-marker unit detects).
+	Cycles int
+	// Straddles counts chunk-crossing instructions.
+	Straddles int
+}
+
+// Mark scans a whole code image, marking every instruction boundary — the
+// instruction-marker unit of the ILD.
+func (d *ILD) Mark(img []byte) (*MarkResult, error) {
+	res := &MarkResult{}
+	off := 0
+	for off < len(img) {
+		res.Boundaries = append(res.Boundaries, off)
+		n, err := d.DecodeLength(img[off:])
+		if err != nil {
+			return nil, fmt.Errorf("at offset %d: %v", off, err)
+		}
+		if off/d.ChunkBytes != (off+n-1)/d.ChunkBytes {
+			res.Straddles++
+		}
+		off += n
+	}
+	res.Cycles = (len(img)+d.ChunkBytes-1)/d.ChunkBytes + res.Straddles
+	return res, nil
+}

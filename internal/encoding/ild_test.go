@@ -1,0 +1,111 @@
+package encoding_test
+
+import (
+	"testing"
+
+	"compisa/internal/encoding"
+
+	"compisa/internal/code"
+	"compisa/internal/compiler"
+	"compisa/internal/isa"
+	"compisa/internal/workload"
+)
+
+// TestILDRecoversLayoutLengths is the byte-level cross-validation: encode
+// every instruction of real compiled programs, then let the ILD parse the
+// raw bytes and recover exactly the lengths the layout assigned — for every
+// feature set (REXBC/predicate prefixes included) and both encoding styles.
+func TestILDRecoversLayoutLengths(t *testing.T) {
+	regions := map[string]bool{"hmmer.0": true, "sjeng.0": true, "lbm.0": true, "mcf.0": true}
+	var sample []workload.Region
+	for _, r := range workload.Regions() {
+		if regions[r.Name] {
+			sample = append(sample, r)
+		}
+	}
+	for _, compact := range []bool{false, true} {
+		ild := encoding.NewILD(compact)
+		for _, r := range sample {
+			for _, fs := range isa.Derive() {
+				f, _ := r.Build(fs.Width)
+				prog, err := compiler.Compile(f, fs, compiler.Options{CompactEncoding: compact})
+				if err != nil {
+					t.Fatalf("%s for %s: %v", r.Name, fs.ShortName(), err)
+				}
+				img, err := encoding.Image(prog)
+				if err != nil {
+					t.Fatalf("%s for %s: %v", r.Name, fs.ShortName(), err)
+				}
+				if len(img) != prog.Size {
+					t.Fatalf("%s for %s: image %d bytes, layout %d", r.Name, fs.ShortName(), len(img), prog.Size)
+				}
+				off := 0
+				for i := range prog.Instrs {
+					want := encoding.Length(prog, i)
+					got, err := ild.DecodeLength(img[off:])
+					if err != nil {
+						t.Fatalf("%s for %s instr %d (%s): %v", r.Name, fs.ShortName(), i,
+							code.FormatInstr(&prog.Instrs[i]), err)
+					}
+					if got != want {
+						t.Fatalf("%s for %s instr %d (%s): ILD length %d, layout %d (compact=%v)",
+							r.Name, fs.ShortName(), i, code.FormatInstr(&prog.Instrs[i]), got, want, compact)
+					}
+					off += got
+				}
+				if off != len(img) {
+					t.Fatalf("%s for %s: parsed %d of %d bytes", r.Name, fs.ShortName(), off, len(img))
+				}
+			}
+		}
+	}
+}
+
+func TestILDMark(t *testing.T) {
+	var reg workload.Region
+	for _, r := range workload.Regions() {
+		if r.Name == "bzip2.0" {
+			reg = r
+		}
+	}
+	f, _ := reg.Build(64)
+	prog, err := compiler.Compile(f, isa.Superset, compiler.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := encoding.Image(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := encoding.NewILD(false).Mark(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Boundaries) != len(prog.Instrs) {
+		t.Fatalf("ILD marked %d instructions, program has %d", len(res.Boundaries), len(prog.Instrs))
+	}
+	for i, b := range res.Boundaries {
+		if uint32(b) != prog.PC[i]-prog.Base {
+			t.Fatalf("boundary %d at %d, layout at %d", i, b, prog.PC[i]-prog.Base)
+		}
+	}
+	// Variable-length code must straddle chunk boundaries sometimes, and
+	// each straddle costs a cycle.
+	if res.Straddles == 0 {
+		t.Error("variable-length code should straddle 8-byte chunks")
+	}
+	minCycles := (len(img) + 7) / 8
+	if res.Cycles != minCycles+res.Straddles {
+		t.Errorf("cycle accounting: %d != %d + %d", res.Cycles, minCycles, res.Straddles)
+	}
+}
+
+func TestILDRejectsGarbage(t *testing.T) {
+	ild := encoding.NewILD(false)
+	if _, err := ild.DecodeLength([]byte{0x00}); err == nil {
+		t.Error("byte 0x00 is not a valid opcode")
+	}
+	if _, err := ild.DecodeLength([]byte{0xD6}); err == nil {
+		t.Error("truncated REXBC prefix must error")
+	}
+}

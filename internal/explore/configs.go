@@ -1,0 +1,89 @@
+// Package explore implements the design-space exploration: generation of
+// the pruned microarchitectural configuration space (Table I), the 26x180 =
+// 4680 single-core design points, profile-driven evaluation of performance,
+// power, area, and energy, and the multicore searches behind every figure
+// and table of the paper's evaluation.
+package explore
+
+import (
+	"compisa/internal/cpu"
+)
+
+// wau couples the viable (width, int ALU, FP/SIMD ALU) combinations; Table I
+// prunes combinations like 4-issue cores with a single ALU.
+type wau struct{ width, alu, fp int }
+
+var inorderWAU = []wau{
+	{1, 1, 1}, {2, 1, 1}, {2, 3, 1}, {4, 3, 2}, {4, 6, 2},
+}
+
+var oooWAU = []wau{
+	{1, 1, 1}, {2, 3, 1}, {2, 3, 2}, {4, 6, 2}, {4, 6, 4},
+}
+
+var predictors = []cpu.PredictorKind{cpu.PredLocal, cpu.PredGShare, cpu.PredTournament}
+
+// iqRob couples instruction-queue and reorder-buffer sizes (and the physical
+// register files that feed them, as in Tables III/IV).
+type iqRob struct{ iq, rob, prfInt, prfFP int }
+
+var oooIQROB = []iqRob{
+	{32, 64, 96, 64},
+	{64, 128, 192, 160},
+}
+
+// Configs generates the pruned microarchitectural configuration space: 180
+// distinct configurations (60 in-order + 120 out-of-order).
+func Configs() []cpu.CoreConfig {
+	var out []cpu.CoreConfig
+	caches := []struct{ l1, l2 cpu.CacheCfg }{
+		{cpu.L1Cfg32k, cpu.L2Cfg4M},
+		{cpu.L1Cfg32k, cpu.L2Cfg8M},
+		{cpu.L1Cfg64k, cpu.L2Cfg4M},
+		{cpu.L1Cfg64k, cpu.L2Cfg8M},
+	}
+	lsqFor := func(width int) int {
+		if width >= 4 {
+			return 32
+		}
+		return 16
+	}
+	for _, w := range inorderWAU {
+		for _, bp := range predictors {
+			for _, c := range caches {
+				out = append(out, cpu.CoreConfig{
+					OoO: false, Width: w.width, Predictor: bp,
+					IQ: 32, ROB: 64, PRFInt: 64, PRFFP: 16,
+					IntALU: w.alu, IntMul: 1, FPALU: w.fp,
+					LSQ: lsqFor(w.width),
+					L1I: c.l1, L1D: c.l1, L2: c.l2,
+					// The narrowest in-order cores decode directly
+					// and carry no micro-op cache.
+					UopCache: w.width > 1, Fusion: true,
+				})
+			}
+		}
+	}
+	for _, w := range oooWAU {
+		for _, qr := range oooIQROB {
+			for _, bp := range predictors {
+				for _, c := range caches {
+					out = append(out, cpu.CoreConfig{
+						OoO: true, Width: w.width, Predictor: bp,
+						IQ: qr.iq, ROB: qr.rob, PRFInt: qr.prfInt, PRFFP: qr.prfFP,
+						IntALU: w.alu, IntMul: func() int {
+							if w.width >= 4 {
+								return 2
+							}
+							return 1
+						}(), FPALU: w.fp,
+						LSQ: lsqFor(w.width),
+						L1I: c.l1, L1D: c.l1, L2: c.l2,
+						UopCache: true, Fusion: true,
+					})
+				}
+			}
+		}
+	}
+	return out
+}

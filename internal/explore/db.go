@@ -1,0 +1,234 @@
+package explore
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"compisa/internal/compiler"
+	"compisa/internal/cpu"
+	"compisa/internal/perfmodel"
+	"compisa/internal/power"
+	"compisa/internal/workload"
+)
+
+// maxRegionInstrs bounds each region's functional execution.
+const maxRegionInstrs = 40_000_000
+
+// DB caches per-(region, ISA) profiles and evaluates design points against
+// the whole workload suite. All methods are safe for concurrent use after
+// construction.
+type DB struct {
+	Regions []workload.Region
+
+	mu       sync.Mutex
+	profiles map[string][]*cpu.Profile // ISA key -> per-region profiles
+}
+
+// NewDB builds an evaluation database over the full 49-region suite.
+func NewDB() *DB {
+	return &DB{Regions: workload.Regions(), profiles: map[string][]*cpu.Profile{}}
+}
+
+// Profiles returns (computing on first use) the per-region profiles for an
+// ISA choice. Vendor choices reuse their x86-ized feature set's compiled
+// code, then apply the vendor's code-density traits.
+func (db *DB) Profiles(c ISAChoice) ([]*cpu.Profile, error) {
+	key := c.Key()
+	db.mu.Lock()
+	if ps, ok := db.profiles[key]; ok {
+		db.mu.Unlock()
+		return ps, nil
+	}
+	db.mu.Unlock()
+
+	ps := make([]*cpu.Profile, len(db.Regions))
+	errs := make([]error, len(db.Regions))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i := range db.Regions {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			ps[i], errs[i] = profileRegion(db.Regions[i], c)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	db.mu.Lock()
+	db.profiles[key] = ps
+	db.mu.Unlock()
+	return ps, nil
+}
+
+func profileRegion(r workload.Region, c ISAChoice) (*cpu.Profile, error) {
+	f, m := r.Build(c.FS.Width)
+	prog, err := compiler.Compile(f, c.FS, compiler.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("profile %s for %s: %v", r.Name, c.Key(), err)
+	}
+	prog.Name = r.Name
+	p, _, err := cpu.CollectProfile(prog, m, maxRegionInstrs)
+	if err != nil {
+		return nil, fmt.Errorf("profile %s for %s: %v", r.Name, c.Key(), err)
+	}
+	if c.Vendor != nil {
+		p = vendorAdjust(p, c)
+	}
+	return p, nil
+}
+
+// vendorAdjust applies a vendor ISA's encoding traits to a profile built
+// from its x86-ized equivalent: code density scales the static and dynamic
+// code footprint (Thumb: 0.70), which shifts I-cache misses and micro-op
+// cache reach; fixed-length decode is handled by the power model.
+func vendorAdjust(p *cpu.Profile, c ISAChoice) *cpu.Profile {
+	v := c.Vendor
+	q := *p
+	q.CodeBytes = int(float64(p.CodeBytes) * v.CodeDensity)
+	q.AvgInstrLen = p.AvgInstrLen * v.CodeDensity
+	for i := range q.Mem {
+		for d := range q.Mem[i] {
+			for l := range q.Mem[i][d] {
+				m := p.Mem[i][d][l]
+				m.L1IMisses = int64(float64(m.L1IMisses) * v.CodeDensity)
+				q.Mem[i][d][l] = m
+			}
+		}
+	}
+	// Denser code covers more of the micro-op cache's reach.
+	if v.CodeDensity < 1 {
+		q.UopCacheHitRate = p.UopCacheHitRate + (1-p.UopCacheHitRate)*(1-v.CodeDensity)
+	}
+	return &q
+}
+
+// Metric is the evaluated outcome of one region on one design point.
+type Metric struct {
+	Cycles float64
+	Energy float64 // joules
+	Perf   perfmodel.Result
+}
+
+// Candidate is a fully evaluated single-core design point.
+type Candidate struct {
+	DP      DesignPoint
+	AreaMM2 float64
+	PeakW   float64
+	// Per-region metrics, indexed like DB.Regions.
+	M []Metric
+	// Speedup[r] = reference cycles / candidate cycles for region r.
+	Speedup []float64
+	// NormEDP[r] = candidate E*D / reference E*D.
+	NormEDP []float64
+}
+
+// MeanSpeedup is the arithmetic-mean speedup across regions (region weights
+// applied by the schedulers, not here).
+func (c *Candidate) MeanSpeedup() float64 {
+	s := 0.0
+	for _, v := range c.Speedup {
+		s += v
+	}
+	return s / float64(len(c.Speedup))
+}
+
+// ReferenceConfig is the normalization core: the largest out-of-order
+// configuration with 64KB caches and the 8MB L2.
+func ReferenceConfig() cpu.CoreConfig {
+	return cpu.CoreConfig{
+		OoO: true, Width: 4, Predictor: cpu.PredTournament,
+		IQ: 64, ROB: 128, PRFInt: 192, PRFFP: 160,
+		IntALU: 6, IntMul: 2, FPALU: 4, LSQ: 32,
+		L1I: cpu.L1Cfg64k, L1D: cpu.L1Cfg64k, L2: cpu.L2Cfg8M,
+		UopCache: true, Fusion: true,
+	}
+}
+
+// Evaluate computes a candidate for one design point, normalized against the
+// reference metrics (see ReferenceMetrics).
+func (db *DB) Evaluate(dp DesignPoint, ref []Metric) (*Candidate, error) {
+	ps, err := db.Profiles(dp.ISA)
+	if err != nil {
+		return nil, err
+	}
+	n := len(db.Regions)
+	c := &Candidate{
+		DP:      dp,
+		AreaMM2: dp.Area(),
+		PeakW:   dp.Peak(),
+		M:       make([]Metric, n),
+		Speedup: make([]float64, n),
+		NormEDP: make([]float64, n),
+	}
+	tr := dp.ISA.Traits()
+	for r := 0; r < n; r++ {
+		perf, err := perfmodel.Cycles(ps[r], dp.Cfg)
+		if err != nil {
+			return nil, err
+		}
+		en := power.Energy(tr, dp.Cfg, ps[r], perf)
+		c.M[r] = Metric{Cycles: perf.Cycles, Energy: en.Total, Perf: perf}
+		if ref != nil {
+			c.Speedup[r] = ref[r].Cycles / perf.Cycles
+			c.NormEDP[r] = (en.Total * perf.Cycles) / (ref[r].Energy * ref[r].Cycles)
+		}
+	}
+	return c, nil
+}
+
+// ReferenceMetrics evaluates the normalization core (x86-64 on the reference
+// configuration) over all regions.
+func (db *DB) ReferenceMetrics() ([]Metric, error) {
+	dp := DesignPoint{ISA: X8664Choice(), Cfg: ReferenceConfig()}
+	c, err := db.Evaluate(dp, nil)
+	if err != nil {
+		return nil, err
+	}
+	return c.M, nil
+}
+
+// Candidates evaluates every (ISA choice, configuration) pair, in parallel.
+func (db *DB) Candidates(choices []ISAChoice, cfgs []cpu.CoreConfig, ref []Metric) ([]*Candidate, error) {
+	// Ensure profiles exist (parallel inside Profiles).
+	for _, c := range choices {
+		if _, err := db.Profiles(c); err != nil {
+			return nil, err
+		}
+	}
+	out := make([]*Candidate, 0, len(choices)*len(cfgs))
+	type job struct{ dp DesignPoint }
+	jobs := make([]job, 0, len(choices)*len(cfgs))
+	for _, ch := range choices {
+		for _, cfg := range cfgs {
+			jobs = append(jobs, job{DesignPoint{ISA: ch, Cfg: cfg}})
+		}
+	}
+	results := make([]*Candidate, len(jobs))
+	errs := make([]error, len(jobs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i := range jobs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i], errs[i] = db.Evaluate(jobs[i].dp, ref)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	out = append(out, results...)
+	return out, nil
+}

@@ -1,0 +1,92 @@
+package explore
+
+import (
+	"fmt"
+
+	"compisa/internal/cpu"
+	"compisa/internal/isa"
+	"compisa/internal/power"
+)
+
+// ISAChoice is the instruction set of one core: a composite feature set, or
+// a vendor ISA (for the heterogeneous-ISA baseline), which carries extra
+// traits a composite set cannot express (Thumb's code compression, fixed-
+// length decoding).
+type ISAChoice struct {
+	FS     isa.FeatureSet
+	Vendor *isa.VendorISA
+}
+
+// Key identifies the choice for caching and display.
+func (c ISAChoice) Key() string {
+	if c.Vendor != nil {
+		return "vendor:" + c.Vendor.Name
+	}
+	return c.FS.ShortName()
+}
+
+// Traits returns the hardware-model traits.
+func (c ISAChoice) Traits() power.Traits {
+	t := power.Traits{FS: c.FS}
+	if c.Vendor != nil {
+		t.FixedLength = c.Vendor.FixedLength
+	}
+	return t
+}
+
+// DesignPoint is one single-core design: an ISA choice plus a
+// microarchitectural configuration.
+type DesignPoint struct {
+	ISA ISAChoice
+	Cfg cpu.CoreConfig
+}
+
+func (d DesignPoint) String() string {
+	return fmt.Sprintf("%s @ %s", d.ISA.Key(), d.Cfg.Name())
+}
+
+// Area returns the core's total area (mm², including cache shares).
+func (d DesignPoint) Area() float64 {
+	return power.Area(d.ISA.Traits(), d.Cfg).Total()
+}
+
+// Peak returns the core's peak power (W): the core plus its private caches.
+// The shared L2's power is not charged against per-core peak budgets (only
+// one L2 exists per CMP).
+func (d DesignPoint) Peak() float64 {
+	b := power.Peak(d.ISA.Traits(), d.Cfg)
+	return b.Total() - b.L2
+}
+
+// CompositeChoices returns the 26 composite feature sets as ISA choices.
+func CompositeChoices() []ISAChoice {
+	var out []ISAChoice
+	for _, fs := range isa.Derive() {
+		out = append(out, ISAChoice{FS: fs})
+	}
+	return out
+}
+
+// XIzedChoices returns the three x86-ized fixed feature sets (limited-
+// diversity composite baseline).
+func XIzedChoices() []ISAChoice {
+	var out []ISAChoice
+	for _, fs := range isa.XIzedFixedSets() {
+		out = append(out, ISAChoice{FS: fs})
+	}
+	return out
+}
+
+// VendorChoices returns the heterogeneous-ISA baseline's vendor ISAs.
+func VendorChoices() []ISAChoice {
+	vs := isa.VendorISAs()
+	out := make([]ISAChoice, len(vs))
+	for i := range vs {
+		v := vs[i]
+		out[i] = ISAChoice{FS: v.Features, Vendor: &v}
+	}
+	return out
+}
+
+// X8664Choice is the single-ISA baseline.
+func X8664Choice() ISAChoice { return ISAChoice{FS: isa.X8664} }

@@ -1,0 +1,346 @@
+package explore
+
+import (
+	"fmt"
+	"strings"
+
+	"compisa/internal/compiler"
+	"compisa/internal/cpu"
+	"compisa/internal/isa"
+	"compisa/internal/migrate"
+	"compisa/internal/perfmodel"
+	"compisa/internal/workload"
+)
+
+// DowngradeCase is one Figure 14 category: code compiled for From running,
+// after binary translation, on a core implementing To.
+type DowngradeCase struct {
+	Name string
+	From isa.FeatureSet
+	To   isa.FeatureSet
+}
+
+// Fig14Cases enumerates the downgrade categories of Figure 14.
+func Fig14Cases() []DowngradeCase {
+	u := func(w, d int, p isa.Predication) isa.FeatureSet {
+		return isa.MustNew(isa.MicroX86, w, d, p)
+	}
+	return []DowngradeCase{
+		{"x86-64 to x86-32 (width)", u(64, 32, isa.PartialPredication), u(32, 32, isa.PartialPredication)},
+		{"64 to 32 registers", u(32, 64, isa.PartialPredication), u(32, 32, isa.PartialPredication)},
+		{"64 to 16 registers", u(32, 64, isa.PartialPredication), u(32, 16, isa.PartialPredication)},
+		{"64 to 8 registers", u(32, 64, isa.PartialPredication), u(32, 8, isa.PartialPredication)},
+		{"32 to 16 registers", u(32, 32, isa.PartialPredication), u(32, 16, isa.PartialPredication)},
+		{"32 to 8 registers", u(32, 32, isa.PartialPredication), u(32, 8, isa.PartialPredication)},
+		{"x86 to microx86", isa.MustNew(isa.FullX86, 64, 16, isa.PartialPredication), u(64, 16, isa.PartialPredication)},
+		{"full to partial predication", u(32, 32, isa.FullPredication), u(32, 32, isa.PartialPredication)},
+	}
+}
+
+// Fig14Result holds per-(benchmark, case) downgrade costs as slowdown
+// percentages (negative = speedup).
+type Fig14Result struct {
+	Cases   []DowngradeCase
+	CostPct map[string]map[string]float64 // bench -> case name -> %
+	// Skipped counts regions excluded from a case (vector code is never
+	// scheduled onto SIMD-less cores, matching the paper's scheduler).
+	Skipped map[string]int
+}
+
+// downgradeEvalConfig is the core every Figure 14 measurement runs on: a
+// mid-range out-of-order configuration.
+func downgradeEvalConfig() cpu.CoreConfig {
+	return cpu.CoreConfig{
+		OoO: true, Width: 2, Predictor: cpu.PredTournament,
+		IQ: 32, ROB: 64, PRFInt: 96, PRFFP: 64,
+		IntALU: 3, IntMul: 1, FPALU: 2, LSQ: 16,
+		L1I: cpu.L1Cfg32k, L1D: cpu.L1Cfg32k, L2: cpu.L2Cfg4M,
+		UopCache: true, Fusion: true,
+	}
+}
+
+// Fig14DowngradeCost measures feature-downgrade emulation cost: each region
+// is compiled for the case's source feature set, binary-translated to the
+// target, and both versions are profiled on the same core configuration.
+func Fig14DowngradeCost(regions []workload.Region) (*Fig14Result, error) {
+	res := &Fig14Result{
+		Cases:   Fig14Cases(),
+		CostPct: map[string]map[string]float64{},
+		Skipped: map[string]int{},
+	}
+	cfg := downgradeEvalConfig()
+	type agg struct{ native, translated float64 }
+	acc := map[string]map[string]*agg{}
+	for _, dc := range res.Cases {
+		for _, r := range regions {
+			f, m := r.Build(dc.From.Width)
+			prog, err := compiler.Compile(f, dc.From, compiler.Options{})
+			if err != nil {
+				return nil, err
+			}
+			prog.Name = r.Name
+			trans, err := migrate.Translate(prog, dc.To)
+			if err != nil {
+				// Vector code on SIMD-less targets: scheduler avoidance.
+				res.Skipped[dc.Name]++
+				continue
+			}
+			natProf, _, err := cpu.CollectProfile(prog, m.Clone(), maxRegionInstrs)
+			if err != nil {
+				return nil, err
+			}
+			trProf, _, err := cpu.CollectProfile(trans, m, maxRegionInstrs)
+			if err != nil {
+				return nil, fmt.Errorf("%s %s: %v", dc.Name, r.Name, err)
+			}
+			nat, err := perfmodel.Cycles(natProf, cfg)
+			if err != nil {
+				return nil, err
+			}
+			tr, err := perfmodel.Cycles(trProf, cfg)
+			if err != nil {
+				return nil, err
+			}
+			if acc[r.Benchmark] == nil {
+				acc[r.Benchmark] = map[string]*agg{}
+			}
+			if acc[r.Benchmark][dc.Name] == nil {
+				acc[r.Benchmark][dc.Name] = &agg{}
+			}
+			a := acc[r.Benchmark][dc.Name]
+			a.native += r.Weight * nat.Cycles
+			a.translated += r.Weight * tr.Cycles
+		}
+	}
+	for bench, byCase := range acc {
+		res.CostPct[bench] = map[string]float64{}
+		for name, a := range byCase {
+			res.CostPct[bench][name] = 100 * (a.translated/a.native - 1)
+		}
+	}
+	return res, nil
+}
+
+// MeanCostPct returns the across-benchmark mean cost of a case.
+func (r *Fig14Result) MeanCostPct(caseName string) float64 {
+	s, n := 0.0, 0
+	for _, byCase := range r.CostPct {
+		if v, ok := byCase[caseName]; ok {
+			s += v
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return s / float64(n)
+}
+
+// Format renders Figure 14.
+func (r *Fig14Result) Format() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 14: feature downgrade cost (slowdown %, negative = speedup)\n")
+	fmt.Fprintf(&sb, "  %-28s", "case")
+	for _, b := range workload.Names() {
+		fmt.Fprintf(&sb, " %7s", b)
+	}
+	fmt.Fprintf(&sb, " %7s\n", "mean")
+	for _, dc := range r.Cases {
+		fmt.Fprintf(&sb, "  %-28s", dc.Name)
+		for _, b := range workload.Names() {
+			if v, ok := r.CostPct[b][dc.Name]; ok {
+				fmt.Fprintf(&sb, " %+6.1f%%", v)
+			} else {
+				fmt.Fprintf(&sb, " %7s", "-")
+			}
+		}
+		fmt.Fprintf(&sb, " %+6.1f%%\n", r.MeanCostPct(dc.Name))
+	}
+	return sb.String()
+}
+
+// Fig15Result compares multi-programmed throughput with and without
+// migration/downgrade costs (Figure 15), including the migration census.
+type Fig15Result struct {
+	Budget Budget
+	// Scores relative to the no-cost composite design.
+	WithoutCost      float64
+	WithCost         float64
+	DegradationPct   float64
+	Migrations       int
+	DowngradeSteps   int
+	DowngradesByKind map[string]int
+	Steps            int
+}
+
+// migrationPenaltyCycles is the fixed per-migration cost (state transfer +
+// cache warmup), amortized over a SimPoint-scale interval; it is tiny by
+// construction, matching the paper's overlapping-feature-set design goal.
+const migrationPenaltyFrac = 0.002
+
+// Fig15MigrationOverhead runs the contention schedule on the composite
+// MP-throughput design with each application pinned to one compiled binary
+// (its most-preferred feature set on that CMP), charging binary-translation
+// downgrade costs (from Figure 14) and per-migration costs.
+func (s *Searcher) Fig15MigrationOverhead(budget Budget, costs *Fig14Result) (*Fig15Result, error) {
+	cmp, err := s.Search(OrgCompositeFull, ObjMPThroughput, budget)
+	if err != nil {
+		return nil, err
+	}
+	si := newSuiteIndex(s.DB.Regions)
+	regions := s.DB.Regions
+
+	// Per-benchmark binary feature set: the CMP feature set the benchmark
+	// prefers most often (by weighted best-core selection).
+	binFS := map[string]isa.FeatureSet{}
+	{
+		votes := map[string]map[string]float64{}
+		fsByKey := map[string]isa.FeatureSet{}
+		for ri, r := range regions {
+			best := 0
+			for k := 1; k < 4; k++ {
+				if cmp.Cores[k].Speedup[ri] > cmp.Cores[best].Speedup[ri] {
+					best = k
+				}
+			}
+			key := cmp.Cores[best].DP.ISA.Key()
+			fsByKey[key] = cmp.Cores[best].DP.ISA.FS
+			if votes[r.Benchmark] == nil {
+				votes[r.Benchmark] = map[string]float64{}
+			}
+			votes[r.Benchmark][key] += r.Weight
+		}
+		for bench, v := range votes {
+			bestKey, bestW := "", -1.0
+			for k, w := range v {
+				if w > bestW {
+					bestKey, bestW = k, w
+				}
+			}
+			binFS[bench] = fsByKey[bestKey]
+		}
+	}
+
+	// Downgrade penalty per (benchmark, from, to): product over downgrade
+	// kinds of (1 + kind cost) using the per-benchmark Figure 14 costs.
+	kindCase := map[isa.DowngradeKind]string{
+		isa.DowngradeWidth:       "x86-64 to x86-32 (width)",
+		isa.DowngradeComplexity:  "x86 to microx86",
+		isa.DowngradePredication: "full to partial predication",
+	}
+	depthCase := func(from, to int) string {
+		switch {
+		case from == 64 && to >= 32:
+			return "64 to 32 registers"
+		case from == 64 && to >= 16:
+			return "64 to 16 registers"
+		case from == 64:
+			return "64 to 8 registers"
+		case to >= 16:
+			return "32 to 16 registers"
+		default:
+			return "32 to 8 registers"
+		}
+	}
+	res := &Fig15Result{Budget: budget, DowngradesByKind: map[string]int{}}
+	penalty := func(bench string, from, to isa.FeatureSet) (float64, []isa.DowngradeKind) {
+		kinds := isa.Downgrades(from, to)
+		f := 1.0
+		for _, k := range kinds {
+			var name string
+			if k == isa.DowngradeDepth {
+				name = depthCase(from.Depth, to.Depth)
+			} else if k == isa.DowngradeSIMD {
+				// Vector regions run their precompiled scalar version;
+				// the candidate's own profile already is that version.
+				continue
+			} else {
+				name = kindCase[k]
+			}
+			c := costs.CostPct[bench][name] / 100
+			if c < 0 {
+				c = 0
+			}
+			f *= 1 + c
+		}
+		return f, kinds
+	}
+
+	// Baseline: contention schedule without costs.
+	base := si.scheduleMP(&cmp.Cores, regions, nil)
+
+	// With costs: each thread's performance on a core is its binary's
+	// profile on that core's microarchitecture, scaled by downgrade
+	// penalties; migrations charge a fixed fraction.
+	// Precompute per-region, per-core adjusted speedups.
+	adj := make([][4]float64, len(regions))
+	ref := s.Reference()
+	for ri, r := range regions {
+		bFS := binFS[r.Benchmark]
+		bProfiles, err := s.DB.Profiles(ISAChoice{FS: bFS})
+		if err != nil {
+			return nil, err
+		}
+		for k := 0; k < 4; k++ {
+			coreFS := cmp.Cores[k].DP.ISA.FS
+			perf, err := perfmodel.Cycles(bProfiles[ri], cmp.Cores[k].DP.Cfg)
+			if err != nil {
+				return nil, err
+			}
+			sp := ref[ri].Cycles / perf.Cycles
+			if !coreFS.Subsumes(bFS) {
+				p, _ := penalty(r.Benchmark, bFS, coreFS)
+				sp /= p
+			}
+			adj[ri][k] = sp
+		}
+	}
+	// NOTE: the hook is evaluated for every permutation trial; the census
+	// must only count committed assignments, so it is taken in a second
+	// pass over the committed schedule (TimeByBenchCore tracks commits).
+	withCost := si.scheduleMP(&cmp.Cores, regions, func(th, region, core int, _ float64, migrated bool) float64 {
+		sp := adj[region][core]
+		if migrated {
+			sp *= 1 - migrationPenaltyFrac
+		}
+		return sp
+	})
+	downgradeSteps := 0
+	kindCount := map[string]int{}
+	for bench, byCore := range withCost.TimeByBenchCore {
+		for core, t := range byCore {
+			if t == 0 {
+				continue
+			}
+			if !cmp.Cores[core].DP.ISA.FS.Subsumes(binFS[bench]) {
+				downgradeSteps++
+				for _, k := range isa.Downgrades(binFS[bench], cmp.Cores[core].DP.ISA.FS) {
+					kindCount[k.String()]++
+				}
+			}
+		}
+	}
+	res.WithoutCost = base.Throughput
+	res.WithCost = withCost.Throughput
+	res.DegradationPct = 100 * (1 - withCost.Throughput/base.Throughput)
+	res.Migrations = withCost.Migrations
+	res.Steps = withCost.Steps
+	res.DowngradeSteps = downgradeSteps
+	res.DowngradesByKind = kindCount
+	return res, nil
+}
+
+// Format renders Figure 15's summary.
+func (r *Fig15Result) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Figure 15: multi-programmed throughput with migration cost (%s)\n", r.Budget)
+	fmt.Fprintf(&sb, "  composite (idealized compilation): %.4f\n", r.WithoutCost)
+	fmt.Fprintf(&sb, "  composite with migration cost:     %.4f (%.2f%% degradation; paper: 0.42%% avg)\n",
+		r.WithCost, r.DegradationPct)
+	fmt.Fprintf(&sb, "  schedule: %d steps, %d migrations, %d downgraded intervals\n",
+		r.Steps, r.Migrations, r.DowngradeSteps)
+	for k, n := range r.DowngradesByKind {
+		fmt.Fprintf(&sb, "    downgrade %-24s %d\n", k, n)
+	}
+	return sb.String()
+}

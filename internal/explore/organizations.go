@@ -1,0 +1,140 @@
+package explore
+
+import (
+	"fmt"
+
+	"compisa/internal/workload"
+)
+
+// Organization is one of the five CMP organizations compared throughout the
+// evaluation (Section VII.A).
+type Organization uint8
+
+const (
+	// OrgHomogeneous: four identical x86-64 cores.
+	OrgHomogeneous Organization = iota
+	// OrgSingleISAHetero: x86-64 everywhere, heterogeneous hardware.
+	OrgSingleISAHetero
+	// OrgCompositeFixed: hardware heterogeneity plus the three x86-ized
+	// fixed feature sets resembling Thumb/Alpha/x86-64 (Table II).
+	OrgCompositeFixed
+	// OrgHeteroVendor: the multi-vendor heterogeneous-ISA CMP
+	// (x86-64, Alpha, Thumb) — the "goal" baseline.
+	OrgHeteroVendor
+	// OrgCompositeFull: hardware heterogeneity plus full ISA feature
+	// diversity over all 26 composite feature sets.
+	OrgCompositeFull
+)
+
+func (o Organization) String() string {
+	switch o {
+	case OrgHomogeneous:
+		return "Homogeneous (x86-64)"
+	case OrgSingleISAHetero:
+		return "Single-ISA Heterogeneous (x86-64 + HW heterogeneity)"
+	case OrgCompositeFixed:
+		return "Composite-ISA, fixed x86-ized feature sets"
+	case OrgHeteroVendor:
+		return "Heterogeneous-ISA (x86-64 + Alpha + Thumb)"
+	case OrgCompositeFull:
+		return "Composite-ISA, full feature diversity"
+	}
+	return "unknown"
+}
+
+// Organizations lists all five in presentation order.
+func Organizations() []Organization {
+	return []Organization{OrgHomogeneous, OrgSingleISAHetero, OrgHeteroVendor,
+		OrgCompositeFixed, OrgCompositeFull}
+}
+
+// Choices returns the ISA choices an organization may assign to cores.
+func (o Organization) Choices() []ISAChoice {
+	switch o {
+	case OrgHomogeneous, OrgSingleISAHetero:
+		return []ISAChoice{X8664Choice()}
+	case OrgCompositeFixed:
+		return XIzedChoices()
+	case OrgHeteroVendor:
+		return VendorChoices()
+	default:
+		return CompositeChoices()
+	}
+}
+
+// Searcher runs organization-level searches with candidate caching.
+type Searcher struct {
+	DB  *DB
+	ref []Metric
+	// cands caches evaluated candidates per organization choice-set key.
+	cands map[Organization][]*Candidate
+	// MaxCandidates tunes search effort (0 = default).
+	MaxCandidates int
+}
+
+// NewSearcher builds a Searcher over the full suite.
+func NewSearcher(db *DB) (*Searcher, error) {
+	ref, err := db.ReferenceMetrics()
+	if err != nil {
+		return nil, err
+	}
+	return &Searcher{DB: db, ref: ref, cands: map[Organization][]*Candidate{}}, nil
+}
+
+// Candidates returns (and caches) the evaluated candidate set of an
+// organization.
+func (s *Searcher) Candidates(org Organization) ([]*Candidate, error) {
+	if cs, ok := s.cands[org]; ok {
+		return cs, nil
+	}
+	cs, err := s.DB.Candidates(org.Choices(), Configs(), s.ref)
+	if err != nil {
+		return nil, err
+	}
+	s.cands[org] = cs
+	return cs, nil
+}
+
+// Search finds the organization's (locally) optimal CMP for an objective
+// under a budget.
+func (s *Searcher) Search(org Organization, obj Objective, b Budget) (CMP, error) {
+	cs, err := s.Candidates(org)
+	if err != nil {
+		return CMP{}, err
+	}
+	spec := SearchSpec{
+		Candidates:    cs,
+		Budget:        b,
+		Objective:     obj,
+		Homogeneous:   org == OrgHomogeneous,
+		MaxCandidates: s.MaxCandidates,
+	}
+	cmp, err := Search(spec, s.DB.Regions)
+	if err != nil {
+		return CMP{}, fmt.Errorf("%v under %s: %v", org, b, err)
+	}
+	return cmp, nil
+}
+
+// SearchConstrained runs a composite-full search restricted by a candidate
+// constraint (Figure 9's feature-sensitivity analysis).
+func (s *Searcher) SearchConstrained(obj Objective, b Budget, constraint func(*Candidate) bool) (CMP, error) {
+	cs, err := s.Candidates(OrgCompositeFull)
+	if err != nil {
+		return CMP{}, err
+	}
+	spec := SearchSpec{
+		Candidates:    cs,
+		Budget:        b,
+		Objective:     obj,
+		Constraint:    constraint,
+		MaxCandidates: s.MaxCandidates,
+	}
+	return Search(spec, s.DB.Regions)
+}
+
+// Regions exposes the suite the searcher evaluates over.
+func (s *Searcher) Regions() []workload.Region { return s.DB.Regions }
+
+// Reference exposes the normalization metrics.
+func (s *Searcher) Reference() []Metric { return s.ref }

@@ -1,0 +1,166 @@
+package explore
+
+import (
+	"testing"
+
+	"compisa/internal/workload"
+)
+
+func TestSuiteIndexShape(t *testing.T) {
+	si := newSuiteIndex(workload.Regions())
+	if len(si.benchRegions) != 8 {
+		t.Fatalf("expected 8 benchmarks, got %d", len(si.benchRegions))
+	}
+	if len(si.mixes) != 70 {
+		t.Errorf("C(8,4) = 70 mixes, got %d", len(si.mixes))
+	}
+	if len(si.perms) != 24 {
+		t.Errorf("4! = 24 permutations, got %d", len(si.perms))
+	}
+	total := 0
+	for _, rs := range si.benchRegions {
+		total += len(rs)
+	}
+	if total != 49 {
+		t.Errorf("suite index covers %d regions, want 49", total)
+	}
+	// Weights normalized per benchmark.
+	for bi, ws := range si.weights {
+		sum := 0.0
+		for _, w := range ws {
+			sum += w
+		}
+		if sum < 0.999 || sum > 1.001 {
+			t.Errorf("benchmark %d weights sum to %f", bi, sum)
+		}
+	}
+}
+
+// fakeCandidate builds a candidate with uniform speedup/EDP values.
+func fakeCandidate(n int, speedup, edp, peak, area float64) *Candidate {
+	c := &Candidate{PeakW: peak, AreaMM2: area,
+		Speedup: make([]float64, n), NormEDP: make([]float64, n), M: make([]Metric, n)}
+	for i := 0; i < n; i++ {
+		c.Speedup[i] = speedup
+		c.NormEDP[i] = edp
+		c.M[i] = Metric{Cycles: 1000 / speedup, Energy: edp}
+	}
+	return c
+}
+
+func TestScoreMPUniformCores(t *testing.T) {
+	regions := workload.Regions()
+	si := newSuiteIndex(regions)
+	c := fakeCandidate(len(regions), 2.0, 0.5, 10, 12)
+	cores := [4]*Candidate{c, c, c, c}
+	if got := si.scoreMP(&cores, false); got < 1.999 || got > 2.001 {
+		t.Errorf("uniform speedup 2.0 must score 2.0, got %f", got)
+	}
+	if got := si.scoreMP(&cores, true); got < -0.501 || got > -0.499 {
+		t.Errorf("uniform EDP 0.5 must score -0.5, got %f", got)
+	}
+}
+
+func TestScoreMPOptimalAssignment(t *testing.T) {
+	regions := workload.Regions()
+	n := len(regions)
+	si := newSuiteIndex(regions)
+	// One specialist core that is 10x on exactly one region per step and
+	// 1x elsewhere; three 2x generalists. The scheduler must route the
+	// matching thread to the specialist whenever it helps.
+	gen := fakeCandidate(n, 2.0, 0.5, 10, 12)
+	spec := fakeCandidate(n, 1.0, 1.0, 10, 12)
+	for i := 0; i < n; i += 7 {
+		spec.Speedup[i] = 10
+	}
+	cores := [4]*Candidate{spec, gen, gen, gen}
+	got := si.scoreMP(&cores, false)
+	// Lower bound: generalists alone would give (3*2+1)/4 = 1.75; the
+	// specialist must add value above that.
+	if got <= 1.75 {
+		t.Errorf("optimal assignment must exploit the specialist: %f", got)
+	}
+}
+
+func TestScoreSTPicksBestCore(t *testing.T) {
+	regions := workload.Regions()
+	n := len(regions)
+	si := newSuiteIndex(regions)
+	slow := fakeCandidate(n, 1.0, 1.0, 10, 12)
+	fast := fakeCandidate(n, 3.0, 0.2, 10, 12)
+	cores := [4]*Candidate{slow, slow, slow, fast}
+	if got := si.scoreST(&cores, false); got < 2.999 || got > 3.001 {
+		t.Errorf("ST must migrate every phase to the fast core: %f", got)
+	}
+	if got := si.scoreST(&cores, true); got < -0.201 || got > -0.199 {
+		t.Errorf("ST EDP must pick the efficient core: %f", got)
+	}
+}
+
+func TestFeasibleBudgets(t *testing.T) {
+	regions := workload.Regions()
+	n := len(regions)
+	c := fakeCandidate(n, 1, 1, 6, 12)
+	cores := [4]*Candidate{c, c, c, c}
+	if !feasible(&cores, Budget{}, false) {
+		t.Error("unlimited budget must accept everything")
+	}
+	if feasible(&cores, Budget{PeakW: 20}, false) {
+		t.Error("4x6W exceeds a 20W MP budget")
+	}
+	if !feasible(&cores, Budget{PeakW: 20}, true) {
+		t.Error("6W per core fits a 20W ST budget (one core on)")
+	}
+	if feasible(&cores, Budget{AreaMM2: 40}, false) {
+		t.Error("48mm2 exceeds a 40mm2 budget")
+	}
+	if !feasible(&cores, Budget{AreaMM2: 48}, false) {
+		t.Error("48mm2 fits exactly")
+	}
+}
+
+func TestBudgetString(t *testing.T) {
+	if (Budget{PeakW: 40}).String() != "40W" {
+		t.Error("power budget format")
+	}
+	if (Budget{AreaMM2: 48}).String() != "48mm2" {
+		t.Error("area budget format")
+	}
+	if (Budget{}).String() != "unlimited" {
+		t.Error("unlimited budget format")
+	}
+}
+
+func TestObjectiveKinds(t *testing.T) {
+	if ObjMPThroughput.SingleThread() || ObjMPEDP.SingleThread() {
+		t.Error("MP objectives are not single-thread")
+	}
+	if !ObjSTPerf.SingleThread() || !ObjSTEDP.SingleThread() {
+		t.Error("ST objectives power one core at a time")
+	}
+}
+
+func TestScheduleMPCountsMigrations(t *testing.T) {
+	regions := workload.Regions()
+	n := len(regions)
+	si := newSuiteIndex(regions)
+	// Alternating specialists force reassignments between steps.
+	a := fakeCandidate(n, 1, 1, 10, 12)
+	b := fakeCandidate(n, 1, 1, 10, 12)
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			a.Speedup[i] = 5
+		} else {
+			b.Speedup[i] = 5
+		}
+	}
+	g := fakeCandidate(n, 1, 1, 10, 12)
+	cores := [4]*Candidate{a, b, g, g}
+	st := si.scheduleMP(&cores, regions, nil)
+	if st.Migrations == 0 {
+		t.Error("alternating specialists must trigger migrations")
+	}
+	if st.Steps == 0 || st.Throughput <= 0 {
+		t.Error("schedule must produce steps and positive throughput")
+	}
+}

@@ -1,0 +1,540 @@
+package explore
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"compisa/internal/workload"
+)
+
+// Budget constrains a 4-core CMP. Zero fields are unlimited. For
+// single-thread objectives the power budget applies to one core at a time
+// (dynamic multicore topology: only one core is powered on).
+type Budget struct {
+	PeakW   float64
+	AreaMM2 float64
+}
+
+func (b Budget) String() string {
+	switch {
+	case b.PeakW > 0:
+		return fmt.Sprintf("%gW", b.PeakW)
+	case b.AreaMM2 > 0:
+		return fmt.Sprintf("%gmm2", b.AreaMM2)
+	default:
+		return "unlimited"
+	}
+}
+
+// Objective selects what the search optimizes.
+type Objective uint8
+
+const (
+	// ObjMPThroughput maximizes multi-programmed workload throughput.
+	ObjMPThroughput Objective = iota
+	// ObjMPEDP minimizes multi-programmed energy-delay product.
+	ObjMPEDP
+	// ObjSTPerf maximizes single-thread performance with free migration
+	// across the four cores.
+	ObjSTPerf
+	// ObjSTEDP minimizes single-thread EDP with free migration.
+	ObjSTEDP
+)
+
+// SingleThread reports whether the objective powers one core at a time.
+func (o Objective) SingleThread() bool { return o == ObjSTPerf || o == ObjSTEDP }
+
+// CMP is a four-core multicore design.
+type CMP struct {
+	Cores [4]*Candidate
+	// Score is the objective value (higher is better; EDP objectives
+	// store the negated normalized EDP).
+	Score float64
+}
+
+// TotalPeak and TotalArea sum the cores.
+func (c CMP) TotalPeak() float64 {
+	s := 0.0
+	for _, core := range c.Cores {
+		s += core.PeakW
+	}
+	return s
+}
+
+func (c CMP) TotalArea() float64 {
+	s := 0.0
+	for _, core := range c.Cores {
+		s += core.AreaMM2
+	}
+	return s
+}
+
+// suiteIndex caches the benchmark/region structure used by the schedulers.
+type suiteIndex struct {
+	benchRegions [][]int     // per benchmark: flattened region indices
+	weights      [][]float64 // per benchmark: region weights
+	mixes        [][4]int    // all 4-benchmark combinations
+	perms        [][4]int    // all assignments of 4 threads to 4 cores
+}
+
+func newSuiteIndex(regions []workload.Region) *suiteIndex {
+	si := &suiteIndex{}
+	byBench := map[string]int{}
+	for i, r := range regions {
+		bi, ok := byBench[r.Benchmark]
+		if !ok {
+			bi = len(si.benchRegions)
+			byBench[r.Benchmark] = bi
+			si.benchRegions = append(si.benchRegions, nil)
+			si.weights = append(si.weights, nil)
+		}
+		si.benchRegions[bi] = append(si.benchRegions[bi], i)
+		si.weights[bi] = append(si.weights[bi], r.Weight)
+	}
+	nb := len(si.benchRegions)
+	for a := 0; a < nb; a++ {
+		for b := a + 1; b < nb; b++ {
+			for c := b + 1; c < nb; c++ {
+				for d := c + 1; d < nb; d++ {
+					si.mixes = append(si.mixes, [4]int{a, b, c, d})
+				}
+			}
+		}
+	}
+	var permute func(rest []int, cur []int)
+	permute = func(rest, cur []int) {
+		if len(rest) == 0 {
+			var p [4]int
+			copy(p[:], cur)
+			si.perms = append(si.perms, p)
+			return
+		}
+		for i := range rest {
+			nr := append(append([]int{}, rest[:i]...), rest[i+1:]...)
+			permute(nr, append(cur, rest[i]))
+		}
+	}
+	permute([]int{0, 1, 2, 3}, nil)
+	return si
+}
+
+// scoreMP evaluates a 4-core CMP on the multi-programmed scheduler: every
+// 4-benchmark mix runs with per-phase-step optimal thread-to-core
+// assignment (24 permutations), exactly the contention model of Section VI.
+func (si *suiteIndex) scoreMP(cores *[4]*Candidate, edp bool) float64 {
+	total := 0.0
+	steps := 0
+	for _, mix := range si.mixes {
+		maxLen := 0
+		for _, b := range mix {
+			if l := len(si.benchRegions[b]); l > maxLen {
+				maxLen = l
+			}
+		}
+		for t := 0; t < maxLen; t++ {
+			var phase [4]int
+			for i, b := range mix {
+				rs := si.benchRegions[b]
+				phase[i] = rs[t%len(rs)]
+			}
+			best := math.Inf(-1)
+			for _, perm := range si.perms {
+				v := 0.0
+				for th := 0; th < 4; th++ {
+					core := cores[perm[th]]
+					if edp {
+						v -= core.NormEDP[phase[th]]
+					} else {
+						v += core.Speedup[phase[th]]
+					}
+				}
+				if v > best {
+					best = v
+				}
+			}
+			total += best / 4
+			steps++
+		}
+	}
+	return total / float64(steps)
+}
+
+// scoreST evaluates single-thread objectives: each benchmark migrates every
+// region to its best core (SimPoint weights applied).
+func (si *suiteIndex) scoreST(cores *[4]*Candidate, edp bool) float64 {
+	total := 0.0
+	for b := range si.benchRegions {
+		bs := 0.0
+		for k, r := range si.benchRegions[b] {
+			best := math.Inf(-1)
+			for _, core := range cores {
+				var v float64
+				if edp {
+					v = -core.NormEDP[r]
+				} else {
+					v = core.Speedup[r]
+				}
+				if v > best {
+					best = v
+				}
+			}
+			bs += si.weights[b][k] * best
+		}
+		total += bs
+	}
+	return total / float64(len(si.benchRegions))
+}
+
+func (si *suiteIndex) score(cores *[4]*Candidate, obj Objective) float64 {
+	switch obj {
+	case ObjMPThroughput:
+		return si.scoreMP(cores, false)
+	case ObjMPEDP:
+		return si.scoreMP(cores, true)
+	case ObjSTPerf:
+		return si.scoreST(cores, false)
+	default:
+		return si.scoreST(cores, true)
+	}
+}
+
+// feasible checks a full CMP against the budget.
+func feasible(cores *[4]*Candidate, b Budget, st bool) bool {
+	peak, area := 0.0, 0.0
+	for _, c := range cores {
+		if st {
+			if b.PeakW > 0 && c.PeakW > b.PeakW {
+				return false
+			}
+		} else {
+			peak += c.PeakW
+		}
+		area += c.AreaMM2
+	}
+	if !st && b.PeakW > 0 && peak > b.PeakW {
+		return false
+	}
+	if b.AreaMM2 > 0 && area > b.AreaMM2 {
+		return false
+	}
+	return true
+}
+
+// SearchSpec describes one multicore search.
+type SearchSpec struct {
+	Candidates  []*Candidate
+	Budget      Budget
+	Objective   Objective
+	Homogeneous bool // all four cores must be identical
+	// MaxCandidates caps the pruned candidate set fed to hill climbing.
+	MaxCandidates int
+	// Constraint optionally rejects candidates (Figure 9's
+	// feature-constrained searches).
+	Constraint func(*Candidate) bool
+}
+
+// prune reduces the candidate set: budget-infeasible and constraint-failing
+// candidates are dropped; the survivors are ranked by objective-relevant
+// utility and capped, always keeping each region's top specialists so
+// heterogeneity stays discoverable.
+func prune(spec SearchSpec, si *suiteIndex) []*Candidate {
+	var ok []*Candidate
+	st := spec.Objective.SingleThread()
+	for _, c := range spec.Candidates {
+		if spec.Constraint != nil && !spec.Constraint(c) {
+			continue
+		}
+		if st {
+			if spec.Budget.PeakW > 0 && c.PeakW > spec.Budget.PeakW {
+				continue
+			}
+		} else if spec.Budget.PeakW > 0 && c.PeakW > spec.Budget.PeakW {
+			continue
+		}
+		if spec.Budget.AreaMM2 > 0 && c.AreaMM2 > spec.Budget.AreaMM2 {
+			continue
+		}
+		ok = append(ok, c)
+	}
+	if len(ok) == 0 {
+		return nil
+	}
+	max := spec.MaxCandidates
+	if max <= 0 {
+		max = 300
+	}
+	utility := func(c *Candidate) float64 {
+		if spec.Objective == ObjMPEDP || spec.Objective == ObjSTEDP {
+			s := 0.0
+			for _, v := range c.NormEDP {
+				s += v
+			}
+			return -s
+		}
+		return c.MeanSpeedup()
+	}
+	sort.Slice(ok, func(i, j int) bool { return utility(ok[i]) > utility(ok[j]) })
+	keep := map[*Candidate]bool{}
+	for i := 0; i < len(ok) && i < max*3/4; i++ {
+		keep[ok[i]] = true
+	}
+	// Per-ISA heads: every feature set keeps its best configurations so a
+	// globally mediocre ISA can still contribute its specialist cores.
+	perISA := map[string]int{}
+	for _, c := range ok {
+		k := c.DP.ISA.Key()
+		if perISA[k] < 8 {
+			keep[c] = true
+			perISA[k]++
+		}
+	}
+	// Keep the smallest/coolest cores so tight budgets always have a
+	// feasible homogeneous seed and cheap filler cores.
+	keepSortedBy := func(less func(a, b *Candidate) bool, n int) {
+		s := append([]*Candidate{}, ok...)
+		sort.Slice(s, func(i, j int) bool { return less(s[i], s[j]) })
+		for i := 0; i < len(s) && i < n; i++ {
+			keep[s[i]] = true
+		}
+	}
+	keepSortedBy(func(a, b *Candidate) bool { return a.AreaMM2 < b.AreaMM2 }, 25)
+	keepSortedBy(func(a, b *Candidate) bool { return a.PeakW < b.PeakW }, 25)
+	// Efficiency ranks: under power/area budgets the best building blocks
+	// maximize value per watt / per mm², not raw value. For speedup
+	// objectives that is utility/cost; for (negative-valued) EDP
+	// objectives it is utility*cost, which prefers low EDP at low cost.
+	isEDP := spec.Objective == ObjMPEDP || spec.Objective == ObjSTEDP
+	eff := func(c *Candidate, cost float64) float64 {
+		if isEDP {
+			return utility(c) * cost
+		}
+		return utility(c) / cost
+	}
+	keepSortedBy(func(a, b *Candidate) bool {
+		return eff(a, a.PeakW) > eff(b, b.PeakW)
+	}, 80)
+	keepSortedBy(func(a, b *Candidate) bool {
+		return eff(a, a.AreaMM2) > eff(b, b.AreaMM2)
+	}, 80)
+	// Per-ISA efficiency heads, mirroring the per-ISA utility heads.
+	perISAEff := map[string]int{}
+	byEff := append([]*Candidate{}, ok...)
+	sort.Slice(byEff, func(i, j int) bool { return eff(byEff[i], byEff[i].PeakW) > eff(byEff[j], byEff[j].PeakW) })
+	for _, c := range byEff {
+		k := c.DP.ISA.Key()
+		if perISAEff[k] < 6 {
+			keep[c] = true
+			perISAEff[k]++
+		}
+	}
+	// Region specialists: best 3 per region per criterion.
+	nRegions := len(ok[0].Speedup)
+	for r := 0; r < nRegions; r++ {
+		type rc struct {
+			c *Candidate
+			v float64
+		}
+		var per []rc
+		for _, c := range ok {
+			v := c.Speedup[r]
+			if spec.Objective == ObjMPEDP || spec.Objective == ObjSTEDP {
+				v = -c.NormEDP[r]
+			}
+			per = append(per, rc{c, v})
+		}
+		sort.Slice(per, func(i, j int) bool { return per[i].v > per[j].v })
+		for i := 0; i < 3 && i < len(per); i++ {
+			keep[per[i].c] = true
+		}
+	}
+	// The union of the utility head, the specialists, and the small cores
+	// is the search set; specialists must survive, so no further cap.
+	var out []*Candidate
+	for _, c := range ok {
+		if keep[c] {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Search finds a (locally) optimal 4-core CMP by steepest-ascent hill
+// climbing over single-core replacements — the paper likewise reports local
+// optima to keep its 102.5-trillion-combination search tractable.
+func Search(spec SearchSpec, regions []workload.Region) (CMP, error) {
+	si := newSuiteIndex(regions)
+	cands := prune(spec, si)
+	if len(cands) == 0 {
+		return CMP{}, fmt.Errorf("explore: no feasible candidates under %s", spec.Budget)
+	}
+	st := spec.Objective.SingleThread()
+
+	// Seeds: the best feasible homogeneous CMP at the full budget and at
+	// reduced budgets. A full-budget homogeneous seed saturates the
+	// constraint, leaving hill climbing no slack to upgrade any single
+	// core; seeds with headroom escape that local optimum.
+	bestHomogeneous := func(b Budget) (CMP, bool) {
+		var best CMP
+		found := false
+		for _, c := range cands {
+			cores := [4]*Candidate{c, c, c, c}
+			if !feasible(&cores, b, st) {
+				continue
+			}
+			s := si.score(&cores, spec.Objective)
+			if !found || s > best.Score {
+				best = CMP{Cores: cores, Score: s}
+				found = true
+			}
+		}
+		return best, found
+	}
+	seedBudgets := []float64{1.0, 0.85, 0.7, 0.55}
+	var seeds []CMP
+	for _, frac := range seedBudgets {
+		b := spec.Budget
+		b.PeakW *= frac
+		b.AreaMM2 *= frac
+		if s, ok := bestHomogeneous(b); ok {
+			seeds = append(seeds, s)
+		}
+	}
+	// Maximum-slack seed: four copies of the cheapest core, so the climb
+	// can grow a heterogeneous design bottom-up even when the budget
+	// admits no slack around the best homogeneous design.
+	cheapest := cands[0]
+	for _, c := range cands[1:] {
+		if c.PeakW+c.AreaMM2/10 < cheapest.PeakW+cheapest.AreaMM2/10 {
+			cheapest = c
+		}
+	}
+	cheapCores := [4]*Candidate{cheapest, cheapest, cheapest, cheapest}
+	if feasible(&cheapCores, spec.Budget, st) {
+		seeds = append(seeds, CMP{Cores: cheapCores, Score: si.score(&cheapCores, spec.Objective)})
+	}
+	// Per-ISA homogeneous seeds: the best feasible 4x design of each of
+	// the strongest ISA choices, so pairwise ISA mixes are reachable.
+	{
+		type isaSeed struct {
+			cmp   CMP
+			score float64
+		}
+		bestPer := map[string]isaSeed{}
+		for _, c := range cands {
+			cores := [4]*Candidate{c, c, c, c}
+			if !feasible(&cores, spec.Budget, st) {
+				continue
+			}
+			s := si.score(&cores, spec.Objective)
+			k := c.DP.ISA.Key()
+			if cur, ok := bestPer[k]; !ok || s > cur.score {
+				bestPer[k] = isaSeed{CMP{Cores: cores, Score: s}, s}
+			}
+		}
+		var list []isaSeed
+		for _, v := range bestPer {
+			list = append(list, v)
+		}
+		sort.Slice(list, func(i, j int) bool { return list[i].score > list[j].score })
+		for i := 0; i < len(list) && i < 6; i++ {
+			seeds = append(seeds, list[i].cmp)
+		}
+		// 2+2 ISA-pair seeds among the strongest per-ISA designs, so
+		// two-ISA mixes are directly reachable under tight budgets.
+		top := len(list)
+		if top > 5 {
+			top = 5
+		}
+		for i := 0; i < top; i++ {
+			for j := i + 1; j < top; j++ {
+				cores := [4]*Candidate{list[i].cmp.Cores[0], list[i].cmp.Cores[0],
+					list[j].cmp.Cores[0], list[j].cmp.Cores[0]}
+				if feasible(&cores, spec.Budget, st) {
+					seeds = append(seeds, CMP{Cores: cores, Score: si.score(&cores, spec.Objective)})
+				}
+			}
+		}
+	}
+	if len(seeds) == 0 {
+		return CMP{}, fmt.Errorf("explore: no feasible homogeneous seed under %s", spec.Budget)
+	}
+	if spec.Homogeneous {
+		// Homogeneous organizations take the full-budget seed.
+		best, _ := bestHomogeneous(spec.Budget)
+		return best, nil
+	}
+
+	climb := func(seed CMP) CMP {
+		best := seed
+		// Re-score against the true budget (seed scores already match).
+		for iter := 0; iter < 12; iter++ {
+			improved := false
+			for slot := 0; slot < 4; slot++ {
+				cur := best
+				for _, c := range cands {
+					trial := cur.Cores
+					trial[slot] = c
+					if !feasible(&trial, spec.Budget, st) {
+						continue
+					}
+					s := si.score(&trial, spec.Objective)
+					if s > best.Score+1e-12 {
+						best = CMP{Cores: trial, Score: s}
+						improved = true
+					}
+				}
+			}
+			if !improved {
+				break
+			}
+		}
+		return best
+	}
+	results := make([]CMP, len(seeds))
+	var wg sync.WaitGroup
+	for i := range seeds {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = climb(seeds[i])
+		}(i)
+	}
+	wg.Wait()
+	var best CMP
+	for i, r := range results {
+		if i == 0 || r.Score > best.Score {
+			best = r
+		}
+	}
+	// Polish pass: re-climb with every configuration of the winning ISAs
+	// available, so the final microarchitectures are exactly tuned (the
+	// pruned set only carries each ISA's highlights).
+	inBest := map[string]bool{}
+	for _, c := range best.Cores {
+		inBest[c.DP.ISA.Key()] = true
+	}
+	extended := append([]*Candidate{}, cands...)
+	seen := map[*Candidate]bool{}
+	for _, c := range cands {
+		seen[c] = true
+	}
+	for _, c := range spec.Candidates {
+		if inBest[c.DP.ISA.Key()] && !seen[c] {
+			if spec.Constraint == nil || spec.Constraint(c) {
+				extended = append(extended, c)
+			}
+		}
+	}
+	saved := cands
+	cands = extended
+	best = climb(best)
+	cands = saved
+
+	// Canonical core order for stable output.
+	sort.Slice(best.Cores[:], func(i, j int) bool {
+		return best.Cores[i].PeakW < best.Cores[j].PeakW
+	})
+	return best, nil
+}

@@ -1,0 +1,357 @@
+package ir
+
+import (
+	"fmt"
+	"math"
+
+	"compisa/internal/mem"
+)
+
+// InterpResult reports the outcome of a reference interpretation.
+type InterpResult struct {
+	// Ret is the value returned by the region (the workload checksum).
+	Ret uint64
+	// Steps is the number of IR instructions executed.
+	Steps int64
+	// Loads, Stores, Branches, Taken count dynamic events.
+	Loads, Stores, Branches, Taken int64
+}
+
+// Interp executes the function against the given memory image with the given
+// pointer size (4 or 8 bytes) and returns the region's result. It is the
+// reference semantics the compiled machine code must reproduce exactly; the
+// differential tests in internal/compiler rely on it.
+func Interp(f *Func, m *mem.Memory, ptrBytes int, maxSteps int64) (InterpResult, error) {
+	var res InterpResult
+	regs := make([][2]uint64, f.nvregs)
+	ptrMask := uint64(math.MaxUint64)
+	if ptrBytes == 4 {
+		ptrMask = math.MaxUint32
+	}
+
+	width := func(t Type) int {
+		switch t {
+		case I32, F32:
+			return 4
+		case Ptr:
+			return ptrBytes
+		case V4F32, V4I32:
+			return 16
+		default:
+			return 8
+		}
+	}
+	// get returns the scalar value of a register, truncated to its type.
+	get := func(v VReg) uint64 {
+		val := regs[v][0]
+		switch f.TypeOf(v) {
+		case I32, F32:
+			return val & math.MaxUint32
+		case Ptr:
+			return val & ptrMask
+		}
+		return val
+	}
+	sext := func(v uint64, t Type) int64 {
+		if t == I32 || (t == Ptr && ptrBytes == 4) {
+			return int64(int32(uint32(v)))
+		}
+		return int64(v)
+	}
+	ea := func(mr MemRef) uint64 {
+		a := get(mr.Base)
+		if mr.Index != NoReg {
+			a += get(mr.Index) * uint64(mr.Scale)
+		}
+		return (a + uint64(mr.Disp)) & ptrMask
+	}
+
+	b := f.Entry
+	idx := 0
+	for {
+		if res.Steps >= maxSteps {
+			return res, fmt.Errorf("ir: %s exceeded %d steps", f.Name, maxSteps)
+		}
+		if idx >= len(b.Instrs) {
+			return res, fmt.Errorf("ir: %s/%s fell off block end", f.Name, b.Name)
+		}
+		in := &b.Instrs[idx]
+		res.Steps++
+		idx++
+		switch in.Op {
+		case Nop:
+		case Const:
+			regs[in.Dst][0] = uint64(in.Imm)
+		case FConst:
+			if in.Type == F32 {
+				regs[in.Dst][0] = uint64(math.Float32bits(float32(in.FImm)))
+			} else {
+				regs[in.Dst][0] = math.Float64bits(in.FImm)
+			}
+		case Copy:
+			regs[in.Dst] = regs[in.A]
+		case Add, Sub, Mul, And, Or, Xor:
+			a, c := get(in.A), get(in.B)
+			var r uint64
+			switch in.Op {
+			case Add:
+				r = a + c
+			case Sub:
+				r = a - c
+			case Mul:
+				r = a * c
+			case And:
+				r = a & c
+			case Or:
+				r = a | c
+			case Xor:
+				r = a ^ c
+			}
+			if in.Type.IsVector() {
+				// lane-wise 32-bit integer ops for V4I32
+				var lanes [4]uint32
+				for l := 0; l < 4; l++ {
+					al := lane32(regs[in.A], l)
+					bl := lane32(regs[in.B], l)
+					switch in.Op {
+					case Add:
+						lanes[l] = al + bl
+					case Sub:
+						lanes[l] = al - bl
+					case Mul:
+						lanes[l] = al * bl
+					case And:
+						lanes[l] = al & bl
+					case Or:
+						lanes[l] = al | bl
+					case Xor:
+						lanes[l] = al ^ bl
+					}
+				}
+				regs[in.Dst] = pack32(lanes)
+			} else {
+				regs[in.Dst][0] = r
+			}
+		case Shl:
+			regs[in.Dst][0] = get(in.A) << uint(in.Imm)
+		case Shr:
+			regs[in.Dst][0] = get(in.A) >> uint(in.Imm)
+		case Sar:
+			regs[in.Dst][0] = uint64(sext(get(in.A), f.TypeOf(in.A)) >> uint(in.Imm))
+		case FAdd, FSub, FMul, FDiv:
+			regs[in.Dst] = fpArith(in.Op, in.Type, regs[in.A], regs[in.B])
+		case SIToFP:
+			s := sext(get(in.A), f.TypeOf(in.A))
+			if in.Type == F32 {
+				regs[in.Dst][0] = uint64(math.Float32bits(float32(s)))
+			} else {
+				regs[in.Dst][0] = math.Float64bits(float64(s))
+			}
+		case FPToSI:
+			var fv float64
+			if f.TypeOf(in.A) == F32 {
+				fv = float64(math.Float32frombits(uint32(regs[in.A][0])))
+			} else {
+				fv = math.Float64frombits(regs[in.A][0])
+			}
+			regs[in.Dst][0] = uint64(int64(fv))
+		case Splat:
+			var lanes [4]uint32
+			var bitsv uint32
+			if f.TypeOf(in.A) == F32 {
+				bitsv = uint32(regs[in.A][0])
+			} else {
+				bitsv = uint32(get(in.A))
+			}
+			for l := range lanes {
+				lanes[l] = bitsv
+			}
+			regs[in.Dst] = pack32(lanes)
+		case VReduce:
+			var s float32
+			for l := 0; l < 4; l++ {
+				s += math.Float32frombits(lane32(regs[in.A], l))
+			}
+			regs[in.Dst][0] = uint64(math.Float32bits(s))
+		case Trunc:
+			regs[in.Dst][0] = get(in.A) & math.MaxUint32
+		case Ext:
+			regs[in.Dst][0] = uint64(int64(int32(uint32(get(in.A)))))
+		case Load:
+			res.Loads++
+			a := ea(in.Mem)
+			if in.Type.IsVector() {
+				lo, hi := m.Read128(a)
+				regs[in.Dst] = [2]uint64{lo, hi}
+			} else {
+				sz := width(in.Type)
+				if in.MemSize != 0 {
+					sz = int(in.MemSize)
+				}
+				regs[in.Dst][0] = m.Read(a, sz)
+			}
+		case Store:
+			res.Stores++
+			a := ea(in.Mem)
+			if in.Type.IsVector() {
+				m.Write128(a, regs[in.A][0], regs[in.A][1])
+			} else {
+				sz := width(in.Type)
+				if in.MemSize != 0 {
+					sz = int(in.MemSize)
+				}
+				m.Write(a, sz, get(in.A))
+			}
+		case Cmp:
+			regs[in.Dst][0] = boolVal(intCompare(in.CC, get(in.A), get(in.B), in.Type, ptrBytes))
+		case FCmp:
+			var av, bv float64
+			if in.Type == F32 {
+				av = float64(math.Float32frombits(uint32(regs[in.A][0])))
+				bv = float64(math.Float32frombits(uint32(regs[in.B][0])))
+			} else {
+				av = math.Float64frombits(regs[in.A][0])
+				bv = math.Float64frombits(regs[in.B][0])
+			}
+			regs[in.Dst][0] = boolVal(floatCompare(in.CC, av, bv))
+		case Select:
+			if get(in.C) != 0 {
+				regs[in.Dst] = regs[in.A]
+			} else {
+				regs[in.Dst] = regs[in.B]
+			}
+		case Br:
+			b, idx = in.Succs[0], 0
+		case CondBr:
+			res.Branches++
+			if get(in.C) != 0 {
+				res.Taken++
+				b, idx = in.Succs[0], 0
+			} else {
+				b, idx = in.Succs[1], 0
+			}
+		case Ret:
+			if in.A != NoReg {
+				res.Ret = get(in.A)
+			}
+			return res, nil
+		default:
+			return res, fmt.Errorf("ir: %s: unhandled op %v", f.Name, in.Op)
+		}
+	}
+}
+
+func lane32(r [2]uint64, l int) uint32 {
+	w := r[l/2]
+	if l%2 == 1 {
+		w >>= 32
+	}
+	return uint32(w)
+}
+
+func pack32(lanes [4]uint32) [2]uint64 {
+	return [2]uint64{
+		uint64(lanes[0]) | uint64(lanes[1])<<32,
+		uint64(lanes[2]) | uint64(lanes[3])<<32,
+	}
+}
+
+func fpArith(op Op, t Type, a, b [2]uint64) [2]uint64 {
+	f32op := func(x, y float32) float32 {
+		switch op {
+		case FAdd:
+			return x + y
+		case FSub:
+			return x - y
+		case FMul:
+			return x * y
+		default:
+			return x / y
+		}
+	}
+	switch t {
+	case F32:
+		r := f32op(math.Float32frombits(uint32(a[0])), math.Float32frombits(uint32(b[0])))
+		return [2]uint64{uint64(math.Float32bits(r)), 0}
+	case F64:
+		x := math.Float64frombits(a[0])
+		y := math.Float64frombits(b[0])
+		var r float64
+		switch op {
+		case FAdd:
+			r = x + y
+		case FSub:
+			r = x - y
+		case FMul:
+			r = x * y
+		default:
+			r = x / y
+		}
+		return [2]uint64{math.Float64bits(r), 0}
+	case V4F32:
+		var lanes [4]uint32
+		for l := 0; l < 4; l++ {
+			r := f32op(math.Float32frombits(lane32(a, l)), math.Float32frombits(lane32(b, l)))
+			lanes[l] = math.Float32bits(r)
+		}
+		return pack32(lanes)
+	}
+	return [2]uint64{}
+}
+
+func intCompare(cc Cond, a, b uint64, t Type, ptrBytes int) bool {
+	var sa, sb int64
+	if t == I32 || (t == Ptr && ptrBytes == 4) {
+		sa, sb = int64(int32(uint32(a))), int64(int32(uint32(b)))
+	} else {
+		sa, sb = int64(a), int64(b)
+	}
+	switch cc {
+	case EQ:
+		return a == b
+	case NE:
+		return a != b
+	case LT:
+		return sa < sb
+	case LE:
+		return sa <= sb
+	case GT:
+		return sa > sb
+	case GE:
+		return sa >= sb
+	case ULT:
+		return a < b
+	case ULE:
+		return a <= b
+	case UGT:
+		return a > b
+	case UGE:
+		return a >= b
+	}
+	return false
+}
+
+func floatCompare(cc Cond, a, b float64) bool {
+	switch cc {
+	case EQ:
+		return a == b
+	case NE:
+		return a != b
+	case LT, ULT:
+		return a < b
+	case LE, ULE:
+		return a <= b
+	case GT, UGT:
+		return a > b
+	case GE, UGE:
+		return a >= b
+	}
+	return false
+}
+
+func boolVal(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,393 @@
+// Package ir defines the compiler's intermediate representation: a typed
+// three-address code over an unbounded set of virtual registers, organized
+// into basic blocks with explicit control flow. The workload generators build
+// IR; the backend in internal/compiler lowers it to machine code for a chosen
+// composite feature set. The IR deliberately mirrors what the paper's LLVM MC
+// pipeline consumes: branch probabilities for if-conversion profitability,
+// loop annotations for vectorization, and virtual registers whose demand
+// exceeds any architectural register depth so that register pressure is real.
+package ir
+
+import "fmt"
+
+// Type is the value type of a virtual register or memory access.
+type Type uint8
+
+const (
+	Void  Type = iota
+	I32        // 32-bit integer
+	I64        // 64-bit integer
+	Ptr        // pointer; 32 or 64 bits depending on the target's register width
+	F32        // scalar single-precision float
+	F64        // scalar double-precision float
+	V4F32      // 128-bit vector of 4 floats (SSE)
+	V4I32      // 128-bit vector of 4 int32 (SSE2)
+)
+
+func (t Type) String() string {
+	switch t {
+	case Void:
+		return "void"
+	case I32:
+		return "i32"
+	case I64:
+		return "i64"
+	case Ptr:
+		return "ptr"
+	case F32:
+		return "f32"
+	case F64:
+		return "f64"
+	case V4F32:
+		return "v4f32"
+	case V4I32:
+		return "v4i32"
+	}
+	return "?"
+}
+
+// IsFloat reports whether the type lives in the FP/SIMD register file.
+func (t Type) IsFloat() bool { return t >= F32 }
+
+// IsVector reports whether the type is a 128-bit SSE vector.
+func (t Type) IsVector() bool { return t == V4F32 || t == V4I32 }
+
+// Size returns the in-memory size in bytes given the target pointer size.
+func (t Type) Size(ptrBytes int) int {
+	switch t {
+	case I32, F32:
+		return 4
+	case I64, F64:
+		return 8
+	case Ptr:
+		return ptrBytes
+	case V4F32, V4I32:
+		return 16
+	}
+	return 0
+}
+
+// VReg names a virtual register. Valid virtual registers are >= 0; NoReg
+// marks an absent operand.
+type VReg int32
+
+// NoReg is the absent-operand marker.
+const NoReg VReg = -1
+
+func (v VReg) String() string {
+	if v == NoReg {
+		return "_"
+	}
+	return fmt.Sprintf("v%d", int32(v))
+}
+
+// Cond is a comparison condition code.
+type Cond uint8
+
+const (
+	EQ Cond = iota
+	NE
+	LT // signed <
+	LE
+	GT
+	GE
+	ULT // unsigned <
+	ULE
+	UGT
+	UGE
+)
+
+func (c Cond) String() string {
+	return [...]string{"eq", "ne", "lt", "le", "gt", "ge", "ult", "ule", "ugt", "uge"}[c]
+}
+
+// Negate returns the condition testing the opposite outcome.
+func (c Cond) Negate() Cond {
+	switch c {
+	case EQ:
+		return NE
+	case NE:
+		return EQ
+	case LT:
+		return GE
+	case LE:
+		return GT
+	case GT:
+		return LE
+	case GE:
+		return LT
+	case ULT:
+		return UGE
+	case ULE:
+		return UGT
+	case UGT:
+		return ULE
+	case UGE:
+		return ULT
+	}
+	return c
+}
+
+// Op enumerates IR operations.
+type Op uint8
+
+const (
+	Nop Op = iota
+
+	// Data movement and constants.
+	Const  // Dst = Imm (integer/pointer constant, including global addresses)
+	FConst // Dst = FImm
+	Copy   // Dst = A
+
+	// Integer arithmetic (operate at the width of the result type).
+	Add
+	Sub
+	Mul
+	And
+	Or
+	Xor
+	Shl // Dst = A << Imm (immediate shift)
+	Shr // logical right shift by Imm
+	Sar // arithmetic right shift by Imm
+
+	// Floating-point arithmetic (scalar or vector depending on type).
+	FAdd
+	FSub
+	FMul
+	FDiv
+
+	// Conversions.
+	SIToFP // Dst(F32/F64) = signed A
+	FPToSI // Dst(I32/I64) = truncated A
+	Trunc  // Dst(I32) = low 32 bits of A(I64)
+	Ext    // Dst(I64) = sign-extended A(I32)
+
+	// Memory. The effective address is Mem.Base + Mem.Index*Mem.Scale +
+	// Mem.Disp; Base and Index are virtual registers (Index may be NoReg).
+	Load  // Dst = mem[ea]; MemSize may narrow the access (zero-extended)
+	Store // mem[ea] = A
+
+	// Vector support ops introduced by the loop vectorizer.
+	Splat   // Dst(V4F32/V4I32) = broadcast of scalar A
+	VReduce // Dst(F32) = horizontal sum of A(V4F32)
+
+	// Comparison and selection.
+	Cmp    // Dst(I32: 0/1) = A <CC> B (integer compare)
+	FCmp   // Dst(I32: 0/1) = A <CC> B (float compare)
+	Select // Dst = C != 0 ? A : B (lowered to CMOV — partial predication)
+
+	// Terminators.
+	Br     // unconditional jump to Succs[0]
+	CondBr // if C != 0 goto Succs[0] else Succs[1]; Prob = P(taken)
+	Ret    // return A (NoReg for void); ends the region
+)
+
+var opNames = [...]string{
+	Nop: "nop", Const: "const", FConst: "fconst", Copy: "copy",
+	Add: "add", Sub: "sub", Mul: "mul", And: "and", Or: "or", Xor: "xor",
+	Shl: "shl", Shr: "shr", Sar: "sar",
+	FAdd: "fadd", FSub: "fsub", FMul: "fmul", FDiv: "fdiv",
+	SIToFP: "sitofp", FPToSI: "fptosi", Trunc: "trunc", Ext: "ext",
+	Splat: "splat", VReduce: "vreduce",
+	Load: "load", Store: "store",
+	Cmp: "cmp", FCmp: "fcmp", Select: "select",
+	Br: "br", CondBr: "condbr", Ret: "ret",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// IsTerminator reports whether the op ends a basic block.
+func (o Op) IsTerminator() bool { return o == Br || o == CondBr || o == Ret }
+
+// MemRef is a base+index*scale+disp memory reference.
+type MemRef struct {
+	Base  VReg
+	Index VReg // NoReg when absent
+	Scale int32
+	Disp  int64
+}
+
+// Instr is one IR instruction. Fields are used according to Op; unused
+// register fields hold NoReg.
+type Instr struct {
+	Op      Op
+	Type    Type // result type (or stored-value type for Store)
+	Dst     VReg
+	A, B, C VReg
+	Imm     int64
+	FImm    float64
+	CC      Cond
+	Mem     MemRef
+	MemSize uint8   // 0 = natural size of Type; 1 narrows to a byte access
+	Prob    float64 // CondBr: profile probability the branch is taken
+	// Succs are the successor blocks for terminators (CondBr: [taken,
+	// fallthrough]; Br: [target]).
+	Succs [2]*Block
+}
+
+// Uses appends the virtual registers the instruction reads to dst and
+// returns the extended slice.
+func (in *Instr) Uses(dst []VReg) []VReg {
+	for _, r := range [3]VReg{in.A, in.B, in.C} {
+		if r != NoReg {
+			dst = append(dst, r)
+		}
+	}
+	if in.Op == Load || in.Op == Store {
+		if in.Mem.Base != NoReg {
+			dst = append(dst, in.Mem.Base)
+		}
+		if in.Mem.Index != NoReg {
+			dst = append(dst, in.Mem.Index)
+		}
+	}
+	return dst
+}
+
+// Def returns the virtual register the instruction writes, or NoReg.
+func (in *Instr) Def() VReg {
+	switch in.Op {
+	case Store, Br, CondBr, Ret, Nop:
+		return NoReg
+	}
+	return in.Dst
+}
+
+// Block is a basic block: straight-line instructions ended by a terminator.
+type Block struct {
+	ID     int
+	Name   string
+	Instrs []Instr
+
+	// VecLoop marks the header of a vectorizable counted loop and carries
+	// the information the loop vectorizer verifies and uses.
+	VecLoop *VecLoopInfo
+
+	preds []*Block // maintained by Func.ComputeCFG
+}
+
+// VecLoopInfo annotates a canonical counted loop eligible for vectorization:
+// for (i = start; i < limitReg; i += 1) { elementwise body }.
+type VecLoopInfo struct {
+	IndVar VReg // induction variable, stepped by +1 in the body
+	Limit  VReg // loop bound register compared against by the latch
+	// Lanes the loop may be widened to (4 for SSE). The generator
+	// guarantees the trip count divides Lanes evenly.
+	Lanes int
+}
+
+// Terminator returns the block's final instruction.
+func (b *Block) Terminator() *Instr {
+	if len(b.Instrs) == 0 {
+		return nil
+	}
+	t := &b.Instrs[len(b.Instrs)-1]
+	if !t.Op.IsTerminator() {
+		return nil
+	}
+	return t
+}
+
+// Succs returns the block's successors.
+func (b *Block) Succs() []*Block {
+	t := b.Terminator()
+	if t == nil {
+		return nil
+	}
+	switch t.Op {
+	case Br:
+		return t.Succs[:1]
+	case CondBr:
+		return t.Succs[:2]
+	}
+	return nil
+}
+
+// Preds returns the block's predecessors (valid after Func.ComputeCFG).
+func (b *Block) Preds() []*Block { return b.preds }
+
+// Func is one compilable region: a single-entry CFG over virtual registers.
+type Func struct {
+	Name   string
+	Blocks []*Block
+	Entry  *Block
+
+	nvregs int
+	types  []Type
+}
+
+// NewFunc returns an empty function.
+func NewFunc(name string) *Func { return &Func{Name: name} }
+
+// NewBlock appends a new empty block.
+func (f *Func) NewBlock(name string) *Block {
+	b := &Block{ID: len(f.Blocks), Name: name}
+	f.Blocks = append(f.Blocks, b)
+	if f.Entry == nil {
+		f.Entry = b
+	}
+	return b
+}
+
+// NewVReg allocates a fresh virtual register of the given type.
+func (f *Func) NewVReg(t Type) VReg {
+	v := VReg(f.nvregs)
+	f.nvregs++
+	f.types = append(f.types, t)
+	return v
+}
+
+// NumVRegs returns the number of virtual registers allocated so far.
+func (f *Func) NumVRegs() int { return f.nvregs }
+
+// TypeOf returns the declared type of a virtual register.
+func (f *Func) TypeOf(v VReg) Type {
+	if v == NoReg || int(v) >= len(f.types) {
+		return Void
+	}
+	return f.types[v]
+}
+
+// SetTypeOf overrides a virtual register's type (used by lowering passes
+// such as the vectorizer when widening scalar values to vectors).
+func (f *Func) SetTypeOf(v VReg, t Type) { f.types[v] = t }
+
+// ComputeCFG (re)builds predecessor lists. Call after any CFG mutation.
+func (f *Func) ComputeCFG() {
+	for _, b := range f.Blocks {
+		b.preds = b.preds[:0]
+	}
+	for _, b := range f.Blocks {
+		for _, s := range b.Succs() {
+			s.preds = append(s.preds, b)
+		}
+	}
+}
+
+// RPO returns the blocks reachable from the entry in reverse postorder.
+func (f *Func) RPO() []*Block {
+	seen := make([]bool, len(f.Blocks))
+	var post []*Block
+	var walk func(b *Block)
+	walk = func(b *Block) {
+		seen[b.ID] = true
+		for _, s := range b.Succs() {
+			if !seen[s.ID] {
+				walk(s)
+			}
+		}
+		post = append(post, b)
+	}
+	if f.Entry != nil {
+		walk(f.Entry)
+	}
+	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
+		post[i], post[j] = post[j], post[i]
+	}
+	return post
+}

@@ -1,0 +1,328 @@
+package ir
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"compisa/internal/mem"
+)
+
+// buildSumLoop builds: sum = 0; for i = 0..n-1 { sum += arr[i] }; ret sum
+// over an i32 array at base addr.
+func buildSumLoop(base uint64, n int64) *Func {
+	b := NewBuilder("sumloop")
+	header := b.Block("header")
+	body := b.Block("body")
+	exit := b.Block("exit")
+
+	basep := b.Const(Ptr, int64(base))
+	i := b.Const(I64, 0)
+	sum := b.Const(I64, 0)
+	limit := b.Const(I64, n)
+	b.Br(header)
+
+	b.SetBlock(header)
+	c := b.Cmp(LT, I64, i, limit)
+	b.CondBr(c, body, exit, 0.95)
+
+	b.SetBlock(body)
+	v := b.Load(I32, basep, i, 4, 0)
+	v64 := b.Unary(Ext, I64, v)
+	b.Assign(sum, Add, I64, sum, v64)
+	b.AddImm(i, i, I64, 1)
+	b.Br(header)
+
+	b.SetBlock(exit)
+	b.Ret(sum)
+	return b.F
+}
+
+func TestBuilderVerify(t *testing.T) {
+	f := buildSumLoop(0x10000, 10)
+	if err := f.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInterpSumLoop(t *testing.T) {
+	f := buildSumLoop(0x10000, 10)
+	m := mem.New()
+	want := uint64(0)
+	for i := 0; i < 10; i++ {
+		m.Write(0x10000+uint64(i)*4, 4, uint64(i*i))
+		want += uint64(i * i)
+	}
+	for _, ptrBytes := range []int{4, 8} {
+		res, err := Interp(f, m.Clone(), ptrBytes, 1_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Ret != want {
+			t.Errorf("ptr%d: got %d want %d", ptrBytes*8, res.Ret, want)
+		}
+		if res.Loads != 10 {
+			t.Errorf("ptr%d: loads = %d want 10", ptrBytes*8, res.Loads)
+		}
+		if res.Branches != 11 {
+			t.Errorf("ptr%d: branches = %d want 11", ptrBytes*8, res.Branches)
+		}
+	}
+}
+
+func TestInterpStepLimit(t *testing.T) {
+	b := NewBuilder("inf")
+	loop := b.Block("loop")
+	b.Br(loop)
+	b.SetBlock(loop)
+	b.Br(loop)
+	if _, err := Interp(b.F, mem.New(), 8, 100); err == nil {
+		t.Fatal("infinite loop must hit the step limit")
+	}
+}
+
+func TestInterpSelectAndCmp(t *testing.T) {
+	b := NewBuilder("sel")
+	x := b.Const(I32, 7)
+	y := b.Const(I32, 9)
+	c := b.Cmp(GT, I32, x, y) // false
+	r := b.Select(I32, c, x, y)
+	b.Ret(r)
+	res, err := Interp(b.F, mem.New(), 8, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ret != 9 {
+		t.Errorf("select picked %d, want 9", res.Ret)
+	}
+}
+
+func TestInterpSignedCompare32(t *testing.T) {
+	b := NewBuilder("scmp")
+	x := b.Const(I32, -5) // stored as 0xfffffffb
+	y := b.Const(I32, 3)
+	c := b.Cmp(LT, I32, x, y)
+	b.Ret(c)
+	res, err := Interp(b.F, mem.New(), 8, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ret != 1 {
+		t.Error("-5 < 3 must hold under signed i32 compare")
+	}
+}
+
+func TestInterpFloat(t *testing.T) {
+	b := NewBuilder("fp")
+	x := b.FConst(F32, 1.5)
+	y := b.FConst(F32, 2.25)
+	s := b.Bin(FMul, F32, x, y)
+	i := b.Unary(FPToSI, I32, s) // 3.375 -> 3
+	b.Ret(i)
+	res, err := Interp(b.F, mem.New(), 8, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ret != 3 {
+		t.Errorf("got %d want 3", res.Ret)
+	}
+}
+
+func TestInterpVector(t *testing.T) {
+	b := NewBuilder("vec")
+	m := mem.New()
+	for i := 0; i < 4; i++ {
+		f := float32(i + 1)
+		m.Write(0x2000+uint64(i)*4, 4, uint64(floatBits(f)))
+		m.Write(0x3000+uint64(i)*4, 4, uint64(floatBits(10*f)))
+	}
+	pa := b.Const(Ptr, 0x2000)
+	pb := b.Const(Ptr, 0x3000)
+	pc := b.Const(Ptr, 0x4000)
+	va := b.Load(V4F32, pa, NoReg, 1, 0)
+	vb := b.Load(V4F32, pb, NoReg, 1, 0)
+	vc := b.Bin(FAdd, V4F32, va, vb)
+	b.Store(V4F32, vc, pc, NoReg, 1, 0)
+	// load back lane 2 (index 2 -> 3+30 = 33)
+	l2 := b.Load(F32, pc, NoReg, 1, 8)
+	i := b.Unary(FPToSI, I32, l2)
+	b.Ret(i)
+	res, err := Interp(b.F, m, 8, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ret != 33 {
+		t.Errorf("vector lane 2 sum = %d, want 33", res.Ret)
+	}
+}
+
+func floatBits(f float32) uint32 { return math.Float32bits(f) }
+
+func TestInterpByteAccess(t *testing.T) {
+	b := NewBuilder("bytes")
+	m := mem.New()
+	m.Write(0x100, 4, 0xfefdfcfb)
+	p := b.Const(Ptr, 0x100)
+	v := b.LoadByte(p, NoReg, 1, 2) // byte 2 = 0xfd, zero-extended
+	b.StoreByte(v, p, NoReg, 1, 8)
+	r := b.Load(I32, p, NoReg, 1, 8)
+	b.Ret(r)
+	res, err := Interp(b.F, m, 8, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ret != 0xfd {
+		t.Errorf("got %#x want 0xfd", res.Ret)
+	}
+}
+
+func TestInterpPtr32Wraps(t *testing.T) {
+	// A pointer with bit 32 set must be masked on a 32-bit target.
+	b := NewBuilder("wrap")
+	m := mem.New()
+	m.Write(0x500, 4, 77)
+	p := b.Const(Ptr, 0x1_0000_0500)
+	v := b.Load(I32, p, NoReg, 1, 0)
+	b.Ret(v)
+	res, err := Interp(b.F, m, 4, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ret != 77 {
+		t.Errorf("32-bit pointer not masked: got %d", res.Ret)
+	}
+}
+
+func TestVerifyCatchesEmptyBlock(t *testing.T) {
+	f := NewFunc("bad")
+	f.NewBlock("entry")
+	if err := f.Verify(); err == nil {
+		t.Fatal("verifier must reject empty blocks")
+	}
+}
+
+func TestVerifyCatchesMissingTerminator(t *testing.T) {
+	b := NewBuilder("bad")
+	b.Const(I32, 1)
+	if err := b.F.Verify(); err == nil {
+		t.Fatal("verifier must reject block without terminator")
+	}
+}
+
+func TestVerifyCatchesUndefinedUse(t *testing.T) {
+	f := NewFunc("bad")
+	blk := f.NewBlock("entry")
+	v := f.NewVReg(I32)
+	w := f.NewVReg(I32)
+	blk.Instrs = append(blk.Instrs,
+		Instr{Op: Copy, Type: I32, Dst: v, A: w, B: NoReg, C: NoReg, Mem: MemRef{Base: NoReg, Index: NoReg}},
+		Instr{Op: Ret, A: v, B: NoReg, C: NoReg, Dst: NoReg, Mem: MemRef{Base: NoReg, Index: NoReg}},
+	)
+	if err := f.Verify(); err == nil || !strings.Contains(err.Error(), "never defined") {
+		t.Fatalf("verifier must catch undefined use, got %v", err)
+	}
+}
+
+func TestCFGAndRPO(t *testing.T) {
+	f := buildSumLoop(0x1000, 4)
+	f.ComputeCFG()
+	var header *Block
+	for _, b := range f.Blocks {
+		if b.Name == "header" {
+			header = b
+		}
+	}
+	if len(header.Preds()) != 2 {
+		t.Errorf("loop header should have 2 preds, got %d", len(header.Preds()))
+	}
+	rpo := f.RPO()
+	if len(rpo) != 4 {
+		t.Fatalf("expected 4 reachable blocks, got %d", len(rpo))
+	}
+	if rpo[0] != f.Entry {
+		t.Error("RPO must start at entry")
+	}
+}
+
+func TestLiveness(t *testing.T) {
+	f := buildSumLoop(0x1000, 4)
+	lv := f.ComputeLiveness()
+	var header, body *Block
+	for _, b := range f.Blocks {
+		switch b.Name {
+		case "header":
+			header = b
+		case "body":
+			body = b
+		}
+	}
+	// sum (v2), i (v1), limit (v3), base (v0) must be live into the header.
+	for _, v := range []VReg{0, 1, 2, 3} {
+		if !lv.In[header.ID].Has(v) {
+			t.Errorf("v%d must be live into header", v)
+		}
+		if !lv.In[body.ID].Has(v) {
+			t.Errorf("v%d must be live into body", v)
+		}
+	}
+}
+
+func TestMaxLivePressure(t *testing.T) {
+	// A chain of n live values must report pressure >= n.
+	b := NewBuilder("pressure")
+	var vs []VReg
+	for i := 0; i < 20; i++ {
+		vs = append(vs, b.Const(I64, int64(i)))
+	}
+	acc := vs[0]
+	for _, v := range vs[1:] {
+		acc = b.Bin(Add, I64, acc, v)
+	}
+	b.Ret(acc)
+	if p := b.F.MaxLivePressure(false); p < 20 {
+		t.Errorf("pressure %d, want >= 20", p)
+	}
+	if p := b.F.MaxLivePressure(true); p != 0 {
+		t.Errorf("fp pressure %d, want 0", p)
+	}
+}
+
+func TestPrinterMentionsBlocks(t *testing.T) {
+	s := buildSumLoop(0x1000, 4).String()
+	for _, want := range []string{"func sumloop", "header:", "body:", "ret"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("printer output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestCondNegate(t *testing.T) {
+	all := []Cond{EQ, NE, LT, LE, GT, GE, ULT, ULE, UGT, UGE}
+	for _, c := range all {
+		if c.Negate().Negate() != c {
+			t.Errorf("double negation of %v is %v", c, c.Negate().Negate())
+		}
+		if c.Negate() == c {
+			t.Errorf("%v negates to itself", c)
+		}
+	}
+}
+
+func TestBitSet(t *testing.T) {
+	s := NewBitSet(130)
+	s.Set(0)
+	s.Set(64)
+	s.Set(129)
+	if s.Count() != 3 {
+		t.Errorf("count = %d", s.Count())
+	}
+	var got []VReg
+	s.ForEach(func(v VReg) { got = append(got, v) })
+	if len(got) != 3 || got[0] != 0 || got[1] != 64 || got[2] != 129 {
+		t.Errorf("ForEach order: %v", got)
+	}
+	s.Clear(64)
+	if s.Has(64) || s.Count() != 2 {
+		t.Error("clear failed")
+	}
+}

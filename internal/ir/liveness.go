@@ -1,0 +1,163 @@
+package ir
+
+// BitSet is a fixed-capacity bit set over virtual register numbers.
+type BitSet []uint64
+
+// NewBitSet returns a bit set able to hold n registers.
+func NewBitSet(n int) BitSet { return make(BitSet, (n+63)/64) }
+
+// Set marks register v.
+func (s BitSet) Set(v VReg) { s[v/64] |= 1 << (uint(v) % 64) }
+
+// Clear unmarks register v.
+func (s BitSet) Clear(v VReg) { s[v/64] &^= 1 << (uint(v) % 64) }
+
+// Has reports whether register v is marked.
+func (s BitSet) Has(v VReg) bool { return s[v/64]&(1<<(uint(v)%64)) != 0 }
+
+// OrInto ors o into s and reports whether s changed.
+func (s BitSet) OrInto(o BitSet) bool {
+	changed := false
+	for i, w := range o {
+		if s[i]|w != s[i] {
+			s[i] |= w
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Copy overwrites s with o.
+func (s BitSet) Copy(o BitSet) { copy(s, o) }
+
+// Count returns the number of marked registers.
+func (s BitSet) Count() int {
+	n := 0
+	for _, w := range s {
+		for ; w != 0; w &= w - 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// ForEach calls fn for every marked register in increasing order.
+func (s BitSet) ForEach(fn func(VReg)) {
+	for i, w := range s {
+		for w != 0 {
+			b := w & -w
+			bit := 0
+			for m := b; m > 1; m >>= 1 {
+				bit++
+			}
+			fn(VReg(i*64 + bit))
+			w &^= b
+		}
+	}
+}
+
+// Liveness holds per-block live-in and live-out sets.
+type Liveness struct {
+	In  []BitSet // indexed by block ID
+	Out []BitSet
+}
+
+// ComputeLiveness runs iterative backward dataflow and returns per-block
+// live-in/live-out virtual register sets.
+func (f *Func) ComputeLiveness() *Liveness {
+	n := len(f.Blocks)
+	lv := &Liveness{In: make([]BitSet, n), Out: make([]BitSet, n)}
+	gen := make([]BitSet, n)  // upward-exposed uses
+	kill := make([]BitSet, n) // definitions
+	for _, b := range f.Blocks {
+		g, k := NewBitSet(f.nvregs), NewBitSet(f.nvregs)
+		var uses []VReg
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			uses = in.Uses(uses[:0])
+			for _, u := range uses {
+				if !k.Has(u) {
+					g.Set(u)
+				}
+			}
+			if d := in.Def(); d != NoReg {
+				k.Set(d)
+			}
+		}
+		gen[b.ID], kill[b.ID] = g, k
+		lv.In[b.ID] = NewBitSet(f.nvregs)
+		lv.Out[b.ID] = NewBitSet(f.nvregs)
+	}
+	// Iterate to fixpoint over reverse postorder reversed (postorder) for
+	// faster convergence on reducible CFGs.
+	rpo := f.RPO()
+	for changed := true; changed; {
+		changed = false
+		for i := len(rpo) - 1; i >= 0; i-- {
+			b := rpo[i]
+			out := lv.Out[b.ID]
+			for _, s := range b.Succs() {
+				if out.OrInto(lv.In[s.ID]) {
+					changed = true
+				}
+			}
+			// in = gen ∪ (out − kill)
+			in := lv.In[b.ID]
+			tmp := NewBitSet(f.nvregs)
+			tmp.Copy(out)
+			for j := range tmp {
+				tmp[j] &^= kill[b.ID][j]
+				tmp[j] |= gen[b.ID][j]
+			}
+			if in.OrInto(tmp) {
+				changed = true
+			}
+		}
+	}
+	return lv
+}
+
+// MaxLivePressure returns the maximum number of simultaneously live virtual
+// registers of the given register class (integer or FP) at any instruction
+// boundary. It is the paper's "register pressure" of a code region.
+func (f *Func) MaxLivePressure(float bool) int {
+	lv := f.ComputeLiveness()
+	max := 0
+	live := NewBitSet(f.nvregs)
+	classOK := func(v VReg) bool { return f.TypeOf(v).IsFloat() == float }
+	var uses []VReg
+	for _, b := range f.Blocks {
+		live.Copy(lv.Out[b.ID])
+		count := 0
+		live.ForEach(func(v VReg) {
+			if classOK(v) {
+				count++
+			}
+		})
+		if count > max {
+			max = count
+		}
+		for i := len(b.Instrs) - 1; i >= 0; i-- {
+			in := &b.Instrs[i]
+			if d := in.Def(); d != NoReg {
+				if live.Has(d) && classOK(d) {
+					count--
+				}
+				live.Clear(d)
+			}
+			uses = in.Uses(uses[:0])
+			for _, u := range uses {
+				if !live.Has(u) {
+					live.Set(u)
+					if classOK(u) {
+						count++
+					}
+				}
+			}
+			if count > max {
+				max = count
+			}
+		}
+	}
+	return max
+}

@@ -1,0 +1,73 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the function as readable text for debugging and golden
+// tests.
+func (f *Func) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "func %s {\n", f.Name)
+	for _, b := range f.Blocks {
+		fmt.Fprintf(&sb, "%s: ; b%d\n", b.Name, b.ID)
+		for i := range b.Instrs {
+			sb.WriteString("  ")
+			sb.WriteString(formatInstr(&b.Instrs[i]))
+			sb.WriteByte('\n')
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+func formatMem(m MemRef) string {
+	s := fmt.Sprintf("[%v", m.Base)
+	if m.Index != NoReg {
+		s += fmt.Sprintf(" + %v*%d", m.Index, m.Scale)
+	}
+	if m.Disp != 0 {
+		s += fmt.Sprintf(" %+d", m.Disp)
+	}
+	return s + "]"
+}
+
+func formatInstr(in *Instr) string {
+	switch in.Op {
+	case Const:
+		return fmt.Sprintf("%v = const.%v %d", in.Dst, in.Type, in.Imm)
+	case FConst:
+		return fmt.Sprintf("%v = fconst.%v %g", in.Dst, in.Type, in.FImm)
+	case Copy:
+		return fmt.Sprintf("%v = copy.%v %v", in.Dst, in.Type, in.A)
+	case Shl, Shr, Sar:
+		return fmt.Sprintf("%v = %v.%v %v, %d", in.Dst, in.Op, in.Type, in.A, in.Imm)
+	case Load:
+		sz := ""
+		if in.MemSize == 1 {
+			sz = ".b"
+		}
+		return fmt.Sprintf("%v = load.%v%s %s", in.Dst, in.Type, sz, formatMem(in.Mem))
+	case Store:
+		sz := ""
+		if in.MemSize == 1 {
+			sz = ".b"
+		}
+		return fmt.Sprintf("store.%v%s %v, %s", in.Type, sz, in.A, formatMem(in.Mem))
+	case Cmp, FCmp:
+		return fmt.Sprintf("%v = %v.%v.%v %v, %v", in.Dst, in.Op, in.CC, in.Type, in.A, in.B)
+	case Select:
+		return fmt.Sprintf("%v = select.%v %v ? %v : %v", in.Dst, in.Type, in.C, in.A, in.B)
+	case Br:
+		return fmt.Sprintf("br %s", in.Succs[0].Name)
+	case CondBr:
+		return fmt.Sprintf("condbr %v -> %s (p=%.2f) else %s", in.C, in.Succs[0].Name, in.Prob, in.Succs[1].Name)
+	case Ret:
+		return fmt.Sprintf("ret %v", in.A)
+	case Nop:
+		return "nop"
+	default:
+		return fmt.Sprintf("%v = %v.%v %v, %v", in.Dst, in.Op, in.Type, in.A, in.B)
+	}
+}

@@ -1,0 +1,75 @@
+package ir
+
+import "fmt"
+
+// Verify checks structural invariants of the function: every block ends in
+// exactly one terminator, CFG targets are blocks of this function, operand
+// registers are allocated and used type-consistently, and every used virtual
+// register has at least one definition. It returns the first violation found.
+func (f *Func) Verify() error {
+	if f.Entry == nil {
+		return fmt.Errorf("%s: no entry block", f.Name)
+	}
+	blockSet := map[*Block]bool{}
+	for _, b := range f.Blocks {
+		blockSet[b] = true
+	}
+	defined := make([]bool, f.nvregs)
+	used := make([]bool, f.nvregs)
+	var uses []VReg
+	for _, b := range f.Blocks {
+		if len(b.Instrs) == 0 {
+			return fmt.Errorf("%s/%s: empty block", f.Name, b.Name)
+		}
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			last := i == len(b.Instrs)-1
+			if in.Op.IsTerminator() != last {
+				return fmt.Errorf("%s/%s[%d]: terminator placement (%s)", f.Name, b.Name, i, in.Op)
+			}
+			if d := in.Def(); d != NoReg {
+				if int(d) >= f.nvregs {
+					return fmt.Errorf("%s/%s[%d]: def of unallocated %v", f.Name, b.Name, i, d)
+				}
+				defined[d] = true
+			}
+			uses = in.Uses(uses[:0])
+			for _, u := range uses {
+				if int(u) >= f.nvregs {
+					return fmt.Errorf("%s/%s[%d]: use of unallocated %v", f.Name, b.Name, i, u)
+				}
+				used[u] = true
+			}
+			switch in.Op {
+			case Br:
+				if !blockSet[in.Succs[0]] {
+					return fmt.Errorf("%s/%s: br to foreign block", f.Name, b.Name)
+				}
+			case CondBr:
+				if !blockSet[in.Succs[0]] || !blockSet[in.Succs[1]] {
+					return fmt.Errorf("%s/%s: condbr to foreign block", f.Name, b.Name)
+				}
+				if in.C == NoReg {
+					return fmt.Errorf("%s/%s: condbr without condition", f.Name, b.Name)
+				}
+				if in.Prob < 0 || in.Prob > 1 {
+					return fmt.Errorf("%s/%s: condbr probability %v out of range", f.Name, b.Name, in.Prob)
+				}
+			case Load, Store:
+				if in.Mem.Base == NoReg {
+					return fmt.Errorf("%s/%s[%d]: memory access without base", f.Name, b.Name, i)
+				}
+			case Select:
+				if in.C == NoReg {
+					return fmt.Errorf("%s/%s[%d]: select without condition", f.Name, b.Name, i)
+				}
+			}
+		}
+	}
+	for v := 0; v < f.nvregs; v++ {
+		if used[v] && !defined[v] {
+			return fmt.Errorf("%s: v%d used but never defined", f.Name, v)
+		}
+	}
+	return nil
+}

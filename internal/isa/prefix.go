@@ -1,0 +1,49 @@
+package isa
+
+// Register-number encoding costs (Figure 3). x86's ModRM/SIB fields encode
+// registers 0-7 directly. The REX prefix contributes one extra bit per
+// operand, reaching registers 8-15 at the cost of one prefix byte. The new
+// REXBC prefix (opcode 0xd6 + payload byte) contributes two further bits per
+// operand, reaching registers 16-63 at the cost of two prefix bytes. The
+// register allocator uses these costs to prioritize registers that encode
+// compactly.
+
+// RegPrefixClass classifies a register number by the prefix machinery its
+// encoding requires: 0 for r0-r7 (none), 1 for r8-r15 (REX), 2 for r16-r63
+// (REXBC).
+func RegPrefixClass(reg int) int {
+	switch {
+	case reg < 8:
+		return 0
+	case reg < 16:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// RegPrefixBytes returns the number of prefix bytes an instruction needs to
+// address the given set of register operands (the maximum class wins: REXBC
+// carries the REX payload bits, and one REXBC prefix covers all three
+// register operand fields).
+func RegPrefixBytes(regs ...int) int {
+	cls := 0
+	for _, r := range regs {
+		if c := RegPrefixClass(r); c > cls {
+			cls = c
+		}
+	}
+	switch cls {
+	case 0:
+		return 0
+	case 1:
+		return 1 // REX
+	default:
+		return 2 // REXBC (0xd6 marker + payload)
+	}
+}
+
+// PredicatePrefixBytes is the encoding cost of the predicate prefix: the
+// unused opcode 0xf1 marking the prefix plus one byte encoding the predicate
+// register (bits 0-6) and sense (bit 7).
+const PredicatePrefixBytes = 2

@@ -1,0 +1,74 @@
+package isa
+
+// VendorISA describes a fixed, vendor-specific commercial ISA used by the
+// fully heterogeneous-ISA CMP baseline (x86-64, Alpha, Thumb). Each vendor
+// ISA is modeled as its closest composite feature set plus the
+// vendor-specific traits from Table II that a single superset ISA cannot
+// recreate (Thumb's code compression, fixed-length one-step decoding, ...).
+type VendorISA struct {
+	// Name is the commercial name, e.g. "Thumb".
+	Name string
+	// Features is the x86-ized equivalent feature set (Table II).
+	Features FeatureSet
+	// CodeDensity scales static and dynamic code footprint relative to
+	// the variable-length x86 encoding (<1 means denser code, as for
+	// Thumb's 16-bit compressed encoding).
+	CodeDensity float64
+	// FixedLength indicates a fixed-length encoding with one-step
+	// decoding: no instruction-length decoder (ILD) is needed, saving its
+	// power and area.
+	FixedLength bool
+	// FPRegs is the number of architectural FP registers (Alpha exposes
+	// more FP registers than x86's 16 xmm registers).
+	FPRegs int
+	// HasFP reports whether the ISA includes scalar floating point
+	// (Thumb-1 famously offloads FP; Table II lists FP support as a
+	// Thumb-exclusive feature relative to microx86-8D-32W, so the vendor
+	// Thumb model keeps it).
+	HasFP bool
+	// CrossISA indicates migrations to/from this ISA require full binary
+	// translation and state transformation (disjoint encodings and ABI),
+	// unlike the overlapping composite feature sets.
+	CrossISA bool
+}
+
+// VendorThumb models ARM Thumb: Thumb-like features of microx86-8D-32W plus
+// code compression and fixed-length decoding.
+var VendorThumb = VendorISA{
+	Name:        "Thumb",
+	Features:    X86izedThumb,
+	CodeDensity: 0.70,
+	FixedLength: true,
+	FPRegs:      8,
+	HasFP:       true,
+	CrossISA:    true,
+}
+
+// VendorAlpha models DEC Alpha: Alpha-like features of microx86-32D-64W plus
+// fixed-length decoding, 2-address instructions, and a deeper FP file.
+var VendorAlpha = VendorISA{
+	Name:        "Alpha",
+	Features:    X86izedAlpha,
+	CodeDensity: 1.05, // fixed 32-bit instructions are slightly less dense than x86
+	FixedLength: true,
+	FPRegs:      32,
+	HasFP:       true,
+	CrossISA:    true,
+}
+
+// VendorX8664 models commercial x86-64 + SSE.
+var VendorX8664 = VendorISA{
+	Name:        "x86-64",
+	Features:    X8664,
+	CodeDensity: 1.0,
+	FixedLength: false,
+	FPRegs:      16,
+	HasFP:       true,
+	CrossISA:    false, // same ISA as the composite substrate's baseline
+}
+
+// VendorISAs returns the three vendor ISAs of the heterogeneous-ISA CMP
+// baseline in deterministic order.
+func VendorISAs() []VendorISA {
+	return []VendorISA{VendorX8664, VendorAlpha, VendorThumb}
+}

@@ -1,0 +1,100 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestZeroFill(t *testing.T) {
+	m := New()
+	if got := m.Read(0x1000, 8); got != 0 {
+		t.Errorf("unwritten memory read %#x, want 0", got)
+	}
+}
+
+func TestRoundTripSizes(t *testing.T) {
+	m := New()
+	for _, sz := range []int{1, 2, 4, 8} {
+		addr := uint64(0x4000 + sz*16)
+		want := uint64(0x1122334455667788)
+		m.Write(addr, sz, want)
+		mask := uint64(1)<<(8*sz) - 1
+		if sz == 8 {
+			mask = ^uint64(0)
+		}
+		if got := m.Read(addr, sz); got != want&mask {
+			t.Errorf("size %d: got %#x want %#x", sz, got, want&mask)
+		}
+	}
+}
+
+func TestPageStraddle(t *testing.T) {
+	m := New()
+	addr := uint64(PageSize - 3) // 8-byte access straddling first page
+	want := uint64(0xdeadbeefcafef00d)
+	m.Write(addr, 8, want)
+	if got := m.Read(addr, 8); got != want {
+		t.Errorf("straddling read got %#x want %#x", got, want)
+	}
+	if m.Pages() != 2 {
+		t.Errorf("expected 2 resident pages, got %d", m.Pages())
+	}
+}
+
+func TestLittleEndian(t *testing.T) {
+	m := New()
+	m.Write(0x100, 4, 0x04030201)
+	for i := uint64(0); i < 4; i++ {
+		if got := m.Load8(0x100 + i); got != byte(i+1) {
+			t.Errorf("byte %d: got %d want %d", i, got, i+1)
+		}
+	}
+}
+
+func TestRead128(t *testing.T) {
+	m := New()
+	m.Write128(0x200, 0x1111111111111111, 0x2222222222222222)
+	lo, hi := m.Read128(0x200)
+	if lo != 0x1111111111111111 || hi != 0x2222222222222222 {
+		t.Errorf("got %#x %#x", lo, hi)
+	}
+}
+
+func TestClone(t *testing.T) {
+	m := New()
+	m.Write(0x300, 8, 42)
+	c := m.Clone()
+	c.Write(0x300, 8, 99)
+	if m.Read(0x300, 8) != 42 {
+		t.Error("clone aliases original")
+	}
+	if c.Read(0x300, 8) != 99 {
+		t.Error("clone write lost")
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	m := New()
+	f := func(addr uint64, v uint64) bool {
+		addr %= 1 << 40
+		m.Write(addr, 8, v)
+		return m.Read(addr, 8) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickDisjointWrites(t *testing.T) {
+	// Property: writing at a and reading at a+8 are independent.
+	m := New()
+	f := func(addr uint64, v1, v2 uint64) bool {
+		addr %= 1 << 40
+		m.Write(addr, 8, v1)
+		m.Write(addr+8, 8, v2)
+		return m.Read(addr, 8) == v1 && m.Read(addr+8, 8) == v2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,209 @@
+package migrate
+
+import (
+	"testing"
+
+	"compisa/internal/code"
+	"compisa/internal/compiler"
+	"compisa/internal/cpu"
+	"compisa/internal/isa"
+	"compisa/internal/workload"
+)
+
+// runProg executes a program and returns its checksum.
+func runProg(t *testing.T, p *code.Program, r workload.Region) uint64 {
+	t.Helper()
+	_, m := r.Build(p.FS.Width)
+	// The memory image must match the width the code was COMPILED for,
+	// which a width downgrade does not change.
+	st := cpu.NewState(m)
+	res, err := cpu.Run(p, st, 60_000_000, nil)
+	if err != nil {
+		t.Fatalf("%s: %v", p.Name, err)
+	}
+	return res.Ret & 0xffffffff
+}
+
+// runTranslated builds memory for the SOURCE width (data layout follows the
+// compiled binary) and executes the translated program.
+func runTranslated(t *testing.T, p *code.Program, r workload.Region, srcWidth int) uint64 {
+	t.Helper()
+	_, m := r.Build(srcWidth)
+	st := cpu.NewState(m)
+	res, err := cpu.Run(p, st, 60_000_000, nil)
+	if err != nil {
+		t.Fatalf("%s: %v\n", p.Name, err)
+	}
+	return res.Ret & 0xffffffff
+}
+
+func compileFor(t *testing.T, r workload.Region, fs isa.FeatureSet) *code.Program {
+	t.Helper()
+	f, _ := r.Build(fs.Width)
+	p, err := compiler.Compile(f, fs, compiler.Options{})
+	if err != nil {
+		t.Fatalf("%s for %s: %v", r.Name, fs.ShortName(), err)
+	}
+	p.Name = r.Name
+	return p
+}
+
+// sampleRegions picks a representative subset covering every kernel family.
+func sampleRegions(t *testing.T) []workload.Region {
+	t.Helper()
+	want := map[string]bool{
+		"astar.0": true, "bzip2.3": true, "gobmk.0": true, "hmmer.0": true,
+		"lbm.3": true, "mcf.0": true, "milc.3": true, "sjeng.6": true,
+	}
+	var out []workload.Region
+	for _, r := range workload.Regions() {
+		if want[r.Name] {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func TestUpgradeIsFree(t *testing.T) {
+	r := sampleRegions(t)[0]
+	p := compileFor(t, r, isa.MicroX86Min)
+	q, err := Translate(p, isa.Superset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q != p {
+		t.Error("upgrade migration must return the program unchanged")
+	}
+}
+
+func TestDowngradePredication(t *testing.T) {
+	src := isa.MustNew(isa.MicroX86, 32, 32, isa.FullPredication)
+	dst := isa.MustNew(isa.MicroX86, 32, 32, isa.PartialPredication)
+	for _, r := range sampleRegions(t) {
+		p := compileFor(t, r, src)
+		want := runProg(t, p, r)
+		q, err := Translate(p, dst)
+		if err != nil {
+			t.Fatalf("%s: %v", r.Name, err)
+		}
+		if got := runTranslated(t, q, r, 32); got != want {
+			t.Errorf("%s: predication downgrade checksum %#x want %#x", r.Name, got, want)
+		}
+		for i := range q.Instrs {
+			if q.Instrs[i].Predicated() {
+				t.Fatalf("%s: predicated instruction survived downgrade", r.Name)
+			}
+		}
+	}
+}
+
+func TestDowngradeComplexity(t *testing.T) {
+	src := isa.MustNew(isa.FullX86, 64, 16, isa.PartialPredication)
+	dst := isa.MustNew(isa.MicroX86, 64, 16, isa.PartialPredication)
+	for _, r := range sampleRegions(t) {
+		p := compileFor(t, r, src)
+		if programUsesSIMD(p) {
+			continue // scheduler runs the scalar binary instead
+		}
+		want := runProg(t, p, r)
+		q, err := Translate(p, dst)
+		if err != nil {
+			t.Fatalf("%s: %v", r.Name, err)
+		}
+		if got := runTranslated(t, q, r, 64); got != want {
+			t.Errorf("%s: complexity downgrade checksum %#x want %#x", r.Name, got, want)
+		}
+		for i := range q.Instrs {
+			if q.Instrs[i].MemSrcALU() {
+				t.Fatalf("%s: memory-operand ALU survived downgrade", r.Name)
+			}
+		}
+	}
+}
+
+func TestDowngradeDepth(t *testing.T) {
+	src := isa.MustNew(isa.MicroX86, 32, 64, isa.PartialPredication)
+	for _, depth := range []int{32, 16, 8} {
+		dst := isa.MustNew(isa.MicroX86, 32, depth, isa.PartialPredication)
+		for _, r := range sampleRegions(t) {
+			p := compileFor(t, r, src)
+			want := runProg(t, p, r)
+			q, err := Translate(p, dst)
+			if err != nil {
+				t.Fatalf("%s -> depth %d: %v", r.Name, depth, err)
+			}
+			if got := runTranslated(t, q, r, 32); got != want {
+				t.Errorf("%s: depth-%d downgrade checksum %#x want %#x", r.Name, depth, got, want)
+			}
+		}
+	}
+}
+
+func TestDowngradeWidth(t *testing.T) {
+	src := isa.MustNew(isa.MicroX86, 64, 32, isa.PartialPredication)
+	dst := isa.MustNew(isa.MicroX86, 32, 32, isa.PartialPredication)
+	for _, r := range sampleRegions(t) {
+		p := compileFor(t, r, src)
+		want := runProg(t, p, r)
+		q, err := Translate(p, dst)
+		if err != nil {
+			t.Fatalf("%s: %v", r.Name, err)
+		}
+		if got := runTranslated(t, q, r, 64); got != want {
+			t.Errorf("%s: width downgrade checksum %#x want %#x", r.Name, got, want)
+		}
+	}
+}
+
+func TestDowngradeEverything(t *testing.T) {
+	// Superset code down to the minimal feature set: every translation
+	// pass composes.
+	src := isa.MustNew(isa.MicroX86, 64, 64, isa.FullPredication)
+	dst := isa.MicroX86Min
+	for _, r := range sampleRegions(t) {
+		p := compileFor(t, r, src)
+		want := runProg(t, p, r)
+		q, err := Translate(p, dst)
+		if err != nil {
+			t.Fatalf("%s: %v", r.Name, err)
+		}
+		if got := runTranslated(t, q, r, 64); got != want {
+			t.Errorf("%s: full downgrade checksum %#x want %#x", r.Name, got, want)
+		}
+	}
+}
+
+func TestSIMDDowngradeRefused(t *testing.T) {
+	var vec workload.Region
+	for _, r := range workload.Regions() {
+		if r.Name == "lbm.0" {
+			vec = r
+		}
+	}
+	p := compileFor(t, vec, isa.X8664)
+	if !programUsesSIMD(p) {
+		t.Fatal("lbm.0 on x86-64 should contain SSE code")
+	}
+	if _, err := Translate(p, isa.X86izedAlpha); err == nil {
+		t.Fatal("SIMD downgrade must be refused (run the scalar binary)")
+	}
+}
+
+func TestDowngradeAddsInstructions(t *testing.T) {
+	src := isa.MustNew(isa.MicroX86, 32, 64, isa.PartialPredication)
+	dst := isa.MustNew(isa.MicroX86, 32, 8, isa.PartialPredication)
+	var reg workload.Region
+	for _, r := range workload.Regions() {
+		if r.Name == "hmmer.0" {
+			reg = r
+		}
+	}
+	p := compileFor(t, reg, src)
+	q, err := Translate(p, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Instrs) <= len(p.Instrs) {
+		t.Errorf("deep depth downgrade must add emulation code: %d vs %d", len(q.Instrs), len(p.Instrs))
+	}
+}

@@ -1,0 +1,225 @@
+// Package perfmodel implements a mechanistic (interval-style) performance
+// model: given one profiling pass of a (region, feature set) pair, it
+// predicts the cycle count of any microarchitectural configuration from the
+// exploration space. This is what makes the paper's 4680-design-point,
+// 49-region sweep tractable — the detailed simulator in internal/cpu is used
+// to validate the model, not to drive the search.
+//
+// The model composes the classic interval terms:
+//
+//	cycles = N/Deff + mispredicts*penalty + exposed memory stalls + fetch stalls
+//
+// where the effective dispatch rate Deff is bounded by issue width, by the
+// dependence-limited ILP curve measured at the configuration's window size,
+// by functional-unit throughput for the profiled micro-op mix, and by
+// front-end supply (micro-op cache hit rate and ILD/legacy decode bandwidth).
+package perfmodel
+
+import (
+	"fmt"
+	"math"
+
+	"compisa/internal/cpu"
+)
+
+// Result reports predicted cycles and their decomposition.
+type Result struct {
+	Cycles      float64
+	Base        float64 // dispatch/dependence-bound portion
+	BranchStall float64
+	MemStall    float64
+	FetchStall  float64
+	// Activity passed through for the energy model.
+	Mispredicts float64
+	L1DMisses   float64
+	L2Misses    float64
+	L1IMisses   float64
+}
+
+// Overlap factors: how much of a miss's latency an out-of-order window
+// hides. In-order cores expose nearly everything.
+const (
+	oooL2Hide  = 0.65
+	oooMemHide = 0.30
+	ioL2Hide   = 0.05
+	ioMemHide  = 0.0
+)
+
+// cacheOptIdx maps a cache config onto the profile's option index.
+func cacheOptIdx(c cpu.CacheCfg, opts [2]cpu.CacheCfg) (int, error) {
+	for i, o := range opts {
+		if o.SizeKB == c.SizeKB && o.Assoc == c.Assoc {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("perfmodel: cache config %+v not profiled", c)
+}
+
+// ilpAt interpolates the dependence-limited IPC curve at a window size.
+func ilpAt(p *cpu.Profile, window int) float64 {
+	lo, hi := 0, 0
+	loV, hiV := 0.0, 0.0
+	for w, v := range p.IPCWindow {
+		if w <= window && w > lo {
+			lo, loV = w, v
+		}
+		if w >= window && (hi == 0 || w < hi) {
+			hi, hiV = w, v
+		}
+	}
+	switch {
+	case lo == 0:
+		return hiV
+	case hi == 0:
+		return loV
+	case lo == hi:
+		return loV
+	default:
+		f := float64(window-lo) / float64(hi-lo)
+		return loV + f*(hiV-loV)
+	}
+}
+
+// Cycles predicts the cycle count of running the profiled region on cfg.
+func Cycles(p *cpu.Profile, cfg cpu.CoreConfig) (Result, error) {
+	var r Result
+	n := float64(p.Uops)
+	if n == 0 {
+		return r, fmt.Errorf("perfmodel: empty profile")
+	}
+	i1, err := cacheOptIdx(cfg.L1I, cpu.L1IOptions)
+	if err != nil {
+		return r, err
+	}
+	d1, err := cacheOptIdx(cfg.L1D, cpu.L1DOptions)
+	if err != nil {
+		return r, err
+	}
+	l2, err := cacheOptIdx(cfg.L2, cpu.L2Options)
+	if err != nil {
+		return r, err
+	}
+	mp := p.Mem[i1][d1][l2]
+
+	// ---- Effective dispatch rate. ----
+	width := float64(cfg.Width)
+	var ilp float64
+	if cfg.OoO {
+		window := cfg.ROB
+		if q := cfg.IQ * 3; q < window {
+			window = q
+		}
+		ilp = ilpAt(p, window)
+	} else {
+		ilp = p.IPCInOrder
+	}
+
+	// Functional-unit throughput bounds: D*frac_c <= units_c.
+	fuBound := math.Inf(1)
+	bound := func(cls cpu.UopClass, units float64) {
+		frac := float64(p.UopsByClass[cls]) / n
+		if frac <= 0 {
+			return
+		}
+		if b := units / frac; b < fuBound {
+			fuBound = b
+		}
+	}
+	bound(cpu.UcInt, float64(cfg.IntALU))
+	bound(cpu.UcMul, float64(cfg.IntMul))
+	fpFrac := float64(p.UopsByClass[cpu.UcFP]+p.UopsByClass[cpu.UcFDiv]) / n
+	if fpFrac > 0 {
+		if b := float64(cfg.FPALU) / fpFrac; b < fuBound {
+			fuBound = b
+		}
+	}
+	bound(cpu.UcLoad, 2)
+	bound(cpu.UcStore, 1)
+	bound(cpu.UcBranch, 1)
+
+	// Front-end supply: micro-op cache hits stream at full width; misses
+	// go through the ILD (16 B/cycle) and at most 3 decoders.
+	uopsPerInstr := n / float64(p.Instrs)
+	legacyInstrRate := math.Min(3, 16.0/math.Max(1, p.AvgInstrLen))
+	legacyUopRate := legacyInstrRate * uopsPerInstr
+	h := 0.0
+	if cfg.UopCache {
+		h = p.UopCacheHitRate
+	}
+	frontend := h*width + (1-h)*math.Min(width, legacyUopRate)
+
+	// Dispatch-slot bound: macro- and micro-op fusion let full-x86 cores
+	// dispatch load+op pairs and CMP+JCC pairs in single slots.
+	dispatchN := n
+	if cfg.Fusion && p.X86Complexity {
+		dispatchN -= float64(p.MemALUOps + p.FusedBranches)
+	}
+	base := dispatchN / width
+	for _, b := range []float64{n / ilp, n / fuBound, n / frontend} {
+		if b > base {
+			base = b
+		}
+	}
+	r.Base = base
+
+	// ---- Branch misprediction stalls. ----
+	mr := p.MispredictRate[cfg.Predictor]
+	r.Mispredicts = mr * float64(p.Branches)
+	penalty := float64(cpu.FrontendDepth) + 3 // refill + resolve
+	if !cfg.OoO {
+		penalty = float64(cpu.FrontendDepth)/2 + 2
+	}
+	r.BranchStall = r.Mispredicts * penalty
+
+	// ---- Exposed memory stalls. ----
+	// Naive (fully exposed, serial) stall for this cache configuration.
+	l2Hits := float64(mp.L1DMisses - mp.L2Misses)
+	l2Extra := float64(cpu.LatL2 - cpu.LatL1)
+	memExtra := float64(cpu.LatMem - cpu.LatL1)
+	naive := l2Hits*l2Extra + float64(mp.L2Misses)*memExtra
+	if cfg.OoO {
+		// Scale the profiled dependence-aware exposure (measured on the
+		// reference hierarchy at a 128-uop window) by this config's naive
+		// miss volume: pointer chases expose ~everything, streaming
+		// hides ~everything, and smaller windows expose more.
+		exposure := 1.0
+		if p.NaiveStallRef > 0 {
+			exposure = p.MemExposedCycles / p.NaiveStallRef
+			if exposure > 1 {
+				exposure = 1
+			}
+		}
+		windowScale := 1.0
+		if cfg.ROB < 128 {
+			// Smaller windows hide less; interpolate toward full
+			// exposure as the window shrinks.
+			windowScale = 1 + (1-exposure)*(128-float64(cfg.ROB))/128*0.5
+		}
+		e := exposure * windowScale
+		if e > 1 {
+			e = 1
+		}
+		r.MemStall = naive * e
+	} else {
+		// In-order cores block on every load-use: nearly full exposure.
+		r.MemStall = naive * 0.95
+	}
+	r.L1DMisses = float64(mp.L1DMisses)
+	r.L2Misses = float64(mp.L2Misses)
+
+	// ---- Instruction fetch stalls. ----
+	r.L1IMisses = float64(mp.L1IMisses)
+	r.FetchStall = r.L1IMisses * float64(cpu.LatL2) * 0.8
+
+	r.Cycles = r.Base + r.BranchStall + r.MemStall + r.FetchStall
+	return r, nil
+}
+
+// IPC is a convenience: profiled micro-ops per predicted cycle.
+func IPC(p *cpu.Profile, cfg cpu.CoreConfig) (float64, error) {
+	r, err := Cycles(p, cfg)
+	if err != nil {
+		return 0, err
+	}
+	return float64(p.Uops) / r.Cycles, nil
+}

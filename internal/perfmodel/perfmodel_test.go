@@ -1,0 +1,248 @@
+package perfmodel
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"compisa/internal/compiler"
+	"compisa/internal/cpu"
+	"compisa/internal/isa"
+	"compisa/internal/workload"
+)
+
+func sampleConfigs() []cpu.CoreConfig {
+	big := cpu.CoreConfig{
+		OoO: true, Width: 4, Predictor: cpu.PredTournament,
+		IQ: 64, ROB: 128, PRFInt: 192, PRFFP: 160,
+		IntALU: 6, IntMul: 2, FPALU: 4, LSQ: 32,
+		L1I: cpu.L1Cfg64k, L1D: cpu.L1Cfg64k, L2: cpu.L2Cfg8M,
+		UopCache: true, Fusion: true,
+	}
+	mid := cpu.CoreConfig{
+		OoO: true, Width: 2, Predictor: cpu.PredGShare,
+		IQ: 32, ROB: 64, PRFInt: 96, PRFFP: 64,
+		IntALU: 3, IntMul: 1, FPALU: 2, LSQ: 16,
+		L1I: cpu.L1Cfg32k, L1D: cpu.L1Cfg32k, L2: cpu.L2Cfg4M,
+		UopCache: true, Fusion: true,
+	}
+	little := cpu.CoreConfig{
+		OoO: false, Width: 1, Predictor: cpu.PredLocal,
+		IQ: 32, ROB: 64, PRFInt: 64, PRFFP: 16,
+		IntALU: 1, IntMul: 1, FPALU: 1, LSQ: 16,
+		L1I: cpu.L1Cfg32k, L1D: cpu.L1Cfg32k, L2: cpu.L2Cfg4M,
+		UopCache: false, Fusion: true,
+	}
+	io2 := little
+	io2.Width = 2
+	io2.IntALU = 3
+	io2.UopCache = true
+	return []cpu.CoreConfig{big, mid, little, io2}
+}
+
+func regionByName(t *testing.T, name string) workload.Region {
+	t.Helper()
+	for _, r := range workload.Regions() {
+		if r.Name == name {
+			return r
+		}
+	}
+	t.Fatalf("unknown region %s", name)
+	return workload.Region{}
+}
+
+// TestPerfModelAgainstDetailedSim bounds the interval model's divergence
+// from the detailed cycle simulator: ratios must stay within a factor and
+// the relative ORDER of configurations (what the search consumes) must be
+// broadly preserved.
+func TestPerfModelAgainstDetailedSim(t *testing.T) {
+	fs := isa.X8664
+	configs := sampleConfigs()
+	names := []string{"astar.0", "bzip2.0", "gobmk.0", "hmmer.0", "lbm.0", "mcf.0", "milc.0", "sjeng.0"}
+	worst := 0.0
+	orderOK, orderTotal := 0, 0
+	for _, name := range names {
+		r := regionByName(t, name)
+		f, m := r.Build(fs.Width)
+		prog, err := compiler.Compile(f, fs, compiler.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		prog.Name = r.Name
+		prof, _, err := cpu.CollectProfile(prog, m.Clone(), 40_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var modelC, simC []float64
+		for _, cfg := range configs {
+			pm, err := Cycles(prof, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			f2, m2 := r.Build(fs.Width)
+			prog2, err := compiler.Compile(f2, fs, compiler.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, tr, err := cpu.RunTimed(prog2, cpu.NewState(m2), cfg, 40_000_000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			modelC = append(modelC, pm.Cycles)
+			simC = append(simC, float64(tr.Cycles))
+			ratio := pm.Cycles / float64(tr.Cycles)
+			if ratio < 1 {
+				ratio = 1 / ratio
+			}
+			if ratio > worst {
+				worst = ratio
+			}
+			// The interval model is a search surrogate: the hard
+			// requirement is preserved ordering; absolute divergence is
+			// bounded loosely (dependent-miss chains, e.g. mcf's
+			// pointer chase, are its weakest spot).
+			if ratio > 4.5 {
+				t.Errorf("%s on %s: model %.0f vs sim %d (ratio %.2f)", name, cfg.Name(), pm.Cycles, tr.Cycles, ratio)
+			}
+		}
+		// Pairwise order agreement.
+		for i := 0; i < len(configs); i++ {
+			for j := i + 1; j < len(configs); j++ {
+				// Skip near-ties.
+				if math.Abs(simC[i]-simC[j])/math.Max(simC[i], simC[j]) < 0.10 {
+					continue
+				}
+				orderTotal++
+				if (modelC[i] < modelC[j]) == (simC[i] < simC[j]) {
+					orderOK++
+				}
+			}
+		}
+	}
+	if orderTotal > 0 && float64(orderOK)/float64(orderTotal) < 0.75 {
+		t.Errorf("model preserves only %d/%d config orderings", orderOK, orderTotal)
+	}
+	t.Logf("worst model/sim ratio %.2f; order agreement %d/%d", worst, orderOK, orderTotal)
+}
+
+func TestCyclesMonotoneInWidth(t *testing.T) {
+	r := regionByName(t, "bzip2.7") // ILP-rich bit packing
+	f, m := r.Build(64)
+	prog, err := compiler.Compile(f, isa.X8664, compiler.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, _, err := cpu.CollectProfile(prog, m, 40_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := sampleConfigs()[0]
+	narrow := big
+	narrow.Width = 1
+	narrow.IntALU = 1
+	cb, err := Cycles(prof, big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cn, err := Cycles(prof, narrow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cb.Cycles >= cn.Cycles {
+		t.Errorf("wider core must be predicted faster: %.0f vs %.0f", cb.Cycles, cn.Cycles)
+	}
+}
+
+func TestCyclesSensitiveToPredictor(t *testing.T) {
+	r := regionByName(t, "sjeng.0") // mispredict-heavy
+	f, m := r.Build(64)
+	prog, err := compiler.Compile(f, isa.X8664, compiler.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, _, err := cpu.CollectProfile(prog, m, 40_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.MispredictRate[cpu.PredTournament] < 0.2 {
+		t.Fatalf("sjeng.0 should be unpredictable, rate %.2f", prof.MispredictRate[cpu.PredTournament])
+	}
+	cfg := sampleConfigs()[1]
+	res, err := Cycles(prof, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BranchStall <= 0 || res.BranchStall < 0.1*res.Cycles {
+		t.Errorf("branch stalls should be a major component: %.0f of %.0f", res.BranchStall, res.Cycles)
+	}
+}
+
+func TestCyclesCacheConfigMatters(t *testing.T) {
+	r := regionByName(t, "mcf.0") // L1-straddling pointer chase
+	f, m := r.Build(64)
+	prog, err := compiler.Compile(f, isa.X8664, compiler.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, _, err := cpu.CollectProfile(prog, m, 40_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sampleConfigs()[1]
+	small, err := Cycles(prof, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.L1D = cpu.L1Cfg64k
+	cfg.L1I = cpu.L1Cfg64k
+	big, err := Cycles(prof, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Cycles >= small.Cycles {
+		t.Errorf("bigger L1 must help the chase: %.0f vs %.0f", big.Cycles, small.Cycles)
+	}
+}
+
+func TestCyclesRejectsUnprofiledCache(t *testing.T) {
+	r := regionByName(t, "astar.0")
+	f, m := r.Build(64)
+	prog, err := compiler.Compile(f, isa.X8664, compiler.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, _, err := cpu.CollectProfile(prog, m, 40_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sampleConfigs()[0]
+	cfg.L1D = cpu.CacheCfg{SizeKB: 128, Assoc: 8}
+	if _, err := Cycles(prof, cfg); err == nil {
+		t.Fatal("unprofiled cache config must be rejected")
+	}
+}
+
+func TestIPCSorted(t *testing.T) {
+	// The ILP curve must be monotone in window size.
+	r := regionByName(t, "hmmer.0")
+	f, m := r.Build(64)
+	prog, err := compiler.Compile(f, isa.X8664, compiler.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, _, err := cpu.CollectProfile(prog, m, 40_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ws []int
+	for w := range prof.IPCWindow {
+		ws = append(ws, w)
+	}
+	sort.Ints(ws)
+	for i := 1; i < len(ws); i++ {
+		if prof.IPCWindow[ws[i]]+1e-9 < prof.IPCWindow[ws[i-1]] {
+			t.Errorf("ILP curve not monotone: ipc(%d)=%.3f < ipc(%d)=%.3f",
+				ws[i], prof.IPCWindow[ws[i]], ws[i-1], prof.IPCWindow[ws[i-1]])
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package power
+
+import (
+	"compisa/internal/cpu"
+	"compisa/internal/isa"
+	"compisa/internal/perfmodel"
+)
+
+// Clock frequency assumed for converting cycles to seconds: 2 GHz.
+const FreqHz = 2e9
+
+// Per-event dynamic energies in joules.
+const (
+	pJ = 1e-12
+
+	eFetchSlot     = 6 * pJ // per instruction through the fetch pipe
+	eUopCache      = 3 * pJ // per micro-op-cache lookup
+	eILDPerByte    = 1.4 * pJ
+	eDecodeSimple  = 7 * pJ  // per macro-op through a 1:1 decoder
+	eDecodeComplex = 16 * pJ // per macro-op through the 1:4 decoder + MSROM
+	ePredictor     = 4 * pJ
+	eSchedulerOoO  = 9 * pJ // per uop through rename/IQ/ROB
+	eSchedulerIO   = 3 * pJ
+	eRegFileAccess = 1.1 * pJ // per register-bit-word(64) access
+	eIntOp         = 7 * pJ
+	eMulOp         = 18 * pJ
+	eFPOp          = 22 * pJ
+	eSIMDOp        = 40 * pJ
+	eLSQ           = 5 * pJ
+	eL1Access      = 22 * pJ
+	eL2Access      = 160 * pJ
+	eMemAccess     = 2000 * pJ
+
+	// Leakage per mm² of structure area.
+	leakWPerMM2 = 0.035
+)
+
+// EnergyResult is the outcome of the energy model for one region run.
+type EnergyResult struct {
+	// Joules per structure (the Figure 11 breakdown lives in Breakdown;
+	// cache energies are reported separately).
+	Dynamic Breakdown
+	Leakage float64
+	// Total energy in joules.
+	Total float64
+	// Seconds of execution at FreqHz.
+	Time float64
+}
+
+// Energy estimates the energy of executing the profiled region on the given
+// core for the predicted cycle count.
+func Energy(tr Traits, cfg cpu.CoreConfig, p *cpu.Profile, perf perfmodel.Result) EnergyResult {
+	fs := tr.FS
+	var d Breakdown
+	instrs := float64(p.Instrs)
+	uops := float64(p.Uops)
+
+	// Fetch: every instruction, plus micro-op cache lookups.
+	d.Fetch = instrs * eFetchSlot
+	if cfg.UopCache {
+		d.Fetch += instrs * eUopCache
+	}
+
+	// Decode: only legacy-decode activations pay ILD + decoder energy;
+	// with a micro-op cache the pipeline is off on hits (Section V /
+	// Figure 11 discussion).
+	missFrac := 1.0
+	if cfg.UopCache {
+		missFrac = 1 - p.UopCacheHitRate
+	}
+	decoded := instrs * missFrac
+	bytesDecoded := decoded * p.AvgInstrLen
+	if !tr.FixedLength {
+		d.Decode += bytesDecoded * eILDPerByte
+	}
+	if fs.Complexity == isa.FullX86 {
+		// Multi-uop macro-ops use the complex decoder.
+		cplxFrac := float64(p.MemALUOps) / float64(maxI64(p.Instrs, 1))
+		d.Decode += decoded * ((1-cplxFrac)*eDecodeSimple + cplxFrac*eDecodeComplex)
+	} else {
+		d.Decode += decoded * eDecodeSimple
+	}
+
+	d.BranchPred = float64(p.Branches) * ePredictor
+	if cfg.Predictor == cpu.PredTournament {
+		d.BranchPred *= 1.8
+	}
+
+	if cfg.OoO {
+		d.Scheduler = uops * eSchedulerOoO
+	} else {
+		d.Scheduler = uops * eSchedulerIO
+	}
+
+	// Register file: ~2 reads + 1 write per uop, scaled by width.
+	widthScale := float64(fs.Width) / 64
+	fpScale := 1.0
+	if fs.HasSIMD() {
+		fpScale = 2.0
+	}
+	intUops := uops - float64(p.UopsByClass[cpu.UcFP]+p.UopsByClass[cpu.UcFDiv])
+	fpUops := float64(p.UopsByClass[cpu.UcFP] + p.UopsByClass[cpu.UcFDiv])
+	d.RegFile = intUops*3*eRegFileAccess*widthScale + fpUops*3*eRegFileAccess*fpScale
+
+	vecUops := float64(0)
+	// SIMD ops are FP-class uops on SIMD-capable cores; approximate the
+	// vector fraction by the profile's packed operations via class FP
+	// when the feature set has SIMD and the region vectorized.
+	if fs.HasSIMD() && p.Stats.VectorLoops > 0 {
+		vecUops = fpUops * 0.7
+	}
+	d.FU = float64(p.UopsByClass[cpu.UcInt])*eIntOp +
+		float64(p.UopsByClass[cpu.UcMul])*eMulOp +
+		(fpUops-vecUops)*eFPOp + vecUops*eSIMDOp +
+		float64(p.UopsByClass[cpu.UcBranch])*eIntOp
+
+	memUops := float64(p.UopsByClass[cpu.UcLoad] + p.UopsByClass[cpu.UcStore])
+	d.LSQ = memUops * eLSQ
+
+	d.L1I = instrs / 3 * eL1Access // fetch reads a line per ~3 instrs
+	d.L1D = memUops * eL1Access
+	d.L2 = (perf.L1DMisses + perf.L1IMisses) * eL2Access
+	// Memory energy folded into L2 bucket for the breakdown.
+	d.L2 += perf.L2Misses * eMemAccess
+
+	area := Area(tr, cfg)
+	time := perf.Cycles / FreqHz
+	leak := area.Total() * leakWPerMM2 * time
+
+	return EnergyResult{
+		Dynamic: d,
+		Leakage: leak,
+		Total:   d.Total() + leak,
+		Time:    time,
+	}
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

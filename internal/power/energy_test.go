@@ -1,0 +1,98 @@
+package power
+
+import (
+	"testing"
+
+	"compisa/internal/compiler"
+	"compisa/internal/cpu"
+	"compisa/internal/isa"
+	"compisa/internal/perfmodel"
+	"compisa/internal/workload"
+)
+
+func profileFor(t *testing.T, name string, fs isa.FeatureSet) (*cpu.Profile, perfmodel.Result, cpu.CoreConfig) {
+	t.Helper()
+	var reg workload.Region
+	for _, r := range workload.Regions() {
+		if r.Name == name {
+			reg = r
+		}
+	}
+	f, m := reg.Build(fs.Width)
+	prog, err := compiler.Compile(f, fs, compiler.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, _, err := cpu.CollectProfile(prog, m, 40_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := refConfig()
+	res, err := perfmodel.Cycles(prof, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prof, res, cfg
+}
+
+func TestEnergyPositiveAndDecomposed(t *testing.T) {
+	prof, res, cfg := profileFor(t, "bzip2.0", isa.X8664)
+	en := Energy(tr(isa.X8664), cfg, prof, res)
+	if en.Total <= 0 || en.Leakage <= 0 || en.Time <= 0 {
+		t.Fatalf("degenerate energy: %+v", en)
+	}
+	d := en.Dynamic
+	if d.Fetch <= 0 || d.Scheduler <= 0 || d.RegFile <= 0 || d.FU <= 0 {
+		t.Errorf("stage energies must be positive: %+v", d)
+	}
+	if en.Total < d.Total() {
+		t.Error("total must include leakage")
+	}
+}
+
+func TestEnergyUopCacheSavesDecode(t *testing.T) {
+	prof, res, cfg := profileFor(t, "bzip2.0", isa.X8664)
+	withUC := Energy(tr(isa.X8664), cfg, prof, res)
+	cfgNo := cfg
+	cfgNo.UopCache = false
+	noUC := Energy(tr(isa.X8664), cfgNo, prof, res)
+	if withUC.Dynamic.Decode >= noUC.Dynamic.Decode {
+		t.Errorf("micro-op cache must gate decode energy: %.3g vs %.3g uJ",
+			withUC.Dynamic.Decode*1e6, noUC.Dynamic.Decode*1e6)
+	}
+}
+
+func TestEnergyFixedLengthSavesILD(t *testing.T) {
+	prof, res, cfg := profileFor(t, "sjeng.0", isa.X86izedAlpha)
+	varlen := Energy(Traits{FS: isa.X86izedAlpha}, cfg, prof, res)
+	fixed := Energy(Traits{FS: isa.X86izedAlpha, FixedLength: true}, cfg, prof, res)
+	if fixed.Dynamic.Decode >= varlen.Dynamic.Decode {
+		t.Error("fixed-length decode must skip ILD energy")
+	}
+}
+
+func TestEnergyLeakageScalesWithTime(t *testing.T) {
+	prof, res, cfg := profileFor(t, "astar.0", isa.X8664)
+	slow := res
+	slow.Cycles *= 2
+	e1 := Energy(tr(isa.X8664), cfg, prof, res)
+	e2 := Energy(tr(isa.X8664), cfg, prof, slow)
+	if e2.Leakage <= e1.Leakage {
+		t.Error("leakage must grow with execution time")
+	}
+	if e2.Dynamic.Total() != e1.Dynamic.Total() {
+		t.Error("dynamic energy depends on activity, not time")
+	}
+}
+
+func TestEnergyBranchHeavyRegionSpendsOnPredictor(t *testing.T) {
+	profB, resB, cfg := profileFor(t, "gobmk.0", isa.X8664)
+	profD, resD, _ := profileFor(t, "hmmer.0", isa.X8664)
+	enB := Energy(tr(isa.X8664), cfg, profB, resB)
+	enD := Energy(tr(isa.X8664), cfg, profD, resD)
+	fracB := enB.Dynamic.BranchPred / enB.Dynamic.Total()
+	fracD := enD.Dynamic.BranchPred / enD.Dynamic.Total()
+	if fracB <= fracD {
+		t.Errorf("gobmk must spend a larger predictor-energy share than hmmer: %.4f vs %.4f", fracB, fracD)
+	}
+}

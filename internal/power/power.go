@@ -1,0 +1,227 @@
+// Package power implements the analytic area, peak-power, and energy model
+// standing in for the paper's McPAT + Synopsys RTL synthesis flow. Per-core
+// area and peak power are sums of per-structure terms parameterized by the
+// microarchitectural configuration and the composite feature set; runtime
+// energy is activity-based, accumulated from a profile and a predicted cycle
+// count, with the per-stage breakdown of Figures 10/11.
+//
+// The decoder terms are calibrated to the paper's published RTL deltas
+// (Section V.B): the superset decoder costs +0.3% core peak power and +0.46%
+// core area over the x86-64 decoder, the microx86-32 decoder saves 0.66% and
+// 1.12%, and the ILD customizations cost +0.87% and +0.65%. Removing the
+// SIMD units saves ~7.4% peak power and ~17.3% area (Section III), and
+// 64-bit register files cost up to ~6.4% power over 32-bit.
+package power
+
+import (
+	"compisa/internal/cpu"
+	"compisa/internal/isa"
+)
+
+// Breakdown is a per-structure decomposition of area (mm²), peak power (W),
+// or energy (J).
+type Breakdown struct {
+	Fetch      float64 // fetch pipe + micro-op cache
+	Decode     float64 // ILD + decoders + MSROM
+	BranchPred float64
+	Scheduler  float64 // rename, IQ, ROB (and scoreboard on in-order)
+	RegFile    float64
+	FU         float64
+	LSQ        float64
+	L1I        float64
+	L1D        float64
+	L2         float64 // per-core share of the shared L2
+}
+
+// Core sums the processor structures, excluding the caches — the quantity
+// Figure 10 plots ("combined core area, without caches").
+func (b Breakdown) Core() float64 {
+	return b.Fetch + b.Decode + b.BranchPred + b.Scheduler + b.RegFile + b.FU + b.LSQ
+}
+
+// Total sums everything including caches.
+func (b Breakdown) Total() float64 { return b.Core() + b.L1I + b.L1D + b.L2 }
+
+// Traits captures the ISA properties the hardware model depends on; vendor
+// ISAs override FixedLength (no instruction-length decoder needed).
+type Traits struct {
+	FS          isa.FeatureSet
+	FixedLength bool
+}
+
+// decoderCounts returns the simple (1:1) and complex (1:4) decoder counts
+// for a feature set at a fetch width (Table I: 1-3 1:1 decoders, one 1:4
+// decoder, MSROM). microx86 replaces the complex decoder with another simple
+// one and forgoes the microsequencing ROM (Section V.B).
+func decoderCounts(tr Traits, width int) (simple, complex int, msrom bool) {
+	n := 1
+	if width >= 2 {
+		n = 2
+	}
+	if width >= 4 {
+		n = 3
+	}
+	if tr.FS.Complexity == isa.MicroX86 {
+		return n, 0, false
+	}
+	return n - 1, 1, true
+}
+
+// cacheArea returns mm² for a cache level.
+func cacheArea(c cpu.CacheCfg, shared bool) float64 {
+	kb := float64(c.SizeKB)
+	if shared {
+		kb /= 4 // per-core share of the 4-core CMP's L2
+	}
+	// ~0.0035 mm²/KB for L2-class SRAM, small overhead per cache.
+	if shared {
+		return 0.20 + kb*0.0033
+	}
+	return 0.15 + kb*0.020
+}
+
+// Area returns the per-structure area of a core in mm².
+func Area(tr Traits, cfg cpu.CoreConfig) Breakdown {
+	fs := tr.FS
+	var b Breakdown
+	w := float64(cfg.Width)
+	w64 := 0.0
+	if fs.Width == 64 {
+		w64 = 1.0
+	}
+
+	b.Fetch = 0.55 + 0.16*w
+	if cfg.UopCache {
+		b.Fetch += 0.5
+	}
+
+	simple, cplx, msrom := decoderCounts(tr, cfg.Width)
+	b.Decode = 0.20*float64(simple) + 0.48*float64(cplx)
+	if msrom {
+		b.Decode += 0.38
+	}
+	if !tr.FixedLength {
+		b.Decode += 0.30 + 0.05*w // instruction length decoder
+		if fs.Depth > 16 || fs.Predication == isa.FullPredication {
+			b.Decode += 0.10 // wider length/valid-begin muxes (REXBC, pred)
+		}
+	}
+	if fs.Depth > 16 {
+		b.Decode += 0.045 // REXBC prefix decode comparators
+	}
+	if fs.Predication == isa.FullPredication {
+		b.Decode += 0.035 // predicate prefix decode
+	}
+
+	switch cfg.Predictor {
+	case cpu.PredLocal:
+		b.BranchPred = 0.40
+	case cpu.PredGShare:
+		b.BranchPred = 0.36
+	default:
+		b.BranchPred = 0.78
+	}
+
+	if cfg.OoO {
+		b.Scheduler = 0.40 + 0.20*w + 0.010*float64(cfg.IQ) + 0.007*float64(cfg.ROB)
+	} else {
+		b.Scheduler = 0.22 + 0.09*w
+	}
+
+	intBits := float64(cfg.PRFInt * fs.Width)
+	fpBits := float64(cfg.PRFFP * 64)
+	if fs.HasSIMD() {
+		fpBits = float64(cfg.PRFFP * 128)
+	}
+	b.RegFile = (intBits + fpBits) * 0.00011
+	// The architectural state scales with register depth even with
+	// renaming (rename map, retirement state).
+	b.RegFile += float64(fs.Depth*fs.Width) * 0.00006
+
+	alu := 0.22 + 0.10*w64
+	b.FU = float64(cfg.IntALU)*alu + float64(cfg.IntMul)*0.42 + float64(cfg.FPALU)*0.52
+	if fs.HasSIMD() {
+		b.FU += float64(cfg.FPALU) * 0.85 // 128-bit SIMD datapaths
+	}
+
+	b.LSQ = 0.16 + 0.011*float64(cfg.LSQ)
+
+	b.L1I = cacheArea(cfg.L1I, false)
+	b.L1D = cacheArea(cfg.L1D, false)
+	b.L2 = cacheArea(cfg.L2, true)
+	return b
+}
+
+// Peak returns the per-structure peak power of a core in watts.
+func Peak(tr Traits, cfg cpu.CoreConfig) Breakdown {
+	fs := tr.FS
+	var b Breakdown
+	w := float64(cfg.Width)
+	w64 := 0.0
+	if fs.Width == 64 {
+		w64 = 1.0
+	}
+
+	b.Fetch = 0.38 + 0.26*w
+	if cfg.UopCache {
+		b.Fetch += 0.20
+	}
+
+	simple, cplx, msrom := decoderCounts(tr, cfg.Width)
+	b.Decode = 0.16*float64(simple) + 0.18*float64(cplx)
+	if msrom {
+		b.Decode += 0.03
+	}
+	if !tr.FixedLength {
+		b.Decode += 0.26 + 0.06*w
+		if fs.Depth > 16 || fs.Predication == isa.FullPredication {
+			b.Decode += 0.10 // ILD customization (+0.87% core)
+		}
+	}
+	if fs.Depth > 16 {
+		b.Decode += 0.022
+	}
+	if fs.Predication == isa.FullPredication {
+		b.Decode += 0.015
+	}
+
+	switch cfg.Predictor {
+	case cpu.PredLocal:
+		b.BranchPred = 0.30
+	case cpu.PredGShare:
+		b.BranchPred = 0.27
+	default:
+		b.BranchPred = 0.56
+	}
+
+	if cfg.OoO {
+		b.Scheduler = 0.55 + 1.05*w + 0.012*float64(cfg.IQ) + 0.009*float64(cfg.ROB)
+	} else {
+		b.Scheduler = 0.18 + 0.09*w
+	}
+
+	intBits := float64(cfg.PRFInt * fs.Width)
+	fpBits := float64(cfg.PRFFP * 64)
+	if fs.HasSIMD() {
+		fpBits = float64(cfg.PRFFP * 128)
+	}
+	b.RegFile = (intBits+fpBits)*0.00009 + (0.04+0.11*w64)*float64(fs.Depth)/64
+	b.RegFile += 0.10 * w
+
+	// ISA-dependent datapath costs scale with machine width: a 1-wide
+	// in-order core's SIMD unit and 64-bit datapaths cost far less than a
+	// 4-wide core's.
+	isaScale := 0.4 + 0.15*w
+	alu := 0.30 + 0.12*w64*isaScale
+	b.FU = float64(cfg.IntALU)*alu + float64(cfg.IntMul)*0.30 + float64(cfg.FPALU)*0.45
+	if fs.HasSIMD() {
+		b.FU += float64(cfg.FPALU) * 0.28 * isaScale
+	}
+
+	b.LSQ = 0.08 + 0.009*float64(cfg.LSQ)
+
+	b.L1I = 0.16 + float64(cfg.L1I.SizeKB)*0.008
+	b.L1D = 0.18 + float64(cfg.L1D.SizeKB)*0.009
+	b.L2 = 0.25 + float64(cfg.L2.PerCoreKB())*0.00045
+	return b
+}

@@ -1,0 +1,133 @@
+package power
+
+import (
+	"testing"
+
+	"compisa/internal/cpu"
+	"compisa/internal/isa"
+)
+
+func refConfig() cpu.CoreConfig {
+	return cpu.CoreConfig{
+		OoO: true, Width: 2, Predictor: cpu.PredTournament,
+		IQ: 32, ROB: 64, PRFInt: 96, PRFFP: 64,
+		IntALU: 3, IntMul: 1, FPALU: 2, LSQ: 16,
+		L1I: cpu.L1Cfg32k, L1D: cpu.L1Cfg32k, L2: cpu.L2Cfg4M,
+		UopCache: true, Fusion: true,
+	}
+}
+
+func tr(fs isa.FeatureSet) Traits { return Traits{FS: fs} }
+
+func TestSIMDRemovalSavings(t *testing.T) {
+	cfg := refConfig()
+	x86 := isa.MustNew(isa.FullX86, 64, 16, isa.PartialPredication)
+	micro := isa.MustNew(isa.MicroX86, 64, 16, isa.PartialPredication)
+	aX, aU := Area(tr(x86), cfg), Area(tr(micro), cfg)
+	pX, pU := Peak(tr(x86), cfg), Peak(tr(micro), cfg)
+	// Paper: no-SSE cores save ~7.4% peak power and ~17.3% area
+	// (core-level; microx86 also drops the complex decoder).
+	areaSave := 1 - aU.Total()/aX.Total()
+	powerSave := 1 - pU.Total()/pX.Total()
+	if areaSave < 0.05 || areaSave > 0.30 {
+		t.Errorf("microx86 area saving %.1f%% out of plausible range (paper ~17.3%%)", 100*areaSave)
+	}
+	if powerSave < 0.02 || powerSave > 0.15 {
+		t.Errorf("microx86 power saving %.1f%% out of plausible range (paper ~7.4-9.8%%)", 100*powerSave)
+	}
+}
+
+func TestWidthPowerCost(t *testing.T) {
+	cfg := refConfig()
+	w32 := isa.MustNew(isa.MicroX86, 32, 32, isa.PartialPredication)
+	w64 := isa.MustNew(isa.MicroX86, 64, 32, isa.PartialPredication)
+	p32, p64 := Peak(tr(w32), cfg), Peak(tr(w64), cfg)
+	// Paper: doubling register width costs up to ~6.4% power.
+	cost := p64.Total()/p32.Total() - 1
+	if cost <= 0 || cost > 0.12 {
+		t.Errorf("64-bit power cost %.1f%% out of plausible range (paper up to 6.4%%)", 100*cost)
+	}
+}
+
+func TestDecoderRTLDeltas(t *testing.T) {
+	cfg := refConfig()
+	x8664 := Peak(tr(isa.X8664), cfg)
+	superset := Peak(tr(isa.Superset), cfg)
+	micro32 := Peak(tr(isa.MicroX86Min), cfg)
+	// Superset decoder costs more than x86-64's; microx86-32's costs less.
+	if superset.Decode <= x8664.Decode {
+		t.Error("superset decoder must cost more peak power than x86-64's")
+	}
+	if micro32.Decode >= x8664.Decode {
+		t.Error("microx86-32 decoder must cost less than x86-64's")
+	}
+	// Both deltas are small fractions of the core (paper: +0.3%/-0.66%
+	// peak power, +0.46%/-1.12% area, ILD +0.87%/+0.65%).
+	if d := (superset.Decode - x8664.Decode) / x8664.Total(); d > 0.05 {
+		t.Errorf("superset decode delta %.2f%% of core too large", 100*d)
+	}
+	aX, aS, aM := Area(tr(isa.X8664), cfg), Area(tr(isa.Superset), cfg), Area(tr(isa.MicroX86Min), cfg)
+	if aS.Decode <= aX.Decode || aM.Decode >= aX.Decode {
+		t.Error("decoder area ordering: superset > x86-64 > microx86-32")
+	}
+}
+
+func TestFixedLengthDropsILD(t *testing.T) {
+	cfg := refConfig()
+	varlen := Traits{FS: isa.X86izedAlpha}
+	fixed := Traits{FS: isa.X86izedAlpha, FixedLength: true}
+	if Peak(fixed, cfg).Decode >= Peak(varlen, cfg).Decode {
+		t.Error("fixed-length ISAs must save the ILD's power")
+	}
+	if Area(fixed, cfg).Decode >= Area(varlen, cfg).Decode {
+		t.Error("fixed-length ISAs must save the ILD's area")
+	}
+}
+
+func TestRegisterDepthCostsDecodeAndRF(t *testing.T) {
+	cfg := refConfig()
+	d16 := isa.MustNew(isa.MicroX86, 64, 16, isa.PartialPredication)
+	d64 := isa.MustNew(isa.MicroX86, 64, 64, isa.PartialPredication)
+	a16, a64 := Area(tr(d16), cfg), Area(tr(d64), cfg)
+	if a64.Decode <= a16.Decode {
+		t.Error("REXBC support must cost decoder area")
+	}
+	if a64.RegFile <= a16.RegFile {
+		t.Error("deeper architectural state must cost register-file area")
+	}
+}
+
+func TestBiggerConfigsCostMore(t *testing.T) {
+	small := cpu.CoreConfig{
+		OoO: false, Width: 1, Predictor: cpu.PredLocal,
+		IQ: 32, ROB: 64, PRFInt: 64, PRFFP: 16,
+		IntALU: 1, IntMul: 1, FPALU: 1, LSQ: 16,
+		L1I: cpu.L1Cfg32k, L1D: cpu.L1Cfg32k, L2: cpu.L2Cfg4M,
+		UopCache: false, Fusion: true,
+	}
+	big := cpu.CoreConfig{
+		OoO: true, Width: 4, Predictor: cpu.PredTournament,
+		IQ: 64, ROB: 128, PRFInt: 192, PRFFP: 160,
+		IntALU: 6, IntMul: 2, FPALU: 4, LSQ: 32,
+		L1I: cpu.L1Cfg64k, L1D: cpu.L1Cfg64k, L2: cpu.L2Cfg8M,
+		UopCache: true, Fusion: true,
+	}
+	fs := isa.X8664
+	if Area(tr(fs), big).Total() <= Area(tr(fs), small).Total()*1.5 {
+		t.Error("big OoO core should be much larger than little in-order core")
+	}
+	if Peak(tr(fs), big).Total() <= Peak(tr(fs), small).Total()*1.5 {
+		t.Error("big OoO core should draw much more peak power")
+	}
+}
+
+func TestBreakdownArithmetic(t *testing.T) {
+	b := Breakdown{Fetch: 1, Decode: 2, BranchPred: 3, Scheduler: 4, RegFile: 5,
+		FU: 6, LSQ: 7, L1I: 8, L1D: 9, L2: 10}
+	if b.Core() != 28 {
+		t.Errorf("Core() = %f", b.Core())
+	}
+	if b.Total() != 55 {
+		t.Errorf("Total() = %f", b.Total())
+	}
+}

@@ -1,0 +1,140 @@
+package workload
+
+import (
+	"fmt"
+
+	"compisa/internal/ir"
+	"compisa/internal/mem"
+)
+
+// RandomRegion builds a random-but-valid region from a seed: straight-line
+// integer arithmetic (32- and 64-bit), memory traffic into scratch arrays,
+// data-dependent diamonds, selects over every condition code, and a counted
+// loop — everything defined before use, shifts in range, addresses in
+// bounds. It exists for differential fuzzing: the checksum must be identical
+// across all 26 feature sets and after every binary-translation downgrade.
+func RandomRegion(seed uint64) Region {
+	return Region{
+		Benchmark: "random",
+		Name:      fmt.Sprintf("random.%d", seed),
+		Weight:    1,
+		Build: func(width int) (*ir.Func, *mem.Memory) {
+			return buildRandom(seed)
+		},
+	}
+}
+
+type lcg64 struct{ state uint64 }
+
+func (g *lcg64) next() uint64 {
+	g.state = g.state*6364136223846793005 + 1442695040888963407
+	return g.state >> 11
+}
+
+func (g *lcg64) intn(n int) int { return int(g.next() % uint64(n)) }
+
+func buildRandom(seed uint64) (*ir.Func, *mem.Memory) {
+	g := &lcg64{state: seed*2654435761 + 12345}
+	m := mem.New()
+	const base = uint64(0x0800_0000)
+	const words = 256
+	for i := 0; i < words; i++ {
+		m.Write(base+uint64(i)*4, 4, g.next()&0xffffffff)
+		m.Write(base+0x1000+uint64(i)*8, 8, g.next())
+	}
+
+	b := ir.NewBuilder("fuzz")
+	header := b.Block("header")
+	body := b.Block("body")
+	exit := b.Block("exit")
+
+	p32 := b.Const(ir.Ptr, int64(base))
+	p64 := b.Const(ir.Ptr, int64(base)+0x1000)
+	mask := b.Const(ir.I32, words-1)
+
+	var vals32, vals64 []ir.VReg
+	for i := 0; i < 4+g.intn(6); i++ {
+		vals32 = append(vals32, b.Const(ir.I32, int64(g.next()&0xffff)))
+	}
+	for i := 0; i < 3+g.intn(4); i++ {
+		vals64 = append(vals64, b.Const(ir.I64, int64(g.next())))
+	}
+	i := b.Const(ir.I32, 0)
+	trip := b.Const(ir.I32, int64(8+g.intn(40)))
+	acc := b.Const(ir.I32, 1)
+	b.Br(header)
+
+	b.SetBlock(header)
+	c := b.Cmp(ir.LT, ir.I32, i, trip)
+	b.CondBr(c, body, exit, 0.9)
+
+	b.SetBlock(body)
+	pick32 := func() ir.VReg { return vals32[g.intn(len(vals32))] }
+	pick64 := func() ir.VReg { return vals64[g.intn(len(vals64))] }
+	binops := []ir.Op{ir.Add, ir.Sub, ir.Mul, ir.And, ir.Or, ir.Xor}
+	n := 6 + g.intn(14)
+	for k := 0; k < n; k++ {
+		switch g.intn(10) {
+		case 0, 1, 2:
+			op := binops[g.intn(len(binops))]
+			vals32 = append(vals32, b.Bin(op, ir.I32, pick32(), pick32()))
+		case 3:
+			op := binops[g.intn(len(binops))]
+			if op == ir.Mul {
+				op = ir.Add // 64-bit multiply is not emulatable on w32
+			}
+			vals64 = append(vals64, b.Bin(op, ir.I64, pick64(), pick64()))
+		case 4:
+			op := []ir.Op{ir.Shl, ir.Shr, ir.Sar}[g.intn(3)]
+			if g.intn(2) == 0 {
+				vals32 = append(vals32, b.Shift(op, ir.I32, pick32(), int64(1+g.intn(30))))
+			} else {
+				vals64 = append(vals64, b.Shift(op, ir.I64, pick64(), int64(1+g.intn(30))))
+			}
+		case 5:
+			idx := b.Bin(ir.And, ir.I32, pick32(), mask)
+			vals32 = append(vals32, b.Load(ir.I32, p32, idx, 4, 0))
+		case 6:
+			idx := b.Bin(ir.And, ir.I32, pick32(), mask)
+			if g.intn(2) == 0 {
+				vals64 = append(vals64, b.Load(ir.I64, p64, idx, 8, 0))
+			} else {
+				b.Store(ir.I64, pick64(), p64, idx, 8, 0)
+			}
+		case 7:
+			idx := b.Bin(ir.And, ir.I32, pick32(), mask)
+			b.Store(ir.I32, pick32(), p32, idx, 4, 0)
+			cc := []ir.Cond{ir.EQ, ir.NE, ir.LT, ir.GE, ir.ULT, ir.UGE}[g.intn(6)]
+			cv := b.Cmp(cc, ir.I32, pick32(), pick32())
+			vals32 = append(vals32, b.Select(ir.I32, cv, pick32(), pick32()))
+		case 8:
+			cc := []ir.Cond{ir.EQ, ir.NE, ir.LT, ir.LE, ir.GT, ir.GE, ir.ULT, ir.ULE, ir.UGT, ir.UGE}[g.intn(10)]
+			cv := b.Cmp(cc, ir.I64, pick64(), pick64())
+			vals64 = append(vals64, b.Select(ir.I64, cv, pick64(), pick64()))
+		case 9:
+			cc := []ir.Cond{ir.EQ, ir.NE, ir.LT, ir.GE}[g.intn(4)]
+			cv := b.Cmp(cc, ir.I32, pick32(), pick32())
+			tArm := b.Block("t")
+			fArm := b.Block("f")
+			join := b.Block("j")
+			x, y := pick32(), pick32()
+			b.CondBr(cv, tArm, fArm, 0.5)
+			b.SetBlock(tArm)
+			b.Assign(acc, ir.Add, ir.I32, acc, x)
+			b.Br(join)
+			b.SetBlock(fArm)
+			b.Assign(acc, ir.Xor, ir.I32, acc, y)
+			b.Br(join)
+			b.SetBlock(join)
+		}
+	}
+	b.Assign(acc, ir.Xor, ir.I32, acc, vals32[len(vals32)-1])
+	lo := b.Unary(ir.Trunc, ir.I32, vals64[len(vals64)-1])
+	b.Assign(acc, ir.Add, ir.I32, acc, lo)
+	b.AddImm(i, i, ir.I32, 1)
+	b.Br(header)
+
+	b.SetBlock(exit)
+	b.Ret(acc)
+	return b.F, m
+}
