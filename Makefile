@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: check build vet test race fault-smoke bench
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Race-check the concurrent packages (profile cache singleflight, parallel
+# candidate evaluation, parallel search seeds).
+race:
+	$(GO) test -race ./internal/explore/ ./internal/fault/ ./internal/cpu/
+
+# Fault-tolerance smoke: the TestFault* suite exercises injection, retry,
+# quarantine, cancellation, determinism, and checkpoint/resume.
+fault-smoke:
+	$(GO) test -run Fault -v ./internal/explore/ ./internal/fault/ ./internal/cpu/
+
+bench:
+	$(GO) test -bench=. -benchmem
+
+check: vet build test race fault-smoke

@@ -6,6 +6,7 @@
 package compisa
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -37,7 +38,7 @@ func harness(b *testing.B) (*explore.DB, *explore.Searcher) {
 	b.Helper()
 	benchOnce.Do(func() {
 		benchDB = explore.NewDB()
-		benchS, benchErr = explore.NewSearcher(benchDB)
+		benchS, benchErr = explore.NewSearcher(context.Background(), benchDB)
 	})
 	if benchErr != nil {
 		b.Fatal(benchErr)
@@ -48,7 +49,7 @@ func harness(b *testing.B) (*explore.DB, *explore.Searcher) {
 func fig9(b *testing.B) *explore.Fig9Result {
 	b.Helper()
 	_, s := harness(b)
-	fig9Once.Do(func() { fig9Res, fig9Err = s.Fig9FeatureSensitivity() })
+	fig9Once.Do(func() { fig9Res, fig9Err = s.Fig9FeatureSensitivity(context.Background()) })
 	if fig9Err != nil {
 		b.Fatal(fig9Err)
 	}
@@ -58,7 +59,7 @@ func fig9(b *testing.B) *explore.Fig9Result {
 func fig14(b *testing.B) *explore.Fig14Result {
 	b.Helper()
 	db, _ := harness(b)
-	fig14Once.Do(func() { fig14Res, fig14Err = explore.Fig14DowngradeCost(db.Regions) })
+	fig14Once.Do(func() { fig14Res, fig14Err = explore.Fig14DowngradeCost(context.Background(), db.Regions) })
 	if fig14Err != nil {
 		b.Fatal(fig14Err)
 	}
@@ -76,7 +77,7 @@ func BenchmarkSec3CodegenDeltas(b *testing.B) {
 	db, _ := harness(b)
 	var out string
 	for i := 0; i < b.N; i++ {
-		d, err := db.Sec3CodegenDeltas()
+		d, err := db.Sec3CodegenDeltas(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -89,7 +90,7 @@ func BenchmarkFig2InstructionMix(b *testing.B) {
 	db, _ := harness(b)
 	var out string
 	for i := 0; i < b.N; i++ {
-		f, err := db.Fig2InstructionMix()
+		f, err := db.Fig2InstructionMix(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -102,7 +103,7 @@ func sweepBench(b *testing.B, obj explore.Objective, budgets []explore.Budget, t
 	_, s := harness(b)
 	var out string
 	for i := 0; i < b.N; i++ {
-		r, err := s.Sweep(obj, budgets)
+		r, err := s.Sweep(context.Background(), obj, budgets)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -147,7 +148,7 @@ func BenchmarkTable3ThroughputDesigns(b *testing.B) {
 	_, s := harness(b)
 	var out string
 	for i := 0; i < b.N; i++ {
-		t, err := s.OptimalDesignTable(explore.ObjMPThroughput, explore.MPPowerBudgets)
+		t, err := s.OptimalDesignTable(context.Background(), explore.ObjMPThroughput, explore.MPPowerBudgets)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -160,7 +161,7 @@ func BenchmarkTable4EDPDesigns(b *testing.B) {
 	_, s := harness(b)
 	var out string
 	for i := 0; i < b.N; i++ {
-		t, err := s.OptimalDesignTable(explore.ObjMPEDP, explore.MPPowerBudgets)
+		t, err := s.OptimalDesignTable(context.Background(), explore.ObjMPEDP, explore.MPPowerBudgets)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -205,13 +206,13 @@ func BenchmarkFig11EnergyBreakdown(b *testing.B) {
 			if row.CMP.Cores[0] == nil {
 				continue
 			}
-			br, err := explore.EnergyBreakdown(row.Constraint, row.CMP, db)
+			br, err := explore.EnergyBreakdown(context.Background(), row.Constraint, row.CMP, db)
 			if err != nil {
 				b.Fatal(err)
 			}
 			rows = append(rows, br)
 		}
-		br, err := explore.EnergyBreakdown("full diversity", r.Unconstrained, db)
+		br, err := explore.EnergyBreakdown(context.Background(), "full diversity", r.Unconstrained, db)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -226,7 +227,7 @@ func BenchmarkFig12AffinitySingleThread(b *testing.B) {
 	_, s := harness(b)
 	var out string
 	for i := 0; i < b.N; i++ {
-		a, err := s.Fig12AffinitySingleThread()
+		a, err := s.Fig12AffinitySingleThread(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -239,7 +240,7 @@ func BenchmarkFig13AffinityMultiprogrammed(b *testing.B) {
 	_, s := harness(b)
 	var out string
 	for i := 0; i < b.N; i++ {
-		a, err := s.Fig13AffinityMultiprogrammed()
+		a, err := s.Fig13AffinityMultiprogrammed(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -261,7 +262,7 @@ func BenchmarkFig15MigrationOverhead(b *testing.B) {
 	costs := fig14(b)
 	var out string
 	for i := 0; i < b.N; i++ {
-		r, err := s.Fig15MigrationOverhead(explore.Budget{AreaMM2: 48}, costs)
+		r, err := s.Fig15MigrationOverhead(context.Background(), explore.Budget{AreaMM2: 48}, costs)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -296,7 +297,7 @@ func BenchmarkDecoderModel(b *testing.B) {
 // search, the tractability concession DESIGN.md calls out.
 func BenchmarkAblationParetoK(b *testing.B) {
 	db, s := harness(b)
-	cands, err := s.Candidates(explore.OrgCompositeFull)
+	cands, err := s.Candidates(context.Background(), explore.OrgCompositeFull)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -304,7 +305,7 @@ func BenchmarkAblationParetoK(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		var lines string
 		for _, k := range []int{60, 150, 300} {
-			cmp, err := explore.Search(explore.SearchSpec{
+			cmp, err := explore.Search(context.Background(), explore.SearchSpec{
 				Candidates:    cands,
 				Budget:        explore.Budget{AreaMM2: 64},
 				Objective:     explore.ObjMPThroughput,
@@ -336,7 +337,10 @@ func BenchmarkAblationUopCache(b *testing.B) {
 		for v, on := range []bool{true, false} {
 			c := cfg
 			c.UopCache = on
-			f, m := reg.Build(64)
+			f, m, err := reg.Build(64)
+			if err != nil {
+				b.Fatal(err)
+			}
 			prog, err := compiler.Compile(f, isa.X8664, compiler.Options{})
 			if err != nil {
 				b.Fatal(err)
@@ -363,7 +367,10 @@ func BenchmarkProfilePass(b *testing.B) {
 		}
 	}
 	for i := 0; i < b.N; i++ {
-		f, m := reg.Build(64)
+		f, m, err := reg.Build(64)
+		if err != nil {
+			b.Fatal(err)
+		}
 		prog, err := compiler.Compile(f, isa.X8664, compiler.Options{})
 		if err != nil {
 			b.Fatal(err)
@@ -385,7 +392,10 @@ func BenchmarkDetailedSim(b *testing.B) {
 	cfg := explore.ReferenceConfig()
 	var instrs int64
 	for i := 0; i < b.N; i++ {
-		f, m := reg.Build(64)
+		f, m, err := reg.Build(64)
+		if err != nil {
+			b.Fatal(err)
+		}
 		prog, err := compiler.Compile(f, isa.X8664, compiler.Options{})
 		if err != nil {
 			b.Fatal(err)
@@ -416,12 +426,18 @@ func BenchmarkAblationGreenfieldEncoding(b *testing.B) {
 				}
 			}
 			fs := isa.Superset
-			f1, m1 := reg.Build(fs.Width)
+			f1, m1, err := reg.Build(fs.Width)
+			if err != nil {
+				b.Fatal(err)
+			}
 			legacy, err := compiler.Compile(f1, fs, compiler.Options{})
 			if err != nil {
 				b.Fatal(err)
 			}
-			f2, m2 := reg.Build(fs.Width)
+			f2, m2, err := reg.Build(fs.Width)
+			if err != nil {
+				b.Fatal(err)
+			}
 			compact, err := compiler.Compile(f2, fs, compiler.Options{CompactEncoding: true})
 			if err != nil {
 				b.Fatal(err)

@@ -57,7 +57,10 @@ func main() {
 		log.Fatalf("unknown region %q (use -list)", *region)
 	}
 
-	f, _ := reg.Build(fs.Width)
+	f, _, err := reg.Build(fs.Width)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("region %s for %s\n", reg.Name, fs.Name())
 	fmt.Printf("IR: %d blocks, %d virtual registers, max live pressure %d int / %d fp\n",
 		len(f.Blocks), f.NumVRegs(), f.MaxLivePressure(false), f.MaxLivePressure(true))

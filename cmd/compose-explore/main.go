@@ -1,43 +1,133 @@
 // Command compose-explore runs the paper's experiments and prints each
 // table/figure as text. Experiments: sec3, fig2, fig5, fig6, fig7, fig8,
 // table3, table4, fig9, fig10, fig11, fig12, fig13, fig14, fig15, or all.
+//
+// Robustness controls:
+//
+//	-timeout     bounds the whole run; on expiry the run stops with a
+//	             saved checkpoint instead of hanging.
+//	-checkpoint  persists the profile cache and search frontier; an
+//	             interrupted run resumes from where it stopped.
+//	-inject-*    deterministically inject evaluation faults to exercise
+//	             the retry/quarantine machinery.
+//
+// Failing (region, ISA) pairs are quarantined and scored at a documented
+// penalty; the run completes and the coverage summary reports them.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"compisa/internal/explore"
+	"compisa/internal/fault"
 )
 
 func main() {
 	exp := flag.String("experiment", "all", "experiment to run (sec3, fig2, fig5..fig15, table3, table4, all)")
+	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
+	checkpoint := flag.String("checkpoint", "", "checkpoint file: resume from it if present, save to it as searches complete")
+	injectRate := flag.Float64("inject-rate", 0, "fault injection rate in [0,1] (0 = no injection)")
+	injectSeed := flag.Uint64("inject-seed", 1, "fault injection seed (same seed => same faults)")
+	injectKinds := flag.String("inject-kinds", "", "comma-separated fault kinds to inject (compile,runaway,corrupt,slow); empty = all")
+	injectTransient := flag.Float64("inject-transient", 0, "fraction of injected faults that clear on the first retry")
 	flag.Parse()
 
 	log.SetFlags(0)
 	start := time.Now()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	db := explore.NewDB()
-	s, err := explore.NewSearcher(db)
+	db.Log = func(format string, args ...any) { log.Printf(format, args...) }
+	if *injectRate > 0 {
+		kinds, err := fault.ParseKinds(*injectKinds)
+		if err != nil {
+			log.Fatal(err)
+		}
+		inj, err := fault.NewInjector(fault.Config{
+			Seed: *injectSeed, Rate: *injectRate,
+			Kinds: kinds, TransientFrac: *injectTransient,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		db.Inject = inj
+	}
+
+	var cpState *explore.CheckpointState
+	if *checkpoint != "" {
+		st, err := explore.LoadCheckpoint(*checkpoint)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if st != nil {
+			st.RestoreDB(db)
+			fmt.Fprintf(os.Stderr, "[resumed from %s: %d ISA profile sets, %d searches]\n",
+				*checkpoint, len(st.Profiles), len(st.Frontier))
+		}
+		cpState = st
+	}
+
+	s, err := explore.NewSearcher(ctx, db)
 	if err != nil {
 		log.Fatal(err)
 	}
+	cpState.RestoreSearcher(s)
+	save := func() {
+		if *checkpoint == "" {
+			return
+		}
+		if err := explore.SaveCheckpoint(*checkpoint, explore.Snapshot(db, s)); err != nil {
+			log.Printf("checkpoint: %v", err)
+		}
+	}
+	s.OnSearchDone = save
 
+	report := func() {
+		cov := db.Coverage()
+		if len(cov.Quarantined) == 0 && db.Inject == nil {
+			return
+		}
+		fmt.Fprintf(os.Stderr, "[coverage: %s]\n", cov)
+		for _, q := range cov.Quarantined {
+			fmt.Fprintf(os.Stderr, "[quarantined %s on %s: %s]\n", q.Region, q.ISA, q.Reason)
+		}
+	}
+
+	ran := false
 	run := func(name string, fn func() error) {
 		if *exp != "all" && *exp != name {
 			return
 		}
+		ran = true
 		t0 := time.Now()
 		if err := fn(); err != nil {
+			save()
+			report()
+			if ctx.Err() != nil {
+				log.Fatalf("%s: interrupted (%v); checkpoint saved, rerun to resume", name, err)
+			}
 			log.Fatalf("%s: %v", name, err)
 		}
+		save()
 		fmt.Fprintf(os.Stderr, "[%s done in %v]\n", name, time.Since(t0).Round(time.Millisecond))
 	}
 
 	run("sec3", func() error {
-		d, err := db.Sec3CodegenDeltas()
+		d, err := db.Sec3CodegenDeltas(ctx)
 		if err != nil {
 			return err
 		}
@@ -45,7 +135,7 @@ func main() {
 		return nil
 	})
 	run("fig2", func() error {
-		f, err := db.Fig2InstructionMix()
+		f, err := db.Fig2InstructionMix(ctx)
 		if err != nil {
 			return err
 		}
@@ -54,7 +144,7 @@ func main() {
 	})
 	run("fig5", func() error {
 		budgets := append(append([]explore.Budget{}, explore.MPPowerBudgets...), explore.AreaBudgets...)
-		r, err := s.Sweep(explore.ObjMPThroughput, budgets)
+		r, err := s.Sweep(ctx, explore.ObjMPThroughput, budgets)
 		if err != nil {
 			return err
 		}
@@ -63,7 +153,7 @@ func main() {
 	})
 	run("fig6", func() error {
 		budgets := append(append([]explore.Budget{}, explore.MPPowerBudgets...), explore.AreaBudgets...)
-		r, err := s.Sweep(explore.ObjMPEDP, budgets)
+		r, err := s.Sweep(ctx, explore.ObjMPEDP, budgets)
 		if err != nil {
 			return err
 		}
@@ -71,12 +161,12 @@ func main() {
 		return nil
 	})
 	run("fig7", func() error {
-		r, err := s.Sweep(explore.ObjSTPerf, explore.STPowerBudgets)
+		r, err := s.Sweep(ctx, explore.ObjSTPerf, explore.STPowerBudgets)
 		if err != nil {
 			return err
 		}
 		fmt.Println(r.Format("Figure 7a: single-thread performance under peak power budgets"))
-		r2, err := s.Sweep(explore.ObjSTEDP, explore.STPowerBudgets)
+		r2, err := s.Sweep(ctx, explore.ObjSTEDP, explore.STPowerBudgets)
 		if err != nil {
 			return err
 		}
@@ -84,12 +174,12 @@ func main() {
 		return nil
 	})
 	run("fig8", func() error {
-		r, err := s.Sweep(explore.ObjSTPerf, explore.AreaBudgets)
+		r, err := s.Sweep(ctx, explore.ObjSTPerf, explore.AreaBudgets)
 		if err != nil {
 			return err
 		}
 		fmt.Println(r.Format("Figure 8a: single-thread performance under area budgets"))
-		r2, err := s.Sweep(explore.ObjSTEDP, explore.AreaBudgets)
+		r2, err := s.Sweep(ctx, explore.ObjSTEDP, explore.AreaBudgets)
 		if err != nil {
 			return err
 		}
@@ -97,7 +187,7 @@ func main() {
 		return nil
 	})
 	run("table3", func() error {
-		t, err := s.OptimalDesignTable(explore.ObjMPThroughput, explore.MPPowerBudgets)
+		t, err := s.OptimalDesignTable(ctx, explore.ObjMPThroughput, explore.MPPowerBudgets)
 		if err != nil {
 			return err
 		}
@@ -105,7 +195,7 @@ func main() {
 		return nil
 	})
 	run("table4", func() error {
-		t, err := s.OptimalDesignTable(explore.ObjMPEDP, explore.MPPowerBudgets)
+		t, err := s.OptimalDesignTable(ctx, explore.ObjMPEDP, explore.MPPowerBudgets)
 		if err != nil {
 			return err
 		}
@@ -114,7 +204,7 @@ func main() {
 	})
 	var fig9 *explore.Fig9Result
 	run("fig9", func() error {
-		r, err := s.Fig9FeatureSensitivity()
+		r, err := s.Fig9FeatureSensitivity(ctx)
 		if err != nil {
 			return err
 		}
@@ -124,7 +214,7 @@ func main() {
 	})
 	run("fig10", func() error {
 		if fig9 == nil {
-			r, err := s.Fig9FeatureSensitivity()
+			r, err := s.Fig9FeatureSensitivity(ctx)
 			if err != nil {
 				return err
 			}
@@ -144,7 +234,7 @@ func main() {
 	})
 	run("fig11", func() error {
 		if fig9 == nil {
-			r, err := s.Fig9FeatureSensitivity()
+			r, err := s.Fig9FeatureSensitivity(ctx)
 			if err != nil {
 				return err
 			}
@@ -155,13 +245,13 @@ func main() {
 			if row.CMP.Cores[0] == nil {
 				continue
 			}
-			b, err := explore.EnergyBreakdown(row.Constraint, row.CMP, db)
+			b, err := explore.EnergyBreakdown(ctx, row.Constraint, row.CMP, db)
 			if err != nil {
 				return err
 			}
 			rows = append(rows, b)
 		}
-		b, err := explore.EnergyBreakdown("full diversity", fig9.Unconstrained, db)
+		b, err := explore.EnergyBreakdown(ctx, "full diversity", fig9.Unconstrained, db)
 		if err != nil {
 			return err
 		}
@@ -171,7 +261,7 @@ func main() {
 		return nil
 	})
 	run("fig12", func() error {
-		a, err := s.Fig12AffinitySingleThread()
+		a, err := s.Fig12AffinitySingleThread(ctx)
 		if err != nil {
 			return err
 		}
@@ -179,7 +269,7 @@ func main() {
 		return nil
 	})
 	run("fig13", func() error {
-		a, err := s.Fig13AffinityMultiprogrammed()
+		a, err := s.Fig13AffinityMultiprogrammed(ctx)
 		if err != nil {
 			return err
 		}
@@ -188,7 +278,7 @@ func main() {
 	})
 	var fig14 *explore.Fig14Result
 	run("fig14", func() error {
-		r, err := explore.Fig14DowngradeCost(db.Regions)
+		r, err := explore.Fig14DowngradeCost(ctx, db.Regions)
 		if err != nil {
 			return err
 		}
@@ -198,18 +288,23 @@ func main() {
 	})
 	run("fig15", func() error {
 		if fig14 == nil {
-			r, err := explore.Fig14DowngradeCost(db.Regions)
+			r, err := explore.Fig14DowngradeCost(ctx, db.Regions)
 			if err != nil {
 				return err
 			}
 			fig14 = r
 		}
-		r, err := s.Fig15MigrationOverhead(explore.Budget{AreaMM2: 48}, fig14)
+		r, err := s.Fig15MigrationOverhead(ctx, explore.Budget{AreaMM2: 48}, fig14)
 		if err != nil {
 			return err
 		}
 		fmt.Println(r.Format())
 		return nil
 	})
+	if !ran {
+		log.Fatalf("unknown experiment %q (want sec3, fig2, fig5..fig15, table3, table4, or all)", *exp)
+	}
+	save()
+	report()
 	fmt.Fprintf(os.Stderr, "[total %v]\n", time.Since(start).Round(time.Millisecond))
 }

@@ -62,7 +62,10 @@ func main() {
 		log.Fatalf("unknown region %q", *region)
 	}
 
-	f, _ := reg.Build(src.Width)
+	f, _, err := reg.Build(src.Width)
+	if err != nil {
+		log.Fatal(err)
+	}
 	prog, err := compiler.Compile(f, src, compiler.Options{})
 	if err != nil {
 		log.Fatal(err)
@@ -89,7 +92,10 @@ func main() {
 		UopCache: true, Fusion: true,
 	}
 	run := func(p *code.Program) (uint64, int64) {
-		_, m := reg.Build(src.Width)
+		_, m, err := reg.Build(src.Width)
+		if err != nil {
+			log.Fatal(err)
+		}
 		exec, timing, err := cpu.RunTimed(p, cpu.NewState(m), cfg, 100_000_000)
 		if err != nil {
 			log.Fatal(err)

@@ -88,7 +88,10 @@ func main() {
 		log.Fatalf("unknown region %q", *region)
 	}
 
-	f, m := reg.Build(fs.Width)
+	f, m, err := reg.Build(fs.Width)
+	if err != nil {
+		log.Fatal(err)
+	}
 	prog, err := compiler.Compile(f, fs, compiler.Options{})
 	if err != nil {
 		log.Fatal(err)

@@ -34,7 +34,10 @@ func main() {
 	fmt.Printf("benchmark %s: %d ground-truth regions\n", b.Name, len(b.Regions))
 	totalPhases := 0
 	for _, r := range b.Regions {
-		f, m := r.Build(64)
+		f, m, err := r.Build(64)
+		if err != nil {
+			log.Fatal(err)
+		}
 		prog, err := compiler.Compile(f, isa.X8664, compiler.Options{})
 		if err != nil {
 			log.Fatal(err)

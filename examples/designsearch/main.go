@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -17,9 +18,10 @@ func main() {
 	area := flag.Float64("area", 0, "area budget in mm2 (0 = unlimited)")
 	flag.Parse()
 
+	ctx := context.Background()
 	budget := explore.Budget{PeakW: *power, AreaMM2: *area}
 	db := explore.NewDB()
-	s, err := explore.NewSearcher(db)
+	s, err := explore.NewSearcher(ctx, db)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -27,7 +29,7 @@ func main() {
 	fmt.Printf("multi-programmed throughput search under %s\n\n", budget)
 	var homogeneous float64
 	for _, org := range explore.Organizations() {
-		cmp, err := s.Search(org, explore.ObjMPThroughput, budget)
+		cmp, err := s.Search(ctx, org, explore.ObjMPThroughput, budget)
 		if err != nil {
 			fmt.Printf("%-55s infeasible (%v)\n", org, err)
 			continue

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -27,7 +28,7 @@ func main() {
 	// Per-benchmark weighted cycles for each set, normalized to x86-64.
 	cycles := map[string]map[string]float64{}
 	for _, fs := range sets {
-		ps, err := db.Profiles(explore.ISAChoice{FS: fs})
+		ps, err := db.Profiles(context.Background(), explore.ISAChoice{FS: fs})
 		if err != nil {
 			log.Fatal(err)
 		}

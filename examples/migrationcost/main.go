@@ -27,7 +27,10 @@ func main() {
 	}
 
 	src := isa.MustNew(isa.MicroX86, 32, 64, isa.FullPredication)
-	f, _ := region.Build(src.Width)
+	f, _, err := region.Build(src.Width)
+	if err != nil {
+		log.Fatal(err)
+	}
 	prog, err := compiler.Compile(f, src, compiler.Options{})
 	if err != nil {
 		log.Fatal(err)
@@ -42,7 +45,10 @@ func main() {
 		UopCache: true, Fusion: true,
 	}
 	run := func(p *code.Program) (uint64, int64) {
-		_, m := region.Build(src.Width)
+		_, m, err := region.Build(src.Width)
+		if err != nil {
+			log.Fatal(err)
+		}
 		exec, timing, err := cpu.RunTimed(p, cpu.NewState(m), cfg, 40_000_000)
 		if err != nil {
 			log.Fatal(err)
@@ -75,7 +81,10 @@ func main() {
 	}
 
 	fmt.Println("\nupgrade migration (no translation): code for", isa.MicroX86Min.Name())
-	f2, _ := region.Build(32)
+	f2, _, err := region.Build(32)
+	if err != nil {
+		log.Fatal(err)
+	}
 	small, err := compiler.Compile(f2, isa.MicroX86Min, compiler.Options{})
 	if err != nil {
 		log.Fatal(err)

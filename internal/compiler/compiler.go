@@ -18,6 +18,11 @@ type Options struct {
 	// from-scratch superset encoding (1-byte REXBC/predicate prefixes),
 	// the tighter-encoding variant the paper sketches in Section V.A.
 	CompactEncoding bool
+	// FaultHook, if non-nil, is consulted before compilation; a non-nil
+	// return aborts the compile with that error. The exploration layer
+	// uses it to inject compile failures through the real pipeline so
+	// recovery paths stay exercised.
+	FaultHook func() error
 }
 
 // stripNops removes NOP placeholders left by memory-operand folding so later
@@ -43,6 +48,11 @@ func stripNops(mf *mFunc) {
 func Compile(f *ir.Func, fs isa.FeatureSet, opts Options) (*code.Program, error) {
 	if err := fs.Validate(); err != nil {
 		return nil, err
+	}
+	if opts.FaultHook != nil {
+		if err := opts.FaultHook(); err != nil {
+			return nil, fmt.Errorf("compile %s for %s: %w", f.Name, fs.ShortName(), err)
+		}
 	}
 	if err := f.Verify(); err != nil {
 		return nil, fmt.Errorf("compile %s: %v", f.Name, err)

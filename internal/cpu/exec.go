@@ -7,12 +7,28 @@
 package cpu
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
 	"compisa/internal/code"
 	"compisa/internal/encoding"
 	"compisa/internal/mem"
+)
+
+// Typed execution failures. Run wraps them with program context, so callers
+// classify with errors.Is (e.g. errors.Is(err, cpu.ErrInstrBudget)).
+var (
+	// ErrPCOutOfRange reports a control transfer outside the program.
+	ErrPCOutOfRange = errors.New("pc out of range")
+	// ErrInstrBudget reports that the runaway-execution watchdog fired.
+	ErrInstrBudget = errors.New("instruction budget exceeded")
+	// ErrUnimplementedOp reports an opcode the executor cannot decode
+	// (corrupted or hostile encodings).
+	ErrUnimplementedOp = errors.New("unimplemented op")
+	// ErrInterrupted reports that RunOptions.Interrupt aborted execution;
+	// the interrupt's cause is wrapped alongside it.
+	ErrInterrupted = errors.New("execution interrupted")
 )
 
 // Event is one dynamically executed macro-instruction, streamed to trace
@@ -76,10 +92,29 @@ func InstallPool(p *code.Program, m *mem.Memory) {
 	}
 }
 
+// RunOptions bounds and interrupts a functional execution.
+type RunOptions struct {
+	// MaxInstrs bounds runaway execution; exceeding it fails with
+	// ErrInstrBudget.
+	MaxInstrs int64
+	// Interrupt, if non-nil, is polled every InterruptEvery executed
+	// instructions; a non-nil return aborts execution with that error
+	// wrapped together with ErrInterrupted. This is how context
+	// cancellation reaches the inner execution loop.
+	Interrupt func() error
+	// InterruptEvery is the polling stride (default 65536 instructions).
+	InterruptEvery int64
+}
+
 // Run executes the program functionally from instruction 0 until RET,
 // streaming one Event per executed macro-instruction to consume (which may
 // be nil). maxInstrs bounds runaway execution.
 func Run(p *code.Program, st *State, maxInstrs int64, consume func(*Event)) (ExecResult, error) {
+	return RunOpts(p, st, RunOptions{MaxInstrs: maxInstrs}, consume)
+}
+
+// RunOpts is Run with watchdog and interrupt control.
+func RunOpts(p *code.Program, st *State, opts RunOptions, consume func(*Event)) (ExecResult, error) {
 	var res ExecResult
 	InstallPool(p, st.Mem)
 	width := p.FS.Width
@@ -87,15 +122,26 @@ func Run(p *code.Program, st *State, maxInstrs int64, consume func(*Event)) (Exe
 	if width == 32 {
 		addrMask = math.MaxUint32
 	}
+	stride := opts.InterruptEvery
+	if stride <= 0 {
+		stride = 65536
+	}
+	nextPoll := stride
 	idx := 0
 	n := len(p.Instrs)
 	var ev Event
 	for {
 		if idx < 0 || idx >= n {
-			return res, fmt.Errorf("cpu: %s: pc %d out of range", p.Name, idx)
+			return res, fmt.Errorf("cpu: %s: pc %d: %w", p.Name, idx, ErrPCOutOfRange)
 		}
-		if res.Instrs >= maxInstrs {
-			return res, fmt.Errorf("cpu: %s exceeded %d instructions", p.Name, maxInstrs)
+		if res.Instrs >= opts.MaxInstrs {
+			return res, fmt.Errorf("cpu: %s after %d instructions: %w", p.Name, opts.MaxInstrs, ErrInstrBudget)
+		}
+		if opts.Interrupt != nil && res.Instrs >= nextPoll {
+			nextPoll = res.Instrs + stride
+			if err := opts.Interrupt(); err != nil {
+				return res, fmt.Errorf("cpu: %s: %w: %w", p.Name, ErrInterrupted, err)
+			}
 		}
 		in := &p.Instrs[idx]
 		res.Instrs++
@@ -592,7 +638,7 @@ func (st *State) step(p *code.Program, idx int, in *code.Instr, ev *Event, addrM
 		st.FP[in.Dst] = [2]uint64{f32to(s), 0}
 
 	default:
-		return 0, fmt.Errorf("cpu: unimplemented op %v", in.Op)
+		return 0, fmt.Errorf("cpu: op %d: %w", uint8(in.Op), ErrUnimplementedOp)
 	}
 	return idx + 1, nil
 }

@@ -1,0 +1,83 @@
+package cpu
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"compisa/internal/code"
+	"compisa/internal/isa"
+	"compisa/internal/mem"
+)
+
+// jmpSelf builds a one-instruction infinite loop.
+func jmpSelf() code.Instr {
+	in := ci(code.JMP, 0)
+	in.Target = 0
+	return in
+}
+
+// TestFaultInstrBudget: the runaway watchdog fires with a classifiable
+// sentinel and a message naming the program and the budget.
+func TestFaultInstrBudget(t *testing.T) {
+	p := mkProg(t, isa.X8664, jmpSelf(), retR(0))
+	p.Name = "runaway"
+	_, err := Run(p, NewState(mem.New()), 1000, nil)
+	if !errors.Is(err, ErrInstrBudget) {
+		t.Fatalf("got %v, want ErrInstrBudget", err)
+	}
+	if !strings.Contains(err.Error(), "runaway") || !strings.Contains(err.Error(), "1000") {
+		t.Errorf("message %q should name the program and the budget", err)
+	}
+}
+
+// TestFaultUnimplementedOp: a corrupted opcode surfaces through the decode
+// default case as ErrUnimplementedOp, not a panic.
+func TestFaultUnimplementedOp(t *testing.T) {
+	p := mkProg(t, isa.X8664, movImm(0, 1, 8), retR(0))
+	p.Instrs[0].Op = 0xEF // corrupt after validation/layout
+	_, err := Run(p, NewState(mem.New()), 1000, nil)
+	if !errors.Is(err, ErrUnimplementedOp) {
+		t.Fatalf("got %v, want ErrUnimplementedOp", err)
+	}
+}
+
+// TestFaultInterrupt: RunOptions.Interrupt aborts execution promptly and the
+// returned error matches both ErrInterrupted and the interrupt's cause (the
+// contract context cancellation relies on).
+func TestFaultInterrupt(t *testing.T) {
+	p := mkProg(t, isa.X8664, jmpSelf(), retR(0))
+	polls := 0
+	res, err := RunOpts(p, NewState(mem.New()), RunOptions{
+		MaxInstrs:      1 << 40,
+		InterruptEvery: 64,
+		Interrupt: func() error {
+			polls++
+			if polls >= 3 {
+				return context.Canceled
+			}
+			return nil
+		},
+	}, nil)
+	if !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("got %v, want ErrInterrupted", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v must preserve the interrupt cause", err)
+	}
+	if res.Instrs > 64*4 {
+		t.Errorf("executed %d instructions after cancellation; polling stride not honored", res.Instrs)
+	}
+}
+
+// TestFaultPCOutOfRange: a wild control transfer is a typed error, not a
+// slice panic.
+func TestFaultPCOutOfRange(t *testing.T) {
+	p := mkProg(t, isa.X8664, jmpSelf(), retR(0))
+	p.Instrs[0].Target = 99
+	_, err := Run(p, NewState(mem.New()), 1000, nil)
+	if !errors.Is(err, ErrPCOutOfRange) {
+		t.Fatalf("got %v, want ErrPCOutOfRange", err)
+	}
+}

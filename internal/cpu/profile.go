@@ -433,9 +433,15 @@ func (pr *profiler) Finish() *Profile {
 
 // CollectProfile runs the program functionally and returns its profile.
 func CollectProfile(p *code.Program, m *mem.Memory, maxInstrs int64) (*Profile, ExecResult, error) {
+	return CollectProfileOpts(p, m, RunOptions{MaxInstrs: maxInstrs})
+}
+
+// CollectProfileOpts is CollectProfile with watchdog and interrupt control,
+// so profile collection honors deadlines and cancellation mid-execution.
+func CollectProfileOpts(p *code.Program, m *mem.Memory, opts RunOptions) (*Profile, ExecResult, error) {
 	pr := newProfiler(p)
 	st := NewState(m)
-	res, err := Run(p, st, maxInstrs, pr.Consume)
+	res, err := RunOpts(p, st, opts, pr.Consume)
 	if err != nil {
 		return nil, res, err
 	}

@@ -27,7 +27,10 @@ func TestILDRecoversLayoutLengths(t *testing.T) {
 		ild := encoding.NewILD(compact)
 		for _, r := range sample {
 			for _, fs := range isa.Derive() {
-				f, _ := r.Build(fs.Width)
+				f, _, err := r.Build(fs.Width)
+				if err != nil {
+					t.Fatal(err)
+				}
 				prog, err := compiler.Compile(f, fs, compiler.Options{CompactEncoding: compact})
 				if err != nil {
 					t.Fatalf("%s for %s: %v", r.Name, fs.ShortName(), err)
@@ -68,7 +71,10 @@ func TestILDMark(t *testing.T) {
 			reg = r
 		}
 	}
-	f, _ := reg.Build(64)
+	f, _, err := reg.Build(64)
+	if err != nil {
+		t.Fatal(err)
+	}
 	prog, err := compiler.Compile(f, isa.Superset, compiler.Options{})
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,102 @@
+// Checkpoint/resume for the exploration pipeline: the profile cache (the
+// expensive functional executions), the quarantine list, and the search
+// frontier (completed multicore searches) serialize to one JSON file, so a
+// killed run resumes instead of recomputing. Saves are atomic (tmp+rename);
+// a missing file is an empty checkpoint, and a version-mismatched or corrupt
+// file is an error rather than a silent partial restore.
+
+package explore
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+
+	"compisa/internal/cpu"
+)
+
+// checkpointVersion gates restores: bump it whenever the profile or design
+// point schema changes incompatibly.
+const checkpointVersion = 1
+
+// SavedSearch records one completed multicore search as its four design
+// points; resume re-evaluates the points against the restored profile cache,
+// which reproduces the exact cores (evaluation is deterministic).
+type SavedSearch struct {
+	Score  float64        `json:"score"`
+	Points [4]DesignPoint `json:"points"`
+}
+
+// CheckpointState is the serialized resume state.
+type CheckpointState struct {
+	Version    int                       `json:"version"`
+	Profiles   map[string][]*cpu.Profile `json:"profiles"`
+	Quarantine map[string]string         `json:"quarantine,omitempty"`
+	Frontier   map[string]SavedSearch    `json:"frontier,omitempty"`
+}
+
+// Snapshot captures the DB's caches and (if s is non-nil) the Searcher's
+// frontier into a checkpoint state.
+func Snapshot(db *DB, s *Searcher) *CheckpointState {
+	st := &CheckpointState{Version: checkpointVersion}
+	st.Profiles, st.Quarantine = db.exportState()
+	if s != nil {
+		st.Frontier = s.exportFrontier()
+	}
+	return st
+}
+
+// RestoreDB seeds the profile cache and quarantine list. Call it before
+// NewSearcher so the reference metrics reuse the restored profiles.
+func (st *CheckpointState) RestoreDB(db *DB) {
+	if st == nil {
+		return
+	}
+	db.importState(st.Profiles, st.Quarantine)
+}
+
+// RestoreSearcher seeds the search frontier.
+func (st *CheckpointState) RestoreSearcher(s *Searcher) {
+	if st == nil {
+		return
+	}
+	s.importFrontier(st.Frontier)
+}
+
+// LoadCheckpoint reads a checkpoint file; a missing file yields (nil, nil).
+func LoadCheckpoint(path string) (*CheckpointState, error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("explore: load checkpoint: %w", err)
+	}
+	var st CheckpointState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return nil, fmt.Errorf("explore: checkpoint %s: %w", path, err)
+	}
+	if st.Version != checkpointVersion {
+		return nil, fmt.Errorf("explore: checkpoint %s: version %d, want %d", path, st.Version, checkpointVersion)
+	}
+	return &st, nil
+}
+
+// SaveCheckpoint writes the state atomically (tmp file + rename), so a crash
+// mid-save never leaves a truncated checkpoint behind.
+func SaveCheckpoint(path string, st *CheckpointState) error {
+	data, err := json.Marshal(st)
+	if err != nil {
+		return fmt.Errorf("explore: save checkpoint: %w", err)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("explore: save checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("explore: save checkpoint: %w", err)
+	}
+	return nil
+}

@@ -1,12 +1,18 @@
 package explore
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
+	"sort"
+	"strings"
 	"sync"
+	"time"
 
 	"compisa/internal/compiler"
 	"compisa/internal/cpu"
+	"compisa/internal/fault"
 	"compisa/internal/perfmodel"
 	"compisa/internal/power"
 	"compisa/internal/workload"
@@ -15,33 +21,151 @@ import (
 // maxRegionInstrs bounds each region's functional execution.
 const maxRegionInstrs = 40_000_000
 
+// runawayInstrs is the tiny instruction budget applied under an injected
+// runaway fault: far below any region's real dynamic count, so the
+// instruction-budget watchdog fires through the ordinary execution path.
+const runawayInstrs = 10_000
+
+// Policy tunes the evaluation pipeline's fault handling. The zero value
+// selects the defaults documented per field.
+type Policy struct {
+	// MaxAttempts bounds evaluation attempts per (region, ISA) pair
+	// (default 3). Only transient faults are retried.
+	MaxAttempts int
+	// Backoff is the delay before the first retry, doubled on each
+	// subsequent attempt (default 1ms).
+	Backoff time.Duration
+	// SpeedupPenalty is the speedup recorded for a quarantined (region,
+	// ISA) pair (default 0.25): the pair scores as running 4x slower than
+	// the reference, so searches steer away from — but survive — failures.
+	SpeedupPenalty float64
+	// EDPPenalty is the normalized EDP recorded for a quarantined pair
+	// (default 4.0, the EDP dual of SpeedupPenalty).
+	EDPPenalty float64
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 3
+	}
+	if p.Backoff <= 0 {
+		p.Backoff = time.Millisecond
+	}
+	if p.SpeedupPenalty <= 0 {
+		p.SpeedupPenalty = 0.25
+	}
+	if p.EDPPenalty <= 0 {
+		p.EDPPenalty = 4.0
+	}
+	return p
+}
+
 // DB caches per-(region, ISA) profiles and evaluates design points against
 // the whole workload suite. All methods are safe for concurrent use after
 // construction.
+//
+// Failure model: a failing (region, ISA) evaluation is retried (bounded, with
+// backoff) while it looks transient, then quarantined — its profile slot
+// stays nil and every design point using that ISA scores the region at the
+// documented Policy penalties instead of aborting the run. The x86-64
+// reference ISA is exempt from injection and strict about failures, because
+// a failed reference would invalidate every normalized metric.
 type DB struct {
 	Regions []workload.Region
 
-	mu       sync.Mutex
-	profiles map[string][]*cpu.Profile // ISA key -> per-region profiles
+	// Inject deterministically injects faults into non-reference profile
+	// evaluations (nil = no injection).
+	Inject *fault.Injector
+	// Policy tunes retries and degradation penalties.
+	Policy Policy
+	// Log, if set, receives fault-tolerance events (retries, quarantines,
+	// degraded evaluations).
+	Log func(format string, args ...any)
+
+	mu         sync.Mutex
+	profiles   map[string][]*cpu.Profile // ISA key -> per-region profiles (nil slot = quarantined)
+	inflight   map[string]*inflightProfiles
+	quarantine map[string]string // "region|isaKey" -> reason
+}
+
+// inflightProfiles is one in-progress per-ISA profile computation; duplicate
+// callers wait on done instead of recomputing (per-key singleflight).
+type inflightProfiles struct {
+	done chan struct{}
+	ps   []*cpu.Profile
+	err  error
 }
 
 // NewDB builds an evaluation database over the full 49-region suite.
 func NewDB() *DB {
-	return &DB{Regions: workload.Regions(), profiles: map[string][]*cpu.Profile{}}
+	return &DB{
+		Regions:    workload.Regions(),
+		profiles:   map[string][]*cpu.Profile{},
+		inflight:   map[string]*inflightProfiles{},
+		quarantine: map[string]string{},
+	}
+}
+
+func (db *DB) logf(format string, args ...any) {
+	if db.Log != nil {
+		db.Log(format, args...)
+	}
+}
+
+// isReference reports whether a choice is the normalization baseline
+// (plain x86-64): exempt from fault injection and strict about failures.
+func isReference(c ISAChoice) bool {
+	return c.Vendor == nil && c.Key() == X8664Choice().Key()
+}
+
+func pairKey(region, isaKey string) string { return region + "|" + isaKey }
+
+// isCtxErr reports whether err stems from context cancellation or deadline
+// expiry (the two failures graceful degradation must not swallow).
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 // Profiles returns (computing on first use) the per-region profiles for an
 // ISA choice. Vendor choices reuse their x86-ized feature set's compiled
-// code, then apply the vendor's code-density traits.
-func (db *DB) Profiles(c ISAChoice) ([]*cpu.Profile, error) {
+// code, then apply the vendor's code-density traits. Quarantined (region,
+// ISA) pairs yield nil slots; see Evaluate for how they are scored.
+// Concurrent callers for the same ISA share one computation.
+func (db *DB) Profiles(ctx context.Context, c ISAChoice) ([]*cpu.Profile, error) {
 	key := c.Key()
 	db.mu.Lock()
 	if ps, ok := db.profiles[key]; ok {
 		db.mu.Unlock()
 		return ps, nil
 	}
+	if call, ok := db.inflight[key]; ok {
+		db.mu.Unlock()
+		select {
+		case <-call.done:
+			return call.ps, call.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	call := &inflightProfiles{done: make(chan struct{})}
+	db.inflight[key] = call
 	db.mu.Unlock()
 
+	ps, err := db.computeProfiles(ctx, c)
+	db.mu.Lock()
+	if err == nil {
+		db.profiles[key] = ps
+	}
+	delete(db.inflight, key)
+	db.mu.Unlock()
+	call.ps, call.err = ps, err
+	close(call.done)
+	return ps, err
+}
+
+// computeProfiles profiles every region for one ISA in parallel, applying
+// the retry/quarantine policy.
+func (db *DB) computeProfiles(ctx context.Context, c ISAChoice) ([]*cpu.Profile, error) {
 	ps := make([]*cpu.Profile, len(db.Regions))
 	errs := make([]error, len(db.Regions))
 	var wg sync.WaitGroup
@@ -52,31 +176,136 @@ func (db *DB) Profiles(c ISAChoice) ([]*cpu.Profile, error) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			ps[i], errs[i] = profileRegion(db.Regions[i], c)
+			ps[i], errs[i] = db.profileWithRetry(ctx, db.Regions[i], c)
 		}(i)
 	}
 	wg.Wait()
+	strict := isReference(c)
 	for _, err := range errs {
-		if err != nil {
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 			return nil, err
 		}
+		if strict {
+			return nil, fmt.Errorf("explore: reference ISA failed (all normalized metrics depend on it): %w", err)
+		}
 	}
-	db.mu.Lock()
-	db.profiles[key] = ps
-	db.mu.Unlock()
+	// Quarantine only once the set is known to complete, so a canceled or
+	// reference-failed computation leaves no partial quarantine entries.
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		key := pairKey(db.Regions[i].Name, c.Key())
+		db.mu.Lock()
+		db.quarantine[key] = err.Error()
+		db.mu.Unlock()
+		db.logf("explore: quarantined %s: %v", key, err)
+		ps[i] = nil
+	}
 	return ps, nil
 }
 
-func profileRegion(r workload.Region, c ISAChoice) (*cpu.Profile, error) {
-	f, m := r.Build(c.FS.Width)
-	prog, err := compiler.Compile(f, c.FS, compiler.Options{})
+// profileWithRetry runs one (region, ISA) evaluation with bounded retries
+// for transient faults.
+func (db *DB) profileWithRetry(ctx context.Context, r workload.Region, c ISAChoice) (*cpu.Profile, error) {
+	pol := db.Policy.withDefaults()
+	var err error
+	for attempt := 0; attempt < pol.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			db.logf("explore: retrying %s for %s (attempt %d): %v", r.Name, c.Key(), attempt+1, err)
+			t := time.NewTimer(pol.Backoff << (attempt - 1))
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return nil, ctx.Err()
+			case <-t.C:
+			}
+		}
+		var p *cpu.Profile
+		p, err = db.profileOnce(ctx, r, c, attempt)
+		if err == nil {
+			return p, nil
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
+		if !fault.IsTransient(err) {
+			return nil, err
+		}
+	}
+	return nil, err
+}
+
+// profileOnce is one attempt at profiling (region, ISA): build, compile,
+// execute, vendor-adjust. Injected faults are applied here so they exercise
+// the real failure paths (compiler error return, watchdog, decode error).
+// A panic anywhere in the attempt is recovered into a *fault.Error.
+func (db *DB) profileOnce(ctx context.Context, r workload.Region, c ISAChoice, attempt int) (p *cpu.Profile, err error) {
+	key := pairKey(r.Name, c.Key())
+	defer func() {
+		if rec := recover(); rec != nil {
+			p = nil
+			err = &fault.Error{
+				Stage: fault.StageExec, Region: r.Name, ISA: c.Key(),
+				Err: fmt.Errorf("recovered panic: %v", rec),
+			}
+		}
+	}()
+	var d fault.Decision
+	if !isReference(c) {
+		d = db.Inject.Decide(key, attempt)
+	}
+	// classify wraps an organic or injected failure into the taxonomy;
+	// injected failures inherit the decision's transience.
+	classify := func(stage fault.Stage, cause error) error {
+		transient := d.Kind != fault.KindNone && d.Transient
+		var fe *fault.Error
+		if errors.As(cause, &fe) {
+			return cause
+		}
+		return &fault.Error{Stage: stage, Region: r.Name, ISA: c.Key(), Transient: transient, Err: cause}
+	}
+	if d.Delay > 0 {
+		// KindSlow delays without failing, exercising deadline handling.
+		t := time.NewTimer(d.Delay)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return nil, ctx.Err()
+		case <-t.C:
+		}
+	}
+	f, m, err := r.Build(c.FS.Width)
 	if err != nil {
-		return nil, fmt.Errorf("profile %s for %s: %v", r.Name, c.Key(), err)
+		return nil, classify(fault.StageCompile, err)
+	}
+	copts := compiler.Options{}
+	if d.Kind == fault.KindCompile {
+		copts.FaultHook = func() error { return d.Errorf() }
+	}
+	prog, err := compiler.Compile(f, c.FS, copts)
+	if err != nil {
+		return nil, classify(fault.StageCompile, err)
 	}
 	prog.Name = r.Name
-	p, _, err := cpu.CollectProfile(prog, m, maxRegionInstrs)
+	ropts := cpu.RunOptions{MaxInstrs: maxRegionInstrs, Interrupt: ctx.Err}
+	switch d.Kind {
+	case fault.KindRunaway:
+		ropts.MaxInstrs = runawayInstrs
+	case fault.KindCorrupt:
+		// An opcode outside the ISA: decode hits ErrUnimplementedOp on the
+		// first executed instruction, through the real decode path.
+		prog.Instrs[0].Op = 0xEF
+	}
+	p, _, err = cpu.CollectProfileOpts(prog, m, ropts)
 	if err != nil {
-		return nil, fmt.Errorf("profile %s for %s: %v", r.Name, c.Key(), err)
+		if d.Kind == fault.KindRunaway || d.Kind == fault.KindCorrupt {
+			err = fmt.Errorf("%w: %w", fault.ErrInjected, err)
+		}
+		return nil, classify(fault.StageExec, err)
 	}
 	if c.Vendor != nil {
 		p = vendorAdjust(p, c)
@@ -109,6 +338,76 @@ func vendorAdjust(p *cpu.Profile, c ISAChoice) *cpu.Profile {
 	return &q
 }
 
+// QuarantinedPair is one excluded (region, ISA) evaluation.
+type QuarantinedPair struct {
+	Region, ISA, Reason string
+}
+
+// Coverage summarizes evaluation completeness over every (region, ISA) pair
+// attempted so far.
+type Coverage struct {
+	Evaluated, Total int
+	Quarantined      []QuarantinedPair
+}
+
+func (c Coverage) String() string {
+	return fmt.Sprintf("%d/%d profiles evaluated, %d quarantined", c.Evaluated, c.Total, len(c.Quarantined))
+}
+
+// Coverage reports how many (region, ISA) profiles were evaluated versus
+// quarantined, with the quarantine list in deterministic order.
+func (db *DB) Coverage() Coverage {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	cov := Coverage{Total: len(db.profiles) * len(db.Regions)}
+	for key, reason := range db.quarantine {
+		region, isaKey, _ := strings.Cut(key, "|")
+		cov.Quarantined = append(cov.Quarantined, QuarantinedPair{Region: region, ISA: isaKey, Reason: reason})
+	}
+	sort.Slice(cov.Quarantined, func(i, j int) bool {
+		a, b := cov.Quarantined[i], cov.Quarantined[j]
+		if a.ISA != b.ISA {
+			return a.ISA < b.ISA
+		}
+		return a.Region < b.Region
+	})
+	cov.Evaluated = cov.Total - len(cov.Quarantined)
+	return cov
+}
+
+// exportState copies the profile cache and quarantine list for
+// checkpointing.
+func (db *DB) exportState() (map[string][]*cpu.Profile, map[string]string) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	ps := make(map[string][]*cpu.Profile, len(db.profiles))
+	for k, v := range db.profiles {
+		ps[k] = v
+	}
+	q := make(map[string]string, len(db.quarantine))
+	for k, v := range db.quarantine {
+		q[k] = v
+	}
+	return ps, q
+}
+
+// importState seeds the caches from a checkpoint. Existing entries win so a
+// live computation is never clobbered.
+func (db *DB) importState(profiles map[string][]*cpu.Profile, quarantine map[string]string) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for k, v := range profiles {
+		if _, ok := db.profiles[k]; !ok && len(v) == len(db.Regions) {
+			db.profiles[k] = v
+		}
+	}
+	for k, v := range quarantine {
+		if _, ok := db.quarantine[k]; !ok {
+			db.quarantine[k] = v
+		}
+	}
+}
+
 // Metric is the evaluated outcome of one region on one design point.
 type Metric struct {
 	Cycles float64
@@ -127,6 +426,9 @@ type Candidate struct {
 	Speedup []float64
 	// NormEDP[r] = candidate E*D / reference E*D.
 	NormEDP []float64
+	// Degraded[r] marks regions scored at the Policy penalties because the
+	// (region, ISA) pair is quarantined (or its model evaluation failed).
+	Degraded []bool
 }
 
 // MeanSpeedup is the arithmetic-mean speedup across regions (region weights
@@ -152,26 +454,55 @@ func ReferenceConfig() cpu.CoreConfig {
 }
 
 // Evaluate computes a candidate for one design point, normalized against the
-// reference metrics (see ReferenceMetrics).
-func (db *DB) Evaluate(dp DesignPoint, ref []Metric) (*Candidate, error) {
-	ps, err := db.Profiles(dp.ISA)
+// reference metrics (see ReferenceMetrics). Quarantined regions degrade to
+// the Policy penalties (Speedup = SpeedupPenalty, NormEDP = EDPPenalty, with
+// Cycles/Energy back-derived from the reference) instead of failing; with a
+// nil ref (the reference evaluation itself) any failure is an error.
+func (db *DB) Evaluate(ctx context.Context, dp DesignPoint, ref []Metric) (*Candidate, error) {
+	ps, err := db.Profiles(ctx, dp.ISA)
 	if err != nil {
 		return nil, err
 	}
+	pol := db.Policy.withDefaults()
 	n := len(db.Regions)
 	c := &Candidate{
-		DP:      dp,
-		AreaMM2: dp.Area(),
-		PeakW:   dp.Peak(),
-		M:       make([]Metric, n),
-		Speedup: make([]float64, n),
-		NormEDP: make([]float64, n),
+		DP:       dp,
+		AreaMM2:  dp.Area(),
+		PeakW:    dp.Peak(),
+		M:        make([]Metric, n),
+		Speedup:  make([]float64, n),
+		NormEDP:  make([]float64, n),
+		Degraded: make([]bool, n),
 	}
 	tr := dp.ISA.Traits()
+	degrade := func(r int) {
+		c.Degraded[r] = true
+		c.Speedup[r] = pol.SpeedupPenalty
+		c.NormEDP[r] = pol.EDPPenalty
+		// Back-derive placeholder metrics consistent with the penalties:
+		// D = refD/SpeedupPenalty and E*D = EDPPenalty*refE*refD.
+		c.M[r] = Metric{
+			Cycles: ref[r].Cycles / pol.SpeedupPenalty,
+			Energy: ref[r].Energy * pol.EDPPenalty * pol.SpeedupPenalty,
+		}
+	}
 	for r := 0; r < n; r++ {
+		if ps[r] == nil {
+			if ref == nil {
+				return nil, fmt.Errorf("explore: reference region %s unavailable", db.Regions[r].Name)
+			}
+			degrade(r)
+			continue
+		}
 		perf, err := perfmodel.Cycles(ps[r], dp.Cfg)
 		if err != nil {
-			return nil, err
+			merr := fault.Wrap(fault.StageModel, db.Regions[r].Name, dp.ISA.Key(), err)
+			if ref == nil {
+				return nil, merr
+			}
+			db.logf("explore: degrading %s on %s: %v", db.Regions[r].Name, dp, merr)
+			degrade(r)
+			continue
 		}
 		en := power.Energy(tr, dp.Cfg, ps[r], perf)
 		c.M[r] = Metric{Cycles: perf.Cycles, Energy: en.Total, Perf: perf}
@@ -184,10 +515,12 @@ func (db *DB) Evaluate(dp DesignPoint, ref []Metric) (*Candidate, error) {
 }
 
 // ReferenceMetrics evaluates the normalization core (x86-64 on the reference
-// configuration) over all regions.
-func (db *DB) ReferenceMetrics() ([]Metric, error) {
+// configuration) over all regions. It is strict: the reference ISA is
+// injection-exempt, and any failure here is fatal because every normalized
+// metric depends on it.
+func (db *DB) ReferenceMetrics(ctx context.Context) ([]Metric, error) {
 	dp := DesignPoint{ISA: X8664Choice(), Cfg: ReferenceConfig()}
-	c, err := db.Evaluate(dp, nil)
+	c, err := db.Evaluate(ctx, dp, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -195,19 +528,17 @@ func (db *DB) ReferenceMetrics() ([]Metric, error) {
 }
 
 // Candidates evaluates every (ISA choice, configuration) pair, in parallel.
-func (db *DB) Candidates(choices []ISAChoice, cfgs []cpu.CoreConfig, ref []Metric) ([]*Candidate, error) {
+func (db *DB) Candidates(ctx context.Context, choices []ISAChoice, cfgs []cpu.CoreConfig, ref []Metric) ([]*Candidate, error) {
 	// Ensure profiles exist (parallel inside Profiles).
 	for _, c := range choices {
-		if _, err := db.Profiles(c); err != nil {
+		if _, err := db.Profiles(ctx, c); err != nil {
 			return nil, err
 		}
 	}
-	out := make([]*Candidate, 0, len(choices)*len(cfgs))
-	type job struct{ dp DesignPoint }
-	jobs := make([]job, 0, len(choices)*len(cfgs))
+	jobs := make([]DesignPoint, 0, len(choices)*len(cfgs))
 	for _, ch := range choices {
 		for _, cfg := range cfgs {
-			jobs = append(jobs, job{DesignPoint{ISA: ch, Cfg: cfg}})
+			jobs = append(jobs, DesignPoint{ISA: ch, Cfg: cfg})
 		}
 	}
 	results := make([]*Candidate, len(jobs))
@@ -220,7 +551,11 @@ func (db *DB) Candidates(choices []ISAChoice, cfgs []cpu.CoreConfig, ref []Metri
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			results[i], errs[i] = db.Evaluate(jobs[i].dp, ref)
+			if err := ctx.Err(); err != nil {
+				errs[i] = err
+				return
+			}
+			results[i], errs[i] = db.Evaluate(ctx, jobs[i], ref)
 		}(i)
 	}
 	wg.Wait()
@@ -229,6 +564,5 @@ func (db *DB) Candidates(choices []ISAChoice, cfgs []cpu.CoreConfig, ref []Metri
 			return nil, err
 		}
 	}
-	out = append(out, results...)
-	return out, nil
+	return results, nil
 }

@@ -1,6 +1,7 @@
 package explore
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -62,7 +63,7 @@ func downgradeEvalConfig() cpu.CoreConfig {
 // Fig14DowngradeCost measures feature-downgrade emulation cost: each region
 // is compiled for the case's source feature set, binary-translated to the
 // target, and both versions are profiled on the same core configuration.
-func Fig14DowngradeCost(regions []workload.Region) (*Fig14Result, error) {
+func Fig14DowngradeCost(ctx context.Context, regions []workload.Region) (*Fig14Result, error) {
 	res := &Fig14Result{
 		Cases:   Fig14Cases(),
 		CostPct: map[string]map[string]float64{},
@@ -71,9 +72,13 @@ func Fig14DowngradeCost(regions []workload.Region) (*Fig14Result, error) {
 	cfg := downgradeEvalConfig()
 	type agg struct{ native, translated float64 }
 	acc := map[string]map[string]*agg{}
+	ropts := cpu.RunOptions{MaxInstrs: maxRegionInstrs, Interrupt: ctx.Err}
 	for _, dc := range res.Cases {
 		for _, r := range regions {
-			f, m := r.Build(dc.From.Width)
+			f, m, err := r.Build(dc.From.Width)
+			if err != nil {
+				return nil, err
+			}
 			prog, err := compiler.Compile(f, dc.From, compiler.Options{})
 			if err != nil {
 				return nil, err
@@ -85,11 +90,11 @@ func Fig14DowngradeCost(regions []workload.Region) (*Fig14Result, error) {
 				res.Skipped[dc.Name]++
 				continue
 			}
-			natProf, _, err := cpu.CollectProfile(prog, m.Clone(), maxRegionInstrs)
+			natProf, _, err := cpu.CollectProfileOpts(prog, m.Clone(), ropts)
 			if err != nil {
 				return nil, err
 			}
-			trProf, _, err := cpu.CollectProfile(trans, m, maxRegionInstrs)
+			trProf, _, err := cpu.CollectProfileOpts(trans, m, ropts)
 			if err != nil {
 				return nil, fmt.Errorf("%s %s: %v", dc.Name, r.Name, err)
 			}
@@ -182,8 +187,8 @@ const migrationPenaltyFrac = 0.002
 // MP-throughput design with each application pinned to one compiled binary
 // (its most-preferred feature set on that CMP), charging binary-translation
 // downgrade costs (from Figure 14) and per-migration costs.
-func (s *Searcher) Fig15MigrationOverhead(budget Budget, costs *Fig14Result) (*Fig15Result, error) {
-	cmp, err := s.Search(OrgCompositeFull, ObjMPThroughput, budget)
+func (s *Searcher) Fig15MigrationOverhead(ctx context.Context, budget Budget, costs *Fig14Result) (*Fig15Result, error) {
+	cmp, err := s.Search(ctx, OrgCompositeFull, ObjMPThroughput, budget)
 	if err != nil {
 		return nil, err
 	}
@@ -275,13 +280,19 @@ func (s *Searcher) Fig15MigrationOverhead(budget Budget, costs *Fig14Result) (*F
 	// Precompute per-region, per-core adjusted speedups.
 	adj := make([][4]float64, len(regions))
 	ref := s.Reference()
+	pol := s.DB.Policy.withDefaults()
 	for ri, r := range regions {
 		bFS := binFS[r.Benchmark]
-		bProfiles, err := s.DB.Profiles(ISAChoice{FS: bFS})
+		bProfiles, err := s.DB.Profiles(ctx, ISAChoice{FS: bFS})
 		if err != nil {
 			return nil, err
 		}
 		for k := 0; k < 4; k++ {
+			if bProfiles[ri] == nil {
+				// Quarantined binary profile: score at the penalty.
+				adj[ri][k] = pol.SpeedupPenalty
+				continue
+			}
 			coreFS := cmp.Cores[k].DP.ISA.FS
 			perf, err := perfmodel.Cycles(bProfiles[ri], cmp.Cores[k].DP.Cfg)
 			if err != nil {

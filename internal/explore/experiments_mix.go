@@ -1,6 +1,7 @@
 package explore
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -30,14 +31,17 @@ type classCounts struct {
 	loads, stores, ints, branches, fp, uops float64
 }
 
-func (db *DB) mixFor(c ISAChoice) (map[string]classCounts, error) {
-	ps, err := db.Profiles(c)
+func (db *DB) mixFor(ctx context.Context, c ISAChoice) (map[string]classCounts, error) {
+	ps, err := db.Profiles(ctx, c)
 	if err != nil {
 		return nil, err
 	}
 	out := map[string]classCounts{}
 	for i, r := range db.Regions {
 		p := ps[i]
+		if p == nil {
+			continue // quarantined pair: excluded from the mix
+		}
 		cc := out[r.Benchmark]
 		w := r.Weight
 		cc.loads += w * float64(p.UopsByClass[cpu.UcLoad])
@@ -77,16 +81,16 @@ func normalizeMix(num, den map[string]classCounts) []MixRow {
 // Fig2InstructionMix reproduces Figure 2: the dynamic micro-op breakdown of
 // the smallest feature set (microx86-8D-32W), x86-64+SSE, and the superset
 // ISA, normalized to x86-64.
-func (db *DB) Fig2InstructionMix() (*Fig2Result, error) {
-	base, err := db.mixFor(X8664Choice())
+func (db *DB) Fig2InstructionMix(ctx context.Context) (*Fig2Result, error) {
+	base, err := db.mixFor(ctx, X8664Choice())
 	if err != nil {
 		return nil, err
 	}
-	micro, err := db.mixFor(ISAChoice{FS: isa.MicroX86Min})
+	micro, err := db.mixFor(ctx, ISAChoice{FS: isa.MicroX86Min})
 	if err != nil {
 		return nil, err
 	}
-	super, err := db.mixFor(ISAChoice{FS: isa.Superset})
+	super, err := db.mixFor(ctx, ISAChoice{FS: isa.Superset})
 	if err != nil {
 		return nil, err
 	}
@@ -132,7 +136,7 @@ func pct(n, d float64) float64 { return 100 * (n/d - 1) }
 
 // Sec3CodegenDeltas measures the Section III feature-impact numbers from the
 // compiled suite.
-func (db *DB) Sec3CodegenDeltas() (*Sec3Deltas, error) {
+func (db *DB) Sec3CodegenDeltas(ctx context.Context) (*Sec3Deltas, error) {
 	total := func(m map[string]classCounts) classCounts {
 		var t classCounts
 		for _, c := range m {
@@ -146,7 +150,7 @@ func (db *DB) Sec3CodegenDeltas() (*Sec3Deltas, error) {
 		return t
 	}
 	get := func(fs isa.FeatureSet) (classCounts, error) {
-		m, err := db.mixFor(ISAChoice{FS: fs})
+		m, err := db.mixFor(ctx, ISAChoice{FS: fs})
 		if err != nil {
 			return classCounts{}, err
 		}

@@ -1,6 +1,7 @@
 package explore
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -33,16 +34,20 @@ type SweepResult struct {
 	Rows      [][]OrgResult // [budget][organization]
 }
 
-// Sweep runs all five organizations across the given budgets.
-func (s *Searcher) Sweep(obj Objective, budgets []Budget) (*SweepResult, error) {
+// Sweep runs all five organizations across the given budgets. Infeasible
+// searches become infeasible rows; cancellation aborts the sweep.
+func (s *Searcher) Sweep(ctx context.Context, obj Objective, budgets []Budget) (*SweepResult, error) {
 	res := &SweepResult{Objective: obj, Budgets: budgets}
 	for _, b := range budgets {
 		var row []OrgResult
 		var homScore float64
 		for _, org := range Organizations() {
 			r := OrgResult{Org: org, Budget: b}
-			cmp, err := s.Search(org, obj, b)
+			cmp, err := s.Search(ctx, org, obj, b)
 			if err != nil {
+				if isCtxErr(err) {
+					return nil, err
+				}
 				r.Err = err
 			} else {
 				r.CMP = cmp
@@ -128,7 +133,7 @@ func TableRow(i int, c *Candidate) string {
 
 // OptimalDesignTable runs the composite-full search per budget and renders
 // the architectural composition (Tables III and IV).
-func (s *Searcher) OptimalDesignTable(obj Objective, budgets []Budget) (string, error) {
+func (s *Searcher) OptimalDesignTable(ctx context.Context, obj Objective, budgets []Budget) (string, error) {
 	var sb strings.Builder
 	name := "Table III: composite-ISA multicores optimized for multi-programmed throughput"
 	if obj == ObjMPEDP {
@@ -136,8 +141,11 @@ func (s *Searcher) OptimalDesignTable(obj Objective, budgets []Budget) (string, 
 	}
 	fmt.Fprintf(&sb, "%s\n", name)
 	for _, b := range budgets {
-		cmp, err := s.Search(OrgCompositeFull, obj, b)
+		cmp, err := s.Search(ctx, OrgCompositeFull, obj, b)
 		if err != nil {
+			if isCtxErr(err) {
+				return "", err
+			}
 			fmt.Fprintf(&sb, "-- budget %s: infeasible (%v)\n", b, err)
 			continue
 		}

@@ -1,6 +1,7 @@
 package explore
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -55,17 +56,20 @@ type Fig9Result struct {
 
 // Fig9FeatureSensitivity searches the composite design space under each
 // feature constraint at the 48mm2 budget (multi-programmed throughput).
-func (s *Searcher) Fig9FeatureSensitivity() (*Fig9Result, error) {
+func (s *Searcher) Fig9FeatureSensitivity(ctx context.Context) (*Fig9Result, error) {
 	budget := Budget{AreaMM2: 48}
-	base, err := s.Search(OrgCompositeFull, ObjMPThroughput, budget)
+	base, err := s.Search(ctx, OrgCompositeFull, ObjMPThroughput, budget)
 	if err != nil {
 		return nil, err
 	}
 	res := &Fig9Result{Budget: budget, Unconstrained: base}
 	for _, fc := range Fig9Constraints() {
-		cmp, err := s.SearchConstrained(ObjMPThroughput, budget, fc.Keep)
+		cmp, err := s.SearchConstrained(ctx, ObjMPThroughput, budget, fc.Name, fc.Keep)
 		row := Fig9Row{Constraint: fc.Name}
 		if err != nil {
+			if isCtxErr(err) {
+				return nil, err
+			}
 			row.DegradationPct = 100
 		} else {
 			row.CMP = cmp
@@ -136,15 +140,19 @@ func AreaBreakdown(label string, cmp CMP) StageBreakdown {
 // EnergyBreakdown computes the Figure 11 rows: runtime energy by stage,
 // averaged over the workload suite (each core runs every region weighted by
 // its SimPoint weight — the multiprogrammed schedule visits all of them).
-func EnergyBreakdown(label string, cmp CMP, db *DB) (StageBreakdown, error) {
+// Quarantined (region, ISA) pairs contribute nothing to the breakdown.
+func EnergyBreakdown(ctx context.Context, label string, cmp CMP, db *DB) (StageBreakdown, error) {
 	out := StageBreakdown{Label: label}
 	for _, c := range cmp.Cores {
-		ps, err := db.Profiles(c.DP.ISA)
+		ps, err := db.Profiles(ctx, c.DP.ISA)
 		if err != nil {
 			return out, err
 		}
 		tr := c.DP.ISA.Traits()
 		for ri, r := range db.Regions {
+			if ps[ri] == nil {
+				continue
+			}
 			en := power.Energy(tr, c.DP.Cfg, ps[ri], c.M[ri].Perf)
 			w := r.Weight
 			out.Fetch += w * en.Dynamic.Fetch
@@ -189,8 +197,8 @@ type AffinityResult struct {
 // optimized for single-thread performance under a 10W peak power budget:
 // each region migrates to its best core; its time lands on that core's
 // feature set.
-func (s *Searcher) Fig12AffinitySingleThread() (*AffinityResult, error) {
-	cmp, err := s.Search(OrgCompositeFull, ObjSTPerf, Budget{PeakW: 10})
+func (s *Searcher) Fig12AffinitySingleThread(ctx context.Context) (*AffinityResult, error) {
+	cmp, err := s.Search(ctx, OrgCompositeFull, ObjSTPerf, Budget{PeakW: 10})
 	if err != nil {
 		return nil, err
 	}
@@ -216,8 +224,8 @@ func (s *Searcher) Fig12AffinitySingleThread() (*AffinityResult, error) {
 // Fig13AffinityMultiprogrammed computes feature affinity on the composite
 // CMP optimized for multi-programmed throughput at 48mm2: threads contend,
 // so applications also execute on feature sets of second preference.
-func (s *Searcher) Fig13AffinityMultiprogrammed() (*AffinityResult, error) {
-	cmp, err := s.Search(OrgCompositeFull, ObjMPThroughput, Budget{AreaMM2: 48})
+func (s *Searcher) Fig13AffinityMultiprogrammed(ctx context.Context) (*AffinityResult, error) {
+	cmp, err := s.Search(ctx, OrgCompositeFull, ObjMPThroughput, Budget{AreaMM2: 48})
 	if err != nil {
 		return nil, err
 	}

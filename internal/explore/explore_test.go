@@ -1,6 +1,7 @@
 package explore
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -18,7 +19,7 @@ func searcher(t *testing.T) (*DB, *Searcher) {
 	t.Helper()
 	sharedOnce.Do(func() {
 		sharedDB = NewDB()
-		sharedS, sharedErr = NewSearcher(sharedDB)
+		sharedS, sharedErr = NewSearcher(context.Background(), sharedDB)
 	})
 	if sharedErr != nil {
 		t.Fatal(sharedErr)
@@ -84,10 +85,13 @@ func TestOrganizationOrderingUnlimited(t *testing.T) {
 	if testing.Short() {
 		t.Skip("search suite in long mode only")
 	}
+	if raceEnabled {
+		t.Skip("full-suite search too slow under the race detector; TestFault* covers concurrency")
+	}
 	_, s := searcher(t)
 	scores := map[Organization]float64{}
 	for _, org := range Organizations() {
-		cmp, err := s.Search(org, ObjMPThroughput, Budget{})
+		cmp, err := s.Search(context.Background(), org, ObjMPThroughput, Budget{})
 		if err != nil {
 			t.Fatalf("%v: %v", org, err)
 		}
@@ -116,15 +120,18 @@ func TestSearchRespectsBudgets(t *testing.T) {
 	if testing.Short() {
 		t.Skip("search suite in long mode only")
 	}
+	if raceEnabled {
+		t.Skip("full-suite search too slow under the race detector; TestFault* covers concurrency")
+	}
 	_, s := searcher(t)
-	cmp, err := s.Search(OrgCompositeFull, ObjMPThroughput, Budget{PeakW: 40})
+	cmp, err := s.Search(context.Background(), OrgCompositeFull, ObjMPThroughput, Budget{PeakW: 40})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if cmp.TotalPeak() > 40 {
 		t.Errorf("40W budget violated: %.1fW", cmp.TotalPeak())
 	}
-	cmp2, err := s.Search(OrgCompositeFull, ObjMPThroughput, Budget{AreaMM2: 48})
+	cmp2, err := s.Search(context.Background(), OrgCompositeFull, ObjMPThroughput, Budget{AreaMM2: 48})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +139,7 @@ func TestSearchRespectsBudgets(t *testing.T) {
 		t.Errorf("48mm2 budget violated: %.1fmm2", cmp2.TotalArea())
 	}
 	// Single-thread budgets constrain the single powered core.
-	st, err := s.Search(OrgCompositeFull, ObjSTPerf, Budget{PeakW: 10})
+	st, err := s.Search(context.Background(), OrgCompositeFull, ObjSTPerf, Budget{PeakW: 10})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,11 +155,11 @@ func TestSearchDeterministic(t *testing.T) {
 		t.Skip("search suite in long mode only")
 	}
 	_, s := searcher(t)
-	a, err := s.Search(OrgCompositeFixed, ObjMPThroughput, Budget{AreaMM2: 64})
+	a, err := s.Search(context.Background(), OrgCompositeFixed, ObjMPThroughput, Budget{AreaMM2: 64})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := s.Search(OrgCompositeFixed, ObjMPThroughput, Budget{AreaMM2: 64})
+	b, err := s.Search(context.Background(), OrgCompositeFixed, ObjMPThroughput, Budget{AreaMM2: 64})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,7 +170,7 @@ func TestSearchDeterministic(t *testing.T) {
 
 func TestSec3DeltaSigns(t *testing.T) {
 	db, _ := searcher(t)
-	d, err := db.Sec3CodegenDeltas()
+	d, err := db.Sec3CodegenDeltas(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,7 +198,7 @@ func TestSec3DeltaSigns(t *testing.T) {
 
 func TestFig2Shape(t *testing.T) {
 	db, _ := searcher(t)
-	f, err := db.Fig2InstructionMix()
+	f, err := db.Fig2InstructionMix(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -218,11 +225,11 @@ func TestVendorProfilesApplyTraits(t *testing.T) {
 	if thumb.Vendor.Name != "Thumb" {
 		t.Fatalf("unexpected vendor order")
 	}
-	tp, err := db.Profiles(thumb)
+	tp, err := db.Profiles(context.Background(), thumb)
 	if err != nil {
 		t.Fatal(err)
 	}
-	xp, err := db.Profiles(ISAChoice{FS: thumb.FS})
+	xp, err := db.Profiles(context.Background(), ISAChoice{FS: thumb.FS})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -241,8 +248,11 @@ func TestScheduleMPInstrumentation(t *testing.T) {
 	if testing.Short() {
 		t.Skip("search suite in long mode only")
 	}
+	if raceEnabled {
+		t.Skip("full-suite search too slow under the race detector; TestFault* covers concurrency")
+	}
 	db, s := searcher(t)
-	cmp, err := s.Search(OrgCompositeFull, ObjMPThroughput, Budget{AreaMM2: 64})
+	cmp, err := s.Search(context.Background(), OrgCompositeFull, ObjMPThroughput, Budget{AreaMM2: 64})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -282,7 +292,7 @@ func TestFig9ConstraintsCover(t *testing.T) {
 
 func TestReferenceMetrics(t *testing.T) {
 	db, _ := searcher(t)
-	ref, err := db.ReferenceMetrics()
+	ref, err := db.ReferenceMetrics(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,378 @@
+package explore
+
+import (
+	"context"
+	"errors"
+	"math"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"compisa/internal/cpu"
+	"compisa/internal/fault"
+)
+
+// injector builds a deterministic fault injector or fails the test.
+func injector(t *testing.T, cfg fault.Config) *fault.Injector {
+	t.Helper()
+	in, err := fault.NewInjector(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+// smallDB shrinks the suite to its first n regions so fault-path tests stay
+// fast; the fault machinery is region-count agnostic.
+func smallDB(n int, in *fault.Injector) *DB {
+	db := NewDB()
+	db.Regions = db.Regions[:n]
+	db.Inject = in
+	return db
+}
+
+// injectable returns a non-reference composite choice (subject to injection).
+func injectable(t *testing.T) ISAChoice {
+	t.Helper()
+	for _, c := range CompositeChoices() {
+		if !isReference(c) {
+			return c
+		}
+	}
+	t.Fatal("no injectable composite choice")
+	return ISAChoice{}
+}
+
+// TestFaultCompileQuarantine: persistent compile faults quarantine every
+// (region, ISA) pair instead of failing Profiles, and each quarantine reason
+// names the region and the ISA.
+func TestFaultCompileQuarantine(t *testing.T) {
+	in := injector(t, fault.Config{Seed: 7, Rate: 1, Kinds: []fault.Kind{fault.KindCompile}})
+	db := smallDB(3, in)
+	c := injectable(t)
+	ps, err := db.Profiles(context.Background(), c)
+	if err != nil {
+		t.Fatalf("Profiles must degrade, not fail: %v", err)
+	}
+	for i, p := range ps {
+		if p != nil {
+			t.Errorf("region %d: expected quarantined nil slot", i)
+		}
+	}
+	cov := db.Coverage()
+	if len(cov.Quarantined) != 3 || cov.Evaluated != 0 {
+		t.Fatalf("coverage %s, want 0/3 with 3 quarantined", cov)
+	}
+	for _, q := range cov.Quarantined {
+		if !strings.Contains(q.Reason, q.Region) || !strings.Contains(q.Reason, c.Key()) {
+			t.Errorf("reason %q should name region %q and ISA %q", q.Reason, q.Region, c.Key())
+		}
+		if !strings.Contains(q.Reason, "compile") {
+			t.Errorf("reason %q should identify the compile stage", q.Reason)
+		}
+	}
+}
+
+// TestFaultReferenceExempt: the x86-64 reference ISA ignores the injector —
+// a 100% fault rate still yields a complete reference profile set.
+func TestFaultReferenceExempt(t *testing.T) {
+	in := injector(t, fault.Config{Seed: 7, Rate: 1})
+	db := smallDB(3, in)
+	ps, err := db.Profiles(context.Background(), X8664Choice())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range ps {
+		if p == nil {
+			t.Fatalf("reference region %d quarantined despite exemption", i)
+		}
+	}
+	if cov := db.Coverage(); len(cov.Quarantined) != 0 {
+		t.Fatalf("reference run quarantined pairs: %s", cov)
+	}
+}
+
+// TestFaultTransientRetry: faults marked transient clear on retry, so a 100%
+// injection rate with TransientFrac=1 still completes with zero quarantines.
+func TestFaultTransientRetry(t *testing.T) {
+	in := injector(t, fault.Config{Seed: 11, Rate: 1, TransientFrac: 1,
+		Kinds: []fault.Kind{fault.KindCompile, fault.KindRunaway, fault.KindCorrupt}})
+	db := smallDB(3, in)
+	retries := 0
+	var mu sync.Mutex
+	db.Log = func(format string, args ...any) {
+		mu.Lock()
+		if strings.Contains(format, "retrying") {
+			retries++
+		}
+		mu.Unlock()
+	}
+	ps, err := db.Profiles(context.Background(), injectable(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range ps {
+		if p == nil {
+			t.Errorf("region %d quarantined; transient faults must clear on retry", i)
+		}
+	}
+	if retries == 0 {
+		t.Error("expected at least one logged retry under 100% injection")
+	}
+}
+
+// TestFaultKindsExerciseRealPaths: runaway and corruption faults surface
+// through the CPU's genuine watchdog and decode errors, tagged as injected.
+func TestFaultKindsExerciseRealPaths(t *testing.T) {
+	cases := []struct {
+		kind fault.Kind
+		want error
+	}{
+		{fault.KindRunaway, cpu.ErrInstrBudget},
+		{fault.KindCorrupt, cpu.ErrUnimplementedOp},
+	}
+	for _, tc := range cases {
+		in := injector(t, fault.Config{Seed: 3, Rate: 1, Kinds: []fault.Kind{tc.kind}})
+		db := smallDB(1, in)
+		_, err := db.profileWithRetry(context.Background(), db.Regions[0], injectable(t))
+		if err == nil {
+			t.Fatalf("%v: expected an error", tc.kind)
+		}
+		if !errors.Is(err, tc.want) {
+			t.Errorf("%v: error %v should wrap %v", tc.kind, err, tc.want)
+		}
+		if !errors.Is(err, fault.ErrInjected) {
+			t.Errorf("%v: error %v should be tagged injected", tc.kind, err)
+		}
+		var fe *fault.Error
+		if !errors.As(err, &fe) || fe.Stage != fault.StageExec {
+			t.Errorf("%v: error %v should classify as an exec-stage fault", tc.kind, err)
+		}
+	}
+}
+
+// TestFaultDegradedScoring: quarantined pairs score at exactly the documented
+// Policy penalties rather than aborting Evaluate.
+func TestFaultDegradedScoring(t *testing.T) {
+	in := injector(t, fault.Config{Seed: 7, Rate: 1, Kinds: []fault.Kind{fault.KindCompile}})
+	db := smallDB(3, in)
+	ctx := context.Background()
+	ref, err := db.ReferenceMetrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp := DesignPoint{ISA: injectable(t), Cfg: ReferenceConfig()}
+	c, err := db.Evaluate(ctx, dp, ref)
+	if err != nil {
+		t.Fatalf("Evaluate must degrade, not fail: %v", err)
+	}
+	pol := db.Policy.withDefaults()
+	for r := range db.Regions {
+		if !c.Degraded[r] {
+			t.Fatalf("region %d: expected degraded evaluation", r)
+		}
+		if c.Speedup[r] != pol.SpeedupPenalty || c.NormEDP[r] != pol.EDPPenalty {
+			t.Errorf("region %d: speedup %v edp %v, want penalties %v / %v",
+				r, c.Speedup[r], c.NormEDP[r], pol.SpeedupPenalty, pol.EDPPenalty)
+		}
+	}
+}
+
+// TestFaultSeedDeterminism: the same seed yields identical quarantine lists
+// and identical degraded scores across independent runs.
+func TestFaultSeedDeterminism(t *testing.T) {
+	cfg := fault.Config{Seed: 42, Rate: 0.5}
+	run := func() (Coverage, []float64) {
+		db := smallDB(4, injector(t, cfg))
+		ctx := context.Background()
+		ref, err := db.ReferenceMetrics(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var speedups []float64
+		for _, ch := range XIzedChoices() {
+			c, err := db.Evaluate(ctx, DesignPoint{ISA: ch, Cfg: ReferenceConfig()}, ref)
+			if err != nil {
+				t.Fatal(err)
+			}
+			speedups = append(speedups, c.Speedup...)
+		}
+		return db.Coverage(), speedups
+	}
+	cov1, sp1 := run()
+	cov2, sp2 := run()
+	if cov1.String() != cov2.String() {
+		t.Fatalf("coverage differs across runs: %s vs %s", cov1, cov2)
+	}
+	for i := range cov1.Quarantined {
+		if cov1.Quarantined[i] != cov2.Quarantined[i] {
+			t.Errorf("quarantine entry %d differs: %+v vs %+v", i, cov1.Quarantined[i], cov2.Quarantined[i])
+		}
+	}
+	for i := range sp1 {
+		if sp1[i] != sp2[i] {
+			t.Errorf("speedup %d differs: %v vs %v", i, sp1[i], sp2[i])
+		}
+	}
+	// A different seed must not reproduce the same fault pattern (with 4
+	// regions x 3 ISAs at 50% rate, identical lists are vanishingly unlikely).
+	db3 := smallDB(4, injector(t, fault.Config{Seed: 43, Rate: 0.5}))
+	ctx := context.Background()
+	if _, err := db3.ReferenceMetrics(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for _, ch := range XIzedChoices() {
+		if _, err := db3.Profiles(ctx, ch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	same := len(db3.Coverage().Quarantined) == len(cov1.Quarantined)
+	if same {
+		for i, q := range db3.Coverage().Quarantined {
+			if q != cov1.Quarantined[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same && len(cov1.Quarantined) > 0 {
+		t.Error("different seeds produced identical quarantine lists")
+	}
+}
+
+// TestFaultProfilesSingleflight: concurrent Profiles calls for one ISA share
+// a single computation (no cache stampede).
+func TestFaultProfilesSingleflight(t *testing.T) {
+	db := smallDB(3, nil)
+	c := injectable(t)
+	const callers = 16
+	results := make([][]*cpu.Profile, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ps, err := db.Profiles(context.Background(), c)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = ps
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < callers; i++ {
+		if len(results[i]) == 0 || results[i][0] != results[0][0] {
+			t.Fatalf("caller %d received a distinct computation; stampede not deduplicated", i)
+		}
+	}
+}
+
+// TestFaultCancelMidSearch: canceling the context mid-search returns
+// context.Canceled promptly instead of finishing the sweep.
+func TestFaultCancelMidSearch(t *testing.T) {
+	db := smallDB(3, nil)
+	ctx := context.Background()
+	s, err := NewSearcher(ctx, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err = s.Search(cctx, OrgCompositeFull, ObjMPThroughput, Budget{AreaMM2: 64})
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v; must abort promptly", elapsed)
+	}
+}
+
+// TestFaultCheckpointRoundtrip: a faulty run checkpointed to disk restores
+// into a fresh DB/Searcher (with no injector at all) and reproduces the same
+// search result and coverage without recomputation.
+func TestFaultCheckpointRoundtrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "dse.ckpt")
+	in := injector(t, fault.Config{Seed: 9, Rate: 0.4, Kinds: []fault.Kind{fault.KindCompile}})
+	db1 := smallDB(3, in)
+	ctx := context.Background()
+	s1, err := NewSearcher(ctx, db1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := Budget{AreaMM2: 64}
+	cmp1, err := s1.Search(ctx, OrgCompositeFixed, ObjMPThroughput, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveCheckpoint(path, Snapshot(db1, s1)); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st == nil {
+		t.Fatal("saved checkpoint reported missing")
+	}
+	// The resumed run injects nothing: only the restored state can reproduce
+	// the faulty run's quarantines and scores.
+	db2 := smallDB(3, nil)
+	st.RestoreDB(db2)
+	s2, err := NewSearcher(ctx, db2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.RestoreSearcher(s2)
+	cmp2, err := s2.Search(ctx, OrgCompositeFixed, ObjMPThroughput, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp1.Score != cmp2.Score {
+		t.Errorf("resumed score %v != original %v", cmp2.Score, cmp1.Score)
+	}
+	for i := range cmp1.Cores {
+		if cmp1.Cores[i].DP.String() != cmp2.Cores[i].DP.String() {
+			t.Errorf("core %d: resumed %s != original %s", i, cmp2.Cores[i].DP, cmp1.Cores[i].DP)
+		}
+	}
+	if a, b := db1.Coverage().String(), db2.Coverage().String(); a != b {
+		t.Errorf("resumed coverage %s != original %s", b, a)
+	}
+	if _, err := LoadCheckpoint(filepath.Join(t.TempDir(), "absent.ckpt")); err != nil {
+		t.Errorf("missing checkpoint should be a silent empty state, got %v", err)
+	}
+}
+
+// TestFaultSearchCompletesUnderInjection: a full composite search at a
+// realistic fault rate still completes, reports partial coverage, and keeps
+// every core's score finite.
+func TestFaultSearchCompletesUnderInjection(t *testing.T) {
+	in := injector(t, fault.Config{Seed: 5, Rate: 0.15, TransientFrac: 0.3})
+	db := smallDB(3, in)
+	ctx := context.Background()
+	s, err := NewSearcher(ctx, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmp, err := s.Search(ctx, OrgCompositeFull, ObjMPThroughput, Budget{AreaMM2: 96})
+	if err != nil {
+		t.Fatalf("search must survive injection: %v", err)
+	}
+	if math.IsNaN(cmp.Score) || cmp.Score <= 0 {
+		t.Fatalf("score %v must stay finite and positive under degradation", cmp.Score)
+	}
+	cov := db.Coverage()
+	if cov.Total == 0 || cov.Evaluated+len(cov.Quarantined) != cov.Total {
+		t.Fatalf("inconsistent coverage %s", cov)
+	}
+	t.Logf("coverage under 15%% injection: %s", cov)
+}

@@ -1,7 +1,9 @@
 package explore
 
 import (
+	"context"
 	"fmt"
+	"sync"
 
 	"compisa/internal/workload"
 )
@@ -62,43 +64,93 @@ func (o Organization) Choices() []ISAChoice {
 	}
 }
 
-// Searcher runs organization-level searches with candidate caching.
+// Searcher runs organization-level searches with candidate caching and a
+// checkpointable frontier of completed searches.
 type Searcher struct {
 	DB  *DB
 	ref []Metric
-	// cands caches evaluated candidates per organization choice-set key.
-	cands map[Organization][]*Candidate
 	// MaxCandidates tunes search effort (0 = default).
 	MaxCandidates int
+	// OnSearchDone, if set, runs after every newly completed (not resumed)
+	// search — the driver hooks checkpoint autosave here.
+	OnSearchDone func()
+
+	mu sync.Mutex
+	// cands caches evaluated candidates per organization choice-set key.
+	cands map[Organization][]*Candidate
+	// frontier records completed searches for checkpoint/resume.
+	frontier map[string]SavedSearch
 }
 
 // NewSearcher builds a Searcher over the full suite.
-func NewSearcher(db *DB) (*Searcher, error) {
-	ref, err := db.ReferenceMetrics()
+func NewSearcher(ctx context.Context, db *DB) (*Searcher, error) {
+	ref, err := db.ReferenceMetrics(ctx)
 	if err != nil {
 		return nil, err
 	}
-	return &Searcher{DB: db, ref: ref, cands: map[Organization][]*Candidate{}}, nil
+	return &Searcher{
+		DB: db, ref: ref,
+		cands:    map[Organization][]*Candidate{},
+		frontier: map[string]SavedSearch{},
+	}, nil
 }
 
 // Candidates returns (and caches) the evaluated candidate set of an
 // organization.
-func (s *Searcher) Candidates(org Organization) ([]*Candidate, error) {
-	if cs, ok := s.cands[org]; ok {
+func (s *Searcher) Candidates(ctx context.Context, org Organization) ([]*Candidate, error) {
+	s.mu.Lock()
+	cs, ok := s.cands[org]
+	s.mu.Unlock()
+	if ok {
 		return cs, nil
 	}
-	cs, err := s.DB.Candidates(org.Choices(), Configs(), s.ref)
+	cs, err := s.DB.Candidates(ctx, org.Choices(), Configs(), s.ref)
 	if err != nil {
 		return nil, err
 	}
+	s.mu.Lock()
 	s.cands[org] = cs
+	s.mu.Unlock()
 	return cs, nil
 }
 
+// searchKey is the frontier key: organization, objective, budget, and (for
+// constrained searches) the constraint name.
+func searchKey(org Organization, obj Objective, b Budget, constraint string) string {
+	key := fmt.Sprintf("%d|%d|%s", org, obj, b)
+	if constraint != "" {
+		key += "|" + constraint
+	}
+	return key
+}
+
 // Search finds the organization's (locally) optimal CMP for an objective
-// under a budget.
-func (s *Searcher) Search(org Organization, obj Objective, b Budget) (CMP, error) {
-	cs, err := s.Candidates(org)
+// under a budget. A search already in the frontier (restored from a
+// checkpoint or completed earlier this run) is rebuilt from its saved design
+// points instead of re-searched.
+func (s *Searcher) Search(ctx context.Context, org Organization, obj Objective, b Budget) (CMP, error) {
+	return s.search(ctx, org, obj, b, "", nil)
+}
+
+// SearchConstrained runs a composite-full search restricted by a candidate
+// constraint (Figure 9's feature-sensitivity analysis). The name identifies
+// the constraint in the checkpoint frontier; an empty name disables frontier
+// caching for the search (anonymous constraints are not resumable).
+func (s *Searcher) SearchConstrained(ctx context.Context, obj Objective, b Budget, name string, constraint func(*Candidate) bool) (CMP, error) {
+	return s.search(ctx, OrgCompositeFull, obj, b, name, constraint)
+}
+
+func (s *Searcher) search(ctx context.Context, org Organization, obj Objective, b Budget, cname string, constraint func(*Candidate) bool) (CMP, error) {
+	key := ""
+	if constraint == nil || cname != "" {
+		key = searchKey(org, obj, b, cname)
+		if cmp, ok, err := s.resume(ctx, key, obj); err != nil {
+			return CMP{}, err
+		} else if ok {
+			return cmp, nil
+		}
+	}
+	cs, err := s.Candidates(ctx, org)
 	if err != nil {
 		return CMP{}, err
 	}
@@ -107,30 +159,76 @@ func (s *Searcher) Search(org Organization, obj Objective, b Budget) (CMP, error
 		Budget:        b,
 		Objective:     obj,
 		Homogeneous:   org == OrgHomogeneous,
+		Constraint:    constraint,
 		MaxCandidates: s.MaxCandidates,
 	}
-	cmp, err := Search(spec, s.DB.Regions)
+	cmp, err := Search(ctx, spec, s.DB.Regions)
 	if err != nil {
-		return CMP{}, fmt.Errorf("%v under %s: %v", org, b, err)
+		return CMP{}, fmt.Errorf("%v under %s: %w", org, b, err)
+	}
+	if key != "" {
+		s.record(key, cmp)
 	}
 	return cmp, nil
 }
 
-// SearchConstrained runs a composite-full search restricted by a candidate
-// constraint (Figure 9's feature-sensitivity analysis).
-func (s *Searcher) SearchConstrained(obj Objective, b Budget, constraint func(*Candidate) bool) (CMP, error) {
-	cs, err := s.Candidates(OrgCompositeFull)
-	if err != nil {
-		return CMP{}, err
+// resume rebuilds a frontier entry: the saved design points are re-evaluated
+// against the (restored) profile cache and re-scored, which reproduces the
+// original CMP exactly because evaluation and scoring are deterministic.
+func (s *Searcher) resume(ctx context.Context, key string, obj Objective) (CMP, bool, error) {
+	s.mu.Lock()
+	sv, ok := s.frontier[key]
+	s.mu.Unlock()
+	if !ok {
+		return CMP{}, false, nil
 	}
-	spec := SearchSpec{
-		Candidates:    cs,
-		Budget:        b,
-		Objective:     obj,
-		Constraint:    constraint,
-		MaxCandidates: s.MaxCandidates,
+	var cores [4]*Candidate
+	for i, dp := range sv.Points {
+		c, err := s.DB.Evaluate(ctx, dp, s.ref)
+		if err != nil {
+			return CMP{}, false, fmt.Errorf("explore: resume %q: %w", key, err)
+		}
+		cores[i] = c
 	}
-	return Search(spec, s.DB.Regions)
+	si := newSuiteIndex(s.DB.Regions)
+	cmp := CMP{Cores: cores, Score: si.score(&cores, obj)}
+	return cmp, true, nil
+}
+
+func (s *Searcher) record(key string, cmp CMP) {
+	var pts [4]DesignPoint
+	for i, c := range cmp.Cores {
+		pts[i] = c.DP
+	}
+	s.mu.Lock()
+	s.frontier[key] = SavedSearch{Score: cmp.Score, Points: pts}
+	done := s.OnSearchDone
+	s.mu.Unlock()
+	if done != nil {
+		done()
+	}
+}
+
+// exportFrontier copies the frontier for checkpointing.
+func (s *Searcher) exportFrontier() map[string]SavedSearch {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]SavedSearch, len(s.frontier))
+	for k, v := range s.frontier {
+		out[k] = v
+	}
+	return out
+}
+
+// importFrontier seeds the frontier from a checkpoint; existing entries win.
+func (s *Searcher) importFrontier(frontier map[string]SavedSearch) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for k, v := range frontier {
+		if _, ok := s.frontier[k]; !ok {
+			s.frontier[k] = v
+		}
+	}
 }
 
 // Regions exposes the suite the searcher evaluates over.

@@ -1,0 +1,8 @@
+//go:build race
+
+package explore
+
+// raceEnabled reports that the race detector is active: full-suite search
+// tests skip themselves (5-20x slowdown puts them past any sane timeout)
+// while the concurrency-focused TestFault* suite still runs instrumented.
+const raceEnabled = true

@@ -1,6 +1,7 @@
 package explore
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -99,6 +100,20 @@ func newSuiteIndex(regions []workload.Region) *suiteIndex {
 			for c := b + 1; c < nb; c++ {
 				for d := c + 1; d < nb; d++ {
 					si.mixes = append(si.mixes, [4]int{a, b, c, d})
+				}
+			}
+		}
+	}
+	// A suite with fewer than four benchmarks (shrunk suites in tests,
+	// partial workloads) has no 4-distinct mixes; fall back to mixes with
+	// repetition so multi-programmed scores stay defined instead of 0/0.
+	if len(si.mixes) == 0 && nb > 0 {
+		for a := 0; a < nb; a++ {
+			for b := a; b < nb; b++ {
+				for c := b; c < nb; c++ {
+					for d := c; d < nb; d++ {
+						si.mixes = append(si.mixes, [4]int{a, b, c, d})
+					}
 				}
 			}
 		}
@@ -363,7 +378,9 @@ func prune(spec SearchSpec, si *suiteIndex) []*Candidate {
 // Search finds a (locally) optimal 4-core CMP by steepest-ascent hill
 // climbing over single-core replacements — the paper likewise reports local
 // optima to keep its 102.5-trillion-combination search tractable.
-func Search(spec SearchSpec, regions []workload.Region) (CMP, error) {
+// Cancellation of ctx aborts the climb promptly (the check sits inside the
+// per-candidate scoring loops) and returns ctx.Err().
+func Search(ctx context.Context, spec SearchSpec, regions []workload.Region) (CMP, error) {
 	si := newSuiteIndex(regions)
 	cands := prune(spec, si)
 	if len(cands) == 0 {
@@ -379,6 +396,9 @@ func Search(spec SearchSpec, regions []workload.Region) (CMP, error) {
 		var best CMP
 		found := false
 		for _, c := range cands {
+			if ctx.Err() != nil {
+				return best, found
+			}
 			cores := [4]*Candidate{c, c, c, c}
 			if !feasible(&cores, b, st) {
 				continue
@@ -423,6 +443,9 @@ func Search(spec SearchSpec, regions []workload.Region) (CMP, error) {
 		}
 		bestPer := map[string]isaSeed{}
 		for _, c := range cands {
+			if ctx.Err() != nil {
+				break
+			}
 			cores := [4]*Candidate{c, c, c, c}
 			if !feasible(&cores, spec.Budget, st) {
 				continue
@@ -463,6 +486,9 @@ func Search(spec SearchSpec, regions []workload.Region) (CMP, error) {
 	if spec.Homogeneous {
 		// Homogeneous organizations take the full-budget seed.
 		best, _ := bestHomogeneous(spec.Budget)
+		if err := ctx.Err(); err != nil {
+			return CMP{}, err
+		}
 		return best, nil
 	}
 
@@ -474,6 +500,9 @@ func Search(spec SearchSpec, regions []workload.Region) (CMP, error) {
 			for slot := 0; slot < 4; slot++ {
 				cur := best
 				for _, c := range cands {
+					if ctx.Err() != nil {
+						return best
+					}
 					trial := cur.Cores
 					trial[slot] = c
 					if !feasible(&trial, spec.Budget, st) {
@@ -502,6 +531,9 @@ func Search(spec SearchSpec, regions []workload.Region) (CMP, error) {
 		}(i)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return CMP{}, err
+	}
 	var best CMP
 	for i, r := range results {
 		if i == 0 || r.Score > best.Score {
@@ -531,6 +563,9 @@ func Search(spec SearchSpec, regions []workload.Region) (CMP, error) {
 	cands = extended
 	best = climb(best)
 	cands = saved
+	if err := ctx.Err(); err != nil {
+		return CMP{}, err
+	}
 
 	// Canonical core order for stable output.
 	sort.Slice(best.Cores[:], func(i, j int) bool {

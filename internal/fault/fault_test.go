@@ -1,0 +1,123 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestFaultInjectorDeterministic(t *testing.T) {
+	a, err := NewInjector(Config{Seed: 42, Rate: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewInjector(Config{Seed: 42, Rate: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("region.%d|isa-%d", i%49, i%26)
+		for attempt := 0; attempt < 3; attempt++ {
+			if a.Decide(key, attempt) != b.Decide(key, attempt) {
+				t.Fatalf("same seed diverged on %q attempt %d", key, attempt)
+			}
+		}
+	}
+	c, err := NewInjector(Config{Seed: 43, Rate: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := 0
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("region.%d|isa-%d", i%49, i%26)
+		if a.Decide(key, 0) != c.Decide(key, 0) {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Error("different seeds produced identical decisions across 200 keys")
+	}
+}
+
+func TestFaultInjectorRate(t *testing.T) {
+	in, err := NewInjector(Config{Seed: 7, Rate: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hit := 0
+	const n = 4000
+	for i := 0; i < n; i++ {
+		if in.Decide(fmt.Sprintf("key-%d", i), 0).Kind != KindNone {
+			hit++
+		}
+	}
+	frac := float64(hit) / n
+	if frac < 0.20 || frac > 0.30 {
+		t.Errorf("rate 0.25 produced fault fraction %.3f", frac)
+	}
+	// A nil injector and a zero rate inject nothing.
+	var nilInj *Injector
+	if nilInj.Decide("k", 0).Kind != KindNone {
+		t.Error("nil injector injected")
+	}
+	zero, _ := NewInjector(Config{Rate: 0})
+	if zero.Decide("k", 0).Kind != KindNone {
+		t.Error("zero-rate injector injected")
+	}
+}
+
+func TestFaultInjectorTransientClearsOnRetry(t *testing.T) {
+	in, err := NewInjector(Config{Seed: 3, Rate: 1, TransientFrac: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := in.Decide("some-key", 0)
+	if d.Kind == KindNone || !d.Transient {
+		t.Fatalf("expected transient fault on attempt 0, got %+v", d)
+	}
+	if r := in.Decide("some-key", 1); r.Kind != KindNone {
+		t.Fatalf("transient fault must clear on retry, got %+v", r)
+	}
+}
+
+func TestFaultErrorWrapping(t *testing.T) {
+	base := errors.New("boom")
+	err := Wrap(StageExec, "hmmer.0", "x86-64", base)
+	var fe *Error
+	if !errors.As(err, &fe) {
+		t.Fatal("Wrap must produce a *fault.Error")
+	}
+	if fe.Stage != StageExec || fe.Region != "hmmer.0" || fe.ISA != "x86-64" {
+		t.Errorf("bad classification: %+v", fe)
+	}
+	if !errors.Is(err, base) {
+		t.Error("wrapped cause must remain reachable via errors.Is")
+	}
+	// Double-wrapping preserves the first classification.
+	again := Wrap(StageModel, "other", "other", err)
+	var fe2 *Error
+	if !errors.As(again, &fe2) || fe2.Stage != StageExec {
+		t.Error("re-wrap must keep the original stage")
+	}
+	if Wrap(StageExec, "r", "i", nil) != nil {
+		t.Error("Wrap(nil) must be nil")
+	}
+	inj, _ := NewInjector(Config{Seed: 1, Rate: 1})
+	if !errors.Is(inj.Decide("k", 0).Errorf(), ErrInjected) {
+		t.Error("injected errors must match ErrInjected")
+	}
+}
+
+func TestFaultParseKinds(t *testing.T) {
+	ks, err := ParseKinds("compile, slow")
+	if err != nil || len(ks) != 2 || ks[0] != KindCompile || ks[1] != KindSlow {
+		t.Fatalf("ParseKinds: %v %v", ks, err)
+	}
+	if _, err := ParseKinds("bogus"); err == nil {
+		t.Error("unknown kind must error")
+	}
+	all, err := ParseKinds("")
+	if err != nil || len(all) != 4 {
+		t.Fatalf("empty list must enable all kinds: %v %v", all, err)
+	}
+}

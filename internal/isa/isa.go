@@ -86,11 +86,29 @@ func New(c Complexity, width, depth int, p Predication) (FeatureSet, error) {
 	return fs, nil
 }
 
-// MustNew is New for known-good literals; it panics on invalid combinations.
+// InvariantError is the typed panic value raised by MustNew when a
+// known-good literal turns out to be invalid. It exists so recovery layers
+// (the exploration pipeline recovers per-evaluation panics) can classify
+// the failure with errors.As instead of matching panic strings.
+type InvariantError struct {
+	FS  FeatureSet
+	Err error
+}
+
+func (e *InvariantError) Error() string {
+	return fmt.Sprintf("isa: invalid feature-set literal %+v: %v", e.FS, e.Err)
+}
+
+func (e *InvariantError) Unwrap() error { return e.Err }
+
+// MustNew is New for known-good literals. Passing an invalid combination is
+// a programming error (the literal itself is wrong), so it is a documented
+// invariant check: it panics with a typed *InvariantError rather than
+// returning. Code paths with runtime-derived feature sets must use New.
 func MustNew(c Complexity, width, depth int, p Predication) FeatureSet {
 	fs, err := New(c, width, depth, p)
 	if err != nil {
-		panic(err)
+		panic(&InvariantError{FS: FeatureSet{Complexity: c, Width: width, Depth: depth, Predication: p}, Err: err})
 	}
 	return fs
 }

@@ -31,7 +31,10 @@ func TestFuzzTranslateRandomPrograms(t *testing.T) {
 	for seed := 1; seed <= seeds; seed++ {
 		r := workload.RandomRegion(uint64(seed))
 		for _, src := range sources {
-			f, m := r.Build(src.Width)
+			f, m, err := r.Build(src.Width)
+			if err != nil {
+				t.Fatal(err)
+			}
 			prog, err := compiler.Compile(f, src, compiler.Options{})
 			if err != nil {
 				t.Fatalf("seed %d src %s: %v", seed, src.ShortName(), err)
@@ -50,7 +53,10 @@ func TestFuzzTranslateRandomPrograms(t *testing.T) {
 				if err != nil {
 					t.Fatalf("seed %d %s->%s: %v", seed, src.ShortName(), dst.ShortName(), err)
 				}
-				_, m2 := r.Build(src.Width)
+				_, m2, err := r.Build(src.Width)
+				if err != nil {
+					t.Fatal(err)
+				}
 				got, err := cpu.Run(trans, cpu.NewState(m2), 30_000_000, nil)
 				if err != nil {
 					t.Fatalf("seed %d %s->%s: %v", seed, src.ShortName(), dst.ShortName(), err)

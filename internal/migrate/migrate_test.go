@@ -13,7 +13,10 @@ import (
 // runProg executes a program and returns its checksum.
 func runProg(t *testing.T, p *code.Program, r workload.Region) uint64 {
 	t.Helper()
-	_, m := r.Build(p.FS.Width)
+	_, m, err := r.Build(p.FS.Width)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// The memory image must match the width the code was COMPILED for,
 	// which a width downgrade does not change.
 	st := cpu.NewState(m)
@@ -28,7 +31,10 @@ func runProg(t *testing.T, p *code.Program, r workload.Region) uint64 {
 // compiled binary) and executes the translated program.
 func runTranslated(t *testing.T, p *code.Program, r workload.Region, srcWidth int) uint64 {
 	t.Helper()
-	_, m := r.Build(srcWidth)
+	_, m, err := r.Build(srcWidth)
+	if err != nil {
+		t.Fatal(err)
+	}
 	st := cpu.NewState(m)
 	res, err := cpu.Run(p, st, 60_000_000, nil)
 	if err != nil {
@@ -39,7 +45,10 @@ func runTranslated(t *testing.T, p *code.Program, r workload.Region, srcWidth in
 
 func compileFor(t *testing.T, r workload.Region, fs isa.FeatureSet) *code.Program {
 	t.Helper()
-	f, _ := r.Build(fs.Width)
+	f, _, err := r.Build(fs.Width)
+	if err != nil {
+		t.Fatal(err)
+	}
 	p, err := compiler.Compile(f, fs, compiler.Options{})
 	if err != nil {
 		t.Fatalf("%s for %s: %v", r.Name, fs.ShortName(), err)

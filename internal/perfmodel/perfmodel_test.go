@@ -63,7 +63,10 @@ func TestPerfModelAgainstDetailedSim(t *testing.T) {
 	orderOK, orderTotal := 0, 0
 	for _, name := range names {
 		r := regionByName(t, name)
-		f, m := r.Build(fs.Width)
+		f, m, err := r.Build(fs.Width)
+		if err != nil {
+			t.Fatal(err)
+		}
 		prog, err := compiler.Compile(f, fs, compiler.Options{})
 		if err != nil {
 			t.Fatal(err)
@@ -79,7 +82,10 @@ func TestPerfModelAgainstDetailedSim(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			f2, m2 := r.Build(fs.Width)
+			f2, m2, err := r.Build(fs.Width)
+			if err != nil {
+				t.Fatal(err)
+			}
 			prog2, err := compiler.Compile(f2, fs, compiler.Options{})
 			if err != nil {
 				t.Fatal(err)
@@ -127,7 +133,10 @@ func TestPerfModelAgainstDetailedSim(t *testing.T) {
 
 func TestCyclesMonotoneInWidth(t *testing.T) {
 	r := regionByName(t, "bzip2.7") // ILP-rich bit packing
-	f, m := r.Build(64)
+	f, m, err := r.Build(64)
+	if err != nil {
+		t.Fatal(err)
+	}
 	prog, err := compiler.Compile(f, isa.X8664, compiler.Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -155,7 +164,10 @@ func TestCyclesMonotoneInWidth(t *testing.T) {
 
 func TestCyclesSensitiveToPredictor(t *testing.T) {
 	r := regionByName(t, "sjeng.0") // mispredict-heavy
-	f, m := r.Build(64)
+	f, m, err := r.Build(64)
+	if err != nil {
+		t.Fatal(err)
+	}
 	prog, err := compiler.Compile(f, isa.X8664, compiler.Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -179,7 +191,10 @@ func TestCyclesSensitiveToPredictor(t *testing.T) {
 
 func TestCyclesCacheConfigMatters(t *testing.T) {
 	r := regionByName(t, "mcf.0") // L1-straddling pointer chase
-	f, m := r.Build(64)
+	f, m, err := r.Build(64)
+	if err != nil {
+		t.Fatal(err)
+	}
 	prog, err := compiler.Compile(f, isa.X8664, compiler.Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -206,7 +221,10 @@ func TestCyclesCacheConfigMatters(t *testing.T) {
 
 func TestCyclesRejectsUnprofiledCache(t *testing.T) {
 	r := regionByName(t, "astar.0")
-	f, m := r.Build(64)
+	f, m, err := r.Build(64)
+	if err != nil {
+		t.Fatal(err)
+	}
 	prog, err := compiler.Compile(f, isa.X8664, compiler.Options{})
 	if err != nil {
 		t.Fatal(err)
@@ -225,7 +243,10 @@ func TestCyclesRejectsUnprofiledCache(t *testing.T) {
 func TestIPCSorted(t *testing.T) {
 	// The ILP curve must be monotone in window size.
 	r := regionByName(t, "hmmer.0")
-	f, m := r.Build(64)
+	f, m, err := r.Build(64)
+	if err != nil {
+		t.Fatal(err)
+	}
 	prog, err := compiler.Compile(f, isa.X8664, compiler.Options{})
 	if err != nil {
 		t.Fatal(err)

@@ -18,7 +18,10 @@ func profileFor(t *testing.T, name string, fs isa.FeatureSet) (*cpu.Profile, per
 			reg = r
 		}
 	}
-	f, m := reg.Build(fs.Width)
+	f, m, err := reg.Build(fs.Width)
+	if err != nil {
+		t.Fatal(err)
+	}
 	prog, err := compiler.Compile(f, fs, compiler.Options{})
 	if err != nil {
 		t.Fatal(err)

@@ -126,7 +126,10 @@ func TestBBVOnWorkloadRegion(t *testing.T) {
 			reg = r
 		}
 	}
-	f, m := reg.Build(64)
+	f, m, err := reg.Build(64)
+	if err != nil {
+		t.Fatal(err)
+	}
 	prog, err := compiler.Compile(f, isa.X8664, compiler.Options{})
 	if err != nil {
 		t.Fatal(err)

@@ -9,7 +9,7 @@ import (
 func region(weight float64, seed uint32, body func(g *gen) ir.VReg) Region {
 	return Region{
 		Weight: weight,
-		Build: func(width int) (*ir.Func, *mem.Memory) {
+		Build: func(width int) (*ir.Func, *mem.Memory, error) {
 			g := newGen("region", width, seed)
 			return g.finish(body(g))
 		},

@@ -1,12 +1,26 @@
 package workload
 
 import (
+	"fmt"
 	"math"
 
 	"compisa/internal/code"
 	"compisa/internal/ir"
 	"compisa/internal/mem"
 )
+
+// OverflowError reports a region generator exhausting the data region.
+// It is returned (not panicked) from Region.Build so a single oversized
+// generator degrades that one evaluation instead of killing the process.
+type OverflowError struct {
+	// Next is the allocation cursor after the failed request; Limit is
+	// the end of the data region.
+	Next, Limit uint64
+}
+
+func (e *OverflowError) Error() string {
+	return fmt.Sprintf("workload: data region overflow (cursor %#x past limit %#x)", e.Next, e.Limit)
+}
 
 // gen is the common scaffolding for region generators: an IR builder, a
 // memory image, a bump allocator for data placement, and a deterministic
@@ -17,6 +31,9 @@ type gen struct {
 	width int
 	next  uint64
 	state uint32
+	// err is the first allocation failure; it makes Build fail instead of
+	// panicking while letting the generator body run to completion.
+	err error
 }
 
 func newGen(name string, width int, seed uint32) *gen {
@@ -36,12 +53,18 @@ func (g *gen) rand() uint32 {
 }
 
 // alloc reserves n bytes with the given alignment and returns the address.
+// On overflow it records a sticky OverflowError (surfaced by finish) and
+// hands back the region base so the generator body can complete harmlessly.
 func (g *gen) alloc(n uint64, align uint64) uint64 {
 	g.next = (g.next + align - 1) &^ (align - 1)
 	a := g.next
 	g.next += n
 	if g.next >= uint64(code.DataLimit) {
-		panic("workload: data region overflow")
+		if g.err == nil {
+			g.err = &OverflowError{Next: g.next, Limit: uint64(code.DataLimit)}
+		}
+		g.next = a // stop advancing; the build fails at finish
+		return uint64(code.DataBase)
 	}
 	return a
 }
@@ -85,10 +108,14 @@ func (g *gen) bytesArr(n int, f func(i int) byte) uint64 {
 // ptrBytes is the pointer size of the target.
 func (g *gen) ptrBytes() int { return g.width / 8 }
 
-// finish returns the generated function and memory.
-func (g *gen) finish(ret ir.VReg) (*ir.Func, *mem.Memory) {
+// finish returns the generated function and memory, or the first
+// allocation error recorded during generation.
+func (g *gen) finish(ret ir.VReg) (*ir.Func, *mem.Memory, error) {
 	g.b.Ret(ret)
-	return g.b.F, g.m
+	if g.err != nil {
+		return nil, nil, g.err
+	}
+	return g.b.F, g.m, nil
 }
 
 // loop emits `for (i = 0; i < n; i++) { body(i) }` with the standard

@@ -18,8 +18,9 @@ func RandomRegion(seed uint64) Region {
 		Benchmark: "random",
 		Name:      fmt.Sprintf("random.%d", seed),
 		Weight:    1,
-		Build: func(width int) (*ir.Func, *mem.Memory) {
-			return buildRandom(seed)
+		Build: func(width int) (*ir.Func, *mem.Memory, error) {
+			f, m := buildRandom(seed)
+			return f, m, nil
 		},
 	}
 }

@@ -29,8 +29,9 @@ type Region struct {
 	// Weight is the region's SimPoint weight within the benchmark
 	// (weights sum to 1 per benchmark).
 	Weight float64
-	// Build generates the region's IR and initial memory image.
-	Build func(width int) (*ir.Func, *mem.Memory)
+	// Build generates the region's IR and initial memory image. It fails
+	// (typed *OverflowError) if the generator exhausts the data region.
+	Build func(width int) (*ir.Func, *mem.Memory, error)
 }
 
 // Benchmark is a named sequence of regions.

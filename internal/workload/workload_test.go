@@ -7,7 +7,18 @@ import (
 	"compisa/internal/cpu"
 	"compisa/internal/ir"
 	"compisa/internal/isa"
+	"compisa/internal/mem"
 )
+
+// mustBuild builds a region, failing the test on generator errors.
+func mustBuild(t *testing.T, r Region, width int) (*ir.Func, *mem.Memory) {
+	t.Helper()
+	f, m, err := r.Build(width)
+	if err != nil {
+		t.Fatalf("%s (w%d): %v", r.Name, width, err)
+	}
+	return f, m
+}
 
 func TestSuiteShape(t *testing.T) {
 	suite := Suite()
@@ -36,7 +47,7 @@ func TestSuiteShape(t *testing.T) {
 func TestRegionsVerifyAndInterpret(t *testing.T) {
 	for _, r := range Regions() {
 		for _, width := range []int{32, 64} {
-			f, m := r.Build(width)
+			f, m := mustBuild(t, r, width)
 			if err := f.Verify(); err != nil {
 				t.Fatalf("%s (w%d): %v", r.Name, width, err)
 			}
@@ -56,8 +67,8 @@ func TestRegionsVerifyAndInterpret(t *testing.T) {
 
 func TestRegionsDeterministic(t *testing.T) {
 	for _, r := range Regions()[:10] {
-		f1, m1 := r.Build(64)
-		f2, m2 := r.Build(64)
+		f1, m1 := mustBuild(t, r, 64)
+		f2, m2 := mustBuild(t, r, 64)
 		r1, err1 := ir.Interp(f1, m1, 8, 20_000_000)
 		r2, err2 := ir.Interp(f2, m2, 8, 20_000_000)
 		if err1 != nil || err2 != nil {
@@ -82,7 +93,7 @@ func TestChecksumAcrossFeatureSets(t *testing.T) {
 		r := regions[ri]
 		var want [2]uint64
 		for wi, width := range []int{32, 64} {
-			f, m := r.Build(width)
+			f, m := mustBuild(t, r, width)
 			res, err := ir.Interp(f, m, width/8, 30_000_000)
 			if err != nil {
 				t.Fatalf("%s: %v", r.Name, err)
@@ -90,7 +101,7 @@ func TestChecksumAcrossFeatureSets(t *testing.T) {
 			want[wi] = res.Ret & 0xffffffff
 		}
 		for _, fs := range isa.Derive() {
-			f, m := r.Build(fs.Width)
+			f, m := mustBuild(t, r, fs.Width)
 			prog, err := compiler.Compile(f, fs, compiler.Options{})
 			if err != nil {
 				t.Fatalf("%s for %s: %v", r.Name, fs.ShortName(), err)
@@ -121,7 +132,7 @@ func TestBenchmarkCharacteristics(t *testing.T) {
 		}
 		max := 0
 		for _, r := range b.Regions {
-			f, _ := r.Build(64)
+			f, _ := mustBuild(t, r, 64)
 			if p := f.MaxLivePressure(false); p > max {
 				max = p
 			}
@@ -140,7 +151,7 @@ func TestBenchmarkCharacteristics(t *testing.T) {
 		b, _ := ByName(name)
 		n := 0
 		for _, r := range b.Regions {
-			f, _ := r.Build(64)
+			f, _ := mustBuild(t, r, 64)
 			prog, err := compiler.Compile(f, isa.X8664, compiler.Options{})
 			if err != nil {
 				t.Fatal(err)
@@ -161,7 +172,7 @@ func TestBenchmarkCharacteristics(t *testing.T) {
 		b, _ := ByName(name)
 		n := 0
 		for _, r := range b.Regions {
-			f, _ := r.Build(64)
+			f, _ := mustBuild(t, r, 64)
 			prog, err := compiler.Compile(f, isa.Superset, compiler.Options{})
 			if err != nil {
 				t.Fatal(err)
@@ -183,8 +194,8 @@ func TestBenchmarkCharacteristics(t *testing.T) {
 func TestMcfFootprintDependsOnWidth(t *testing.T) {
 	b, _ := ByName("mcf")
 	r := b.Regions[2] // large chase
-	_, m32 := r.Build(32)
-	_, m64 := r.Build(64)
+	_, m32 := mustBuild(t, r, 32)
+	_, m64 := mustBuild(t, r, 64)
 	if m64.Pages() <= m32.Pages() {
 		t.Errorf("64-bit mcf image (%d pages) should exceed 32-bit (%d pages)",
 			m64.Pages(), m32.Pages())
