@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet test race fault-smoke bench
+.PHONY: check build vet test race fault-smoke bench bench-smoke
 
 build:
 	$(GO) build ./...
@@ -11,17 +11,22 @@ vet:
 test:
 	$(GO) test ./...
 
-# Race-check the concurrent packages (profile cache singleflight, parallel
-# candidate evaluation, parallel search seeds).
+# Race-check the concurrent packages (worker pools, metrics counters,
+# profile cache singleflight, candidate cache, parallel search seeds).
 race:
-	$(GO) test -race ./internal/explore/ ./internal/fault/ ./internal/cpu/
+	$(GO) test -race ./internal/par/ ./internal/metrics/ ./internal/eval/ ./internal/explore/ ./internal/fault/ ./internal/cpu/
 
 # Fault-tolerance smoke: the TestFault* suite exercises injection, retry,
 # quarantine, cancellation, determinism, and checkpoint/resume.
 fault-smoke:
-	$(GO) test -run Fault -v ./internal/explore/ ./internal/fault/ ./internal/cpu/
+	$(GO) test -run Fault -v ./internal/eval/ ./internal/explore/ ./internal/fault/ ./internal/cpu/
 
 bench:
 	$(GO) test -bench=. -benchmem
+
+# One cheap end-to-end benchmark iteration: catches pipeline regressions
+# that unit tests miss without paying for the full bench sweep.
+bench-smoke:
+	$(GO) test -bench 'Fig5' -benchtime 1x -run '^$$'
 
 check: vet build test race fault-smoke

@@ -77,7 +77,7 @@ func BenchmarkSec3CodegenDeltas(b *testing.B) {
 	db, _ := harness(b)
 	var out string
 	for i := 0; i < b.N; i++ {
-		d, err := db.Sec3CodegenDeltas(context.Background())
+		d, err := explore.Sec3CodegenDeltas(context.Background(), db)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -90,7 +90,7 @@ func BenchmarkFig2InstructionMix(b *testing.B) {
 	db, _ := harness(b)
 	var out string
 	for i := 0; i < b.N; i++ {
-		f, err := db.Fig2InstructionMix(context.Background())
+		f, err := explore.Fig2InstructionMix(context.Background(), db)
 		if err != nil {
 			b.Fatal(err)
 		}

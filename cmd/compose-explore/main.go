@@ -10,6 +10,8 @@
 //	             interrupted run resumes from where it stopped.
 //	-inject-*    deterministically inject evaluation faults to exercise
 //	             the retry/quarantine machinery.
+//	-stats       print evaluation-pipeline statistics on exit: per-stage
+//	             counts and timings plus cache hit rates per tier.
 //
 // Failing (region, ISA) pairs are quarantined and scored at a documented
 // penalty; the run completes and the coverage summary reports them.
@@ -37,6 +39,7 @@ func main() {
 	injectSeed := flag.Uint64("inject-seed", 1, "fault injection seed (same seed => same faults)")
 	injectKinds := flag.String("inject-kinds", "", "comma-separated fault kinds to inject (compile,runaway,corrupt,slow); empty = all")
 	injectTransient := flag.Float64("inject-transient", 0, "fraction of injected faults that clear on the first retry")
+	stats := flag.Bool("stats", false, "print evaluation pipeline statistics (stage counts, timings, cache hit rates) on exit")
 	flag.Parse()
 
 	log.SetFlags(0)
@@ -75,8 +78,8 @@ func main() {
 		}
 		if st != nil {
 			st.RestoreDB(db)
-			fmt.Fprintf(os.Stderr, "[resumed from %s: %d ISA profile sets, %d searches]\n",
-				*checkpoint, len(st.Profiles), len(st.Frontier))
+			fmt.Fprintf(os.Stderr, "[resumed from %s: %d ISA profile sets, %d candidates, %d searches]\n",
+				*checkpoint, len(st.Profiles), len(st.Candidates), len(st.Frontier))
 		}
 		cpState = st
 	}
@@ -97,6 +100,9 @@ func main() {
 	s.OnSearchDone = save
 
 	report := func() {
+		if *stats {
+			fmt.Fprint(os.Stderr, db.Stats.Snapshot().Format())
+		}
 		cov := db.Coverage()
 		if len(cov.Quarantined) == 0 && db.Inject == nil {
 			return
@@ -127,7 +133,7 @@ func main() {
 	}
 
 	run("sec3", func() error {
-		d, err := db.Sec3CodegenDeltas(ctx)
+		d, err := explore.Sec3CodegenDeltas(ctx, db)
 		if err != nil {
 			return err
 		}
@@ -135,7 +141,7 @@ func main() {
 		return nil
 	})
 	run("fig2", func() error {
-		f, err := db.Fig2InstructionMix(ctx)
+		f, err := explore.Fig2InstructionMix(ctx, db)
 		if err != nil {
 			return err
 		}

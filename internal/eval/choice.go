@@ -1,4 +1,4 @@
-package explore
+package eval
 
 import (
 	"fmt"
@@ -43,6 +43,14 @@ type DesignPoint struct {
 
 func (d DesignPoint) String() string {
 	return fmt.Sprintf("%s @ %s", d.ISA.Key(), d.Cfg.Name())
+}
+
+// CacheKey canonically identifies the design point for the candidate cache
+// tier. cpu.CoreConfig.Name() abbreviates (it omits fields that are coupled
+// within the pruned 180-config space), so the key spells out every
+// configuration field instead.
+func (d DesignPoint) CacheKey() string {
+	return d.ISA.Key() + "|" + fmt.Sprintf("%+v", d.Cfg)
 }
 
 // Area returns the core's total area (mm², including cache shares).
@@ -90,3 +98,15 @@ func VendorChoices() []ISAChoice {
 
 // X8664Choice is the single-ISA baseline.
 func X8664Choice() ISAChoice { return ISAChoice{FS: isa.X8664} }
+
+// ReferenceConfig is the normalization core: the largest out-of-order
+// configuration with 64KB caches and the 8MB L2.
+func ReferenceConfig() cpu.CoreConfig {
+	return cpu.CoreConfig{
+		OoO: true, Width: 4, Predictor: cpu.PredTournament,
+		IQ: 64, ROB: 128, PRFInt: 192, PRFFP: 160,
+		IntALU: 6, IntMul: 2, FPALU: 4, LSQ: 32,
+		L1I: cpu.L1Cfg64k, L1D: cpu.L1Cfg64k, L2: cpu.L2Cfg8M,
+		UopCache: true, Fusion: true,
+	}
+}

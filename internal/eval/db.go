@@ -1,0 +1,308 @@
+package eval
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"compisa/internal/compiler"
+	"compisa/internal/cpu"
+	"compisa/internal/fault"
+	"compisa/internal/par"
+	"compisa/internal/workload"
+)
+
+// DB caches per-(region, ISA) profiles and evaluated design points, and
+// evaluates candidates against the whole workload suite. All methods are
+// safe for concurrent use after construction; Inject/Policy/Log must be
+// configured before the first evaluation.
+//
+// Two cache tiers back the pipeline:
+//
+//   - profiles: ISA key → per-region profiles (the expensive functional
+//     executions), singleflighted so concurrent callers share one
+//     computation;
+//   - candidates: (ISA key, canonical config) → evaluated design point,
+//     normalized against the DB's own reference metrics, so the 4680-point
+//     scoring stage runs once per process (and once per checkpoint
+//     lineage) no matter how many budgets, organizations, or experiment
+//     drivers consume it.
+//
+// Failure model: a failing (region, ISA) evaluation is retried (bounded,
+// with backoff) while it looks transient, then quarantined — its profile
+// slot stays nil and every design point using that ISA scores the region
+// at the documented Policy penalties instead of aborting the run. The
+// x86-64 reference ISA is exempt from injection and strict about failures,
+// because a failed reference would invalidate every normalized metric.
+type DB struct {
+	Regions []workload.Region
+
+	// Inject deterministically injects faults into non-reference profile
+	// evaluations (nil = no injection).
+	Inject *fault.Injector
+	// Policy tunes retries and degradation penalties.
+	Policy Policy
+	// Log, if set, receives fault-tolerance events (retries, quarantines,
+	// degraded evaluations).
+	Log func(format string, args ...any)
+	// Stats instruments the pipeline's stages and cache tiers.
+	Stats Stats
+
+	mu         sync.Mutex
+	profiles   map[string][]*cpu.Profile // ISA key -> per-region profiles (nil slot = quarantined)
+	inflight   map[string]*inflightProfiles
+	quarantine map[string]string     // "region|isaKey" -> reason
+	cands      map[string]*Candidate // DesignPoint.CacheKey() -> candidate
+	ref        []Metric              // memoized reference metrics (normalization basis)
+}
+
+// inflightProfiles is one in-progress per-ISA profile computation; duplicate
+// callers wait on done instead of recomputing (per-key singleflight).
+type inflightProfiles struct {
+	done chan struct{}
+	ps   []*cpu.Profile
+	err  error
+}
+
+// NewDB builds an evaluation database over the full 49-region suite.
+func NewDB() *DB {
+	return &DB{
+		Regions:    workload.Regions(),
+		profiles:   map[string][]*cpu.Profile{},
+		inflight:   map[string]*inflightProfiles{},
+		quarantine: map[string]string{},
+		cands:      map[string]*Candidate{},
+	}
+}
+
+func (db *DB) logf(format string, args ...any) {
+	if db.Log != nil {
+		db.Log(format, args...)
+	}
+}
+
+// isReference reports whether a choice is the normalization baseline
+// (plain x86-64): exempt from fault injection and strict about failures.
+func isReference(c ISAChoice) bool {
+	return c.Vendor == nil && c.Key() == X8664Choice().Key()
+}
+
+func pairKey(region, isaKey string) string { return region + "|" + isaKey }
+
+// Profiles returns (computing on first use) the per-region profiles for an
+// ISA choice. Vendor choices reuse their x86-ized feature set's compiled
+// code, then apply the vendor's code-density traits. Quarantined (region,
+// ISA) pairs yield nil slots; see Evaluate for how they are scored.
+// Concurrent callers for the same ISA share one computation.
+func (db *DB) Profiles(ctx context.Context, c ISAChoice) ([]*cpu.Profile, error) {
+	key := c.Key()
+	db.mu.Lock()
+	if ps, ok := db.profiles[key]; ok {
+		db.mu.Unlock()
+		db.Stats.ProfileHits.Inc()
+		return ps, nil
+	}
+	if call, ok := db.inflight[key]; ok {
+		db.mu.Unlock()
+		// Joining an in-flight computation counts as a hit: the work is
+		// shared, not repeated.
+		db.Stats.ProfileHits.Inc()
+		select {
+		case <-call.done:
+			return call.ps, call.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	call := &inflightProfiles{done: make(chan struct{})}
+	db.inflight[key] = call
+	db.mu.Unlock()
+	db.Stats.ProfileMisses.Inc()
+
+	ps, err := db.computeProfiles(ctx, c)
+	db.mu.Lock()
+	if err == nil {
+		db.profiles[key] = ps
+	}
+	delete(db.inflight, key)
+	db.mu.Unlock()
+	call.ps, call.err = ps, err
+	close(call.done)
+	return ps, err
+}
+
+// computeProfiles profiles every region for one ISA on the par pool,
+// applying the retry/quarantine policy. It uses par.MapAll because the
+// policy triages each region's failure individually instead of aborting
+// on the first one.
+func (db *DB) computeProfiles(ctx context.Context, c ISAChoice) ([]*cpu.Profile, error) {
+	ps, errs := par.MapAll(ctx, len(db.Regions), 0, func(i int) (*cpu.Profile, error) {
+		return db.profileWithRetry(ctx, db.Regions[i], c)
+	})
+	strict := isReference(c)
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if isCtxErr(err) {
+			return nil, err
+		}
+		if strict {
+			return nil, fmt.Errorf("eval: reference ISA failed (all normalized metrics depend on it): %w", err)
+		}
+	}
+	// Quarantine only once the set is known to complete, so a canceled or
+	// reference-failed computation leaves no partial quarantine entries.
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		key := pairKey(db.Regions[i].Name, c.Key())
+		db.mu.Lock()
+		db.quarantine[key] = err.Error()
+		db.mu.Unlock()
+		db.Stats.Quarantines.Inc()
+		db.logf("eval: quarantined %s: %v", key, err)
+		ps[i] = nil
+	}
+	return ps, nil
+}
+
+// profileWithRetry runs one (region, ISA) evaluation with bounded retries
+// for transient faults.
+func (db *DB) profileWithRetry(ctx context.Context, r workload.Region, c ISAChoice) (*cpu.Profile, error) {
+	pol := db.Policy.WithDefaults()
+	var err error
+	for attempt := 0; attempt < pol.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			db.Stats.Retries.Inc()
+			db.logf("eval: retrying %s for %s (attempt %d): %v", r.Name, c.Key(), attempt+1, err)
+			t := time.NewTimer(pol.Backoff << (attempt - 1))
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return nil, ctx.Err()
+			case <-t.C:
+			}
+		}
+		var p *cpu.Profile
+		p, err = db.profileOnce(ctx, r, c, attempt)
+		if err == nil {
+			return p, nil
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
+		if !fault.IsTransient(err) {
+			return nil, err
+		}
+	}
+	return nil, err
+}
+
+// profileOnce is one attempt at profiling (region, ISA): build, compile,
+// execute, vendor-adjust. Injected faults are applied here so they exercise
+// the real failure paths (compiler error return, watchdog, decode error).
+// A panic anywhere in the attempt is recovered into a *fault.Error.
+func (db *DB) profileOnce(ctx context.Context, r workload.Region, c ISAChoice, attempt int) (p *cpu.Profile, err error) {
+	key := pairKey(r.Name, c.Key())
+	defer func() {
+		if rec := recover(); rec != nil {
+			p = nil
+			err = &fault.Error{
+				Stage: fault.StageExec, Region: r.Name, ISA: c.Key(),
+				Err: fmt.Errorf("recovered panic: %v", rec),
+			}
+		}
+	}()
+	var d fault.Decision
+	if !isReference(c) {
+		d = db.Inject.Decide(key, attempt)
+	}
+	// classify wraps an organic or injected failure into the taxonomy;
+	// injected failures inherit the decision's transience.
+	classify := func(stage fault.Stage, cause error) error {
+		transient := d.Kind != fault.KindNone && d.Transient
+		var fe *fault.Error
+		if errors.As(cause, &fe) {
+			return cause
+		}
+		return &fault.Error{Stage: stage, Region: r.Name, ISA: c.Key(), Transient: transient, Err: cause}
+	}
+	if d.Delay > 0 {
+		// KindSlow delays without failing, exercising deadline handling.
+		t := time.NewTimer(d.Delay)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return nil, ctx.Err()
+		case <-t.C:
+		}
+	}
+	compileStart := time.Now()
+	db.Stats.Compiles.Inc()
+	f, m, err := r.Build(c.FS.Width)
+	if err != nil {
+		return nil, classify(fault.StageCompile, err)
+	}
+	copts := compiler.Options{}
+	if d.Kind == fault.KindCompile {
+		copts.FaultHook = func() error { return d.Errorf() }
+	}
+	prog, err := compiler.Compile(f, c.FS, copts)
+	if err != nil {
+		return nil, classify(fault.StageCompile, err)
+	}
+	db.Stats.CompileTime.Since(compileStart)
+	prog.Name = r.Name
+	ropts := cpu.RunOptions{MaxInstrs: MaxRegionInstrs, Interrupt: ctx.Err}
+	switch d.Kind {
+	case fault.KindRunaway:
+		ropts.MaxInstrs = runawayInstrs
+	case fault.KindCorrupt:
+		// An opcode outside the ISA: decode hits ErrUnimplementedOp on the
+		// first executed instruction, through the real decode path.
+		prog.Instrs[0].Op = 0xEF
+	}
+	execStart := time.Now()
+	db.Stats.Execs.Inc()
+	p, _, err = cpu.CollectProfileOpts(prog, m, ropts)
+	if err != nil {
+		if d.Kind == fault.KindRunaway || d.Kind == fault.KindCorrupt {
+			err = fmt.Errorf("%w: %w", fault.ErrInjected, err)
+		}
+		return nil, classify(fault.StageExec, err)
+	}
+	db.Stats.ExecTime.Since(execStart)
+	if c.Vendor != nil {
+		p = vendorAdjust(p, c)
+	}
+	return p, nil
+}
+
+// vendorAdjust applies a vendor ISA's encoding traits to a profile built
+// from its x86-ized equivalent: code density scales the static and dynamic
+// code footprint (Thumb: 0.70), which shifts I-cache misses and micro-op
+// cache reach; fixed-length decode is handled by the power model.
+func vendorAdjust(p *cpu.Profile, c ISAChoice) *cpu.Profile {
+	v := c.Vendor
+	q := *p
+	q.CodeBytes = int(float64(p.CodeBytes) * v.CodeDensity)
+	q.AvgInstrLen = p.AvgInstrLen * v.CodeDensity
+	for i := range q.Mem {
+		for d := range q.Mem[i] {
+			for l := range q.Mem[i][d] {
+				m := p.Mem[i][d][l]
+				m.L1IMisses = int64(float64(m.L1IMisses) * v.CodeDensity)
+				q.Mem[i][d][l] = m
+			}
+		}
+	}
+	// Denser code covers more of the micro-op cache's reach.
+	if v.CodeDensity < 1 {
+		q.UopCacheHitRate = p.UopCacheHitRate + (1-p.UopCacheHitRate)*(1-v.CodeDensity)
+	}
+	return &q
+}

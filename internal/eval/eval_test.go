@@ -1,0 +1,190 @@
+package eval
+
+import (
+	"context"
+	"testing"
+
+	"compisa/internal/cpu"
+)
+
+// TestCandidateCacheHit: re-evaluating a design point against the DB's own
+// reference returns the identical cached candidate without re-running the
+// model stage.
+func TestCandidateCacheHit(t *testing.T) {
+	db := smallDB(3, nil)
+	ctx := context.Background()
+	ref, err := db.ReferenceMetrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp := DesignPoint{ISA: injectable(t), Cfg: ReferenceConfig()}
+	c1, err := db.Evaluate(ctx, dp, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evals := db.Stats.ModelEvals.Load()
+	c2, err := db.Evaluate(ctx, dp, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 != c2 {
+		t.Error("second Evaluate returned a distinct candidate; cache missed")
+	}
+	if got := db.Stats.ModelEvals.Load(); got != evals {
+		t.Errorf("second Evaluate re-ran the model stage: %d -> %d evals", evals, got)
+	}
+	if db.Stats.CandidateHits.Load() != 1 || db.Stats.CandidateMisses.Load() != 1 {
+		t.Errorf("hits/misses = %d/%d, want 1/1",
+			db.Stats.CandidateHits.Load(), db.Stats.CandidateMisses.Load())
+	}
+	if db.CachedCandidates() != 1 {
+		t.Errorf("CachedCandidates = %d, want 1", db.CachedCandidates())
+	}
+}
+
+// TestCandidateCacheForeignRefBypass: an evaluation normalized against a ref
+// slice that is not the DB's own memoized reference must bypass the cache —
+// caching it would bind the stored speedups to a foreign normalization
+// basis.
+func TestCandidateCacheForeignRefBypass(t *testing.T) {
+	db := smallDB(3, nil)
+	ctx := context.Background()
+	ref, err := db.ReferenceMetrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foreign := append([]Metric{}, ref...) // equal values, different identity
+	dp := DesignPoint{ISA: injectable(t), Cfg: ReferenceConfig()}
+	c1, err := db.Evaluate(ctx, dp, foreign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := db.Evaluate(ctx, dp, foreign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 == c2 {
+		t.Error("foreign-ref evaluations shared a candidate; cache must be bypassed")
+	}
+	if db.Stats.CandidateHits.Load() != 0 || db.Stats.CandidateMisses.Load() != 0 {
+		t.Errorf("cache counters moved (%d/%d) on uncacheable evaluations",
+			db.Stats.CandidateHits.Load(), db.Stats.CandidateMisses.Load())
+	}
+	if db.CachedCandidates() != 0 {
+		t.Errorf("CachedCandidates = %d, want 0", db.CachedCandidates())
+	}
+}
+
+// TestCandidatesSharedAcrossCalls: a second Candidates sweep over the same
+// choices and configurations is served entirely from the candidate cache.
+func TestCandidatesSharedAcrossCalls(t *testing.T) {
+	db := smallDB(2, nil)
+	ctx := context.Background()
+	ref, err := db.ReferenceMetrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	choices := XIzedChoices()
+	small := ReferenceConfig()
+	small.Width, small.IntALU = 2, 3
+	cfgs := []cpu.CoreConfig{ReferenceConfig(), small}
+	cs1, err := db.Candidates(ctx, choices, cfgs, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evals := db.Stats.ModelEvals.Load()
+	cs2, err := db.Candidates(ctx, choices, cfgs, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Stats.ModelEvals.Load(); got != evals {
+		t.Errorf("second sweep re-ran the model stage: %d -> %d evals", evals, got)
+	}
+	for i := range cs1 {
+		if cs1[i] != cs2[i] {
+			t.Fatalf("candidate %d not shared across sweeps", i)
+		}
+	}
+}
+
+// TestStateRoundtrip: Export → Import into a fresh DB restores both cache
+// tiers, the quarantine list, and the stats; existing entries win.
+func TestStateRoundtrip(t *testing.T) {
+	db1 := smallDB(3, nil)
+	ctx := context.Background()
+	ref, err := db1.ReferenceMetrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp := DesignPoint{ISA: injectable(t), Cfg: ReferenceConfig()}
+	c1, err := db1.Evaluate(ctx, dp, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := db1.Export()
+	if len(st.Profiles) == 0 || len(st.Candidates) == 0 || st.Stats.IsZero() {
+		t.Fatalf("export missing state: %d profiles, %d candidates, zero stats %v",
+			len(st.Profiles), len(st.Candidates), st.Stats.IsZero())
+	}
+
+	db2 := smallDB(3, nil)
+	db2.Import(st)
+	if db2.CachedCandidates() != len(st.Candidates) {
+		t.Fatalf("imported %d candidates, want %d", db2.CachedCandidates(), len(st.Candidates))
+	}
+	if db2.Stats.ModelEvals.Load() != st.Stats.ModelEvals {
+		t.Errorf("imported ModelEvals = %d, want %d", db2.Stats.ModelEvals.Load(), st.Stats.ModelEvals)
+	}
+	// The restored candidate serves Evaluate without recomputation once the
+	// reference is re-established (ReferenceMetrics itself reuses the
+	// restored profiles and candidate).
+	ref2, err := db2.ReferenceMetrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evals := db2.Stats.ModelEvals.Load()
+	c2, err := db2.Evaluate(ctx, dp, ref2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := db2.Stats.ModelEvals.Load(); got != evals {
+		t.Errorf("restored candidate did not serve the evaluation: %d -> %d evals", evals, got)
+	}
+	if c2.DP.CacheKey() != c1.DP.CacheKey() {
+		t.Error("restored candidate keyed differently")
+	}
+
+	// A candidate whose region count mismatches the suite is skipped.
+	db3 := smallDB(2, nil)
+	db3.Import(st)
+	if db3.CachedCandidates() != 0 {
+		t.Errorf("mismatched-suite import kept %d candidates, want 0", db3.CachedCandidates())
+	}
+}
+
+// TestCoverageDeterministic: the quarantine list comes back in the same
+// (ISA, region) order on every call.
+func TestCoverageDeterministic(t *testing.T) {
+	db := smallDB(3, nil)
+	db.quarantine = map[string]string{
+		"r2|isaB": "x", "r1|isaB": "x", "r9|isaA": "x", "r0|isaC": "x",
+	}
+	first := db.Coverage()
+	for i := 0; i < 10; i++ {
+		again := db.Coverage()
+		for j := range first.Quarantined {
+			if first.Quarantined[j] != again.Quarantined[j] {
+				t.Fatalf("call %d: order changed at %d: %+v vs %+v",
+					i, j, first.Quarantined[j], again.Quarantined[j])
+			}
+		}
+	}
+	want := []QuarantinedPair{
+		{"r9", "isaA", "x"}, {"r1", "isaB", "x"}, {"r2", "isaB", "x"}, {"r0", "isaC", "x"},
+	}
+	for i, q := range first.Quarantined {
+		if q != want[i] {
+			t.Fatalf("Quarantined[%d] = %+v, want %+v (ISA then region order)", i, q, want[i])
+		}
+	}
+}

@@ -1,0 +1,210 @@
+package eval
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"compisa/internal/cpu"
+	"compisa/internal/fault"
+	"compisa/internal/par"
+	"compisa/internal/perfmodel"
+	"compisa/internal/power"
+)
+
+// Metric is the evaluated outcome of one region on one design point.
+type Metric struct {
+	Cycles float64
+	Energy float64 // joules
+	Perf   perfmodel.Result
+}
+
+// Candidate is a fully evaluated single-core design point. Candidates are
+// immutable once evaluated: the candidate cache and every search share the
+// same pointers.
+type Candidate struct {
+	DP      DesignPoint
+	AreaMM2 float64
+	PeakW   float64
+	// Per-region metrics, indexed like DB.Regions.
+	M []Metric
+	// Speedup[r] = reference cycles / candidate cycles for region r.
+	Speedup []float64
+	// NormEDP[r] = candidate E*D / reference E*D.
+	NormEDP []float64
+	// Degraded[r] marks regions scored at the Policy penalties because the
+	// (region, ISA) pair is quarantined (or its model evaluation failed).
+	Degraded []bool
+}
+
+// MeanSpeedup is the arithmetic-mean speedup across regions (region weights
+// applied by the schedulers, not here).
+func (c *Candidate) MeanSpeedup() float64 {
+	s := 0.0
+	for _, v := range c.Speedup {
+		s += v
+	}
+	return s / float64(len(c.Speedup))
+}
+
+// ReferenceMetrics evaluates the normalization core (x86-64 on the reference
+// configuration) over all regions, computing once and memoizing: the result
+// is the identity the candidate cache is keyed against. It is strict: the
+// reference ISA is injection-exempt, and any failure here is fatal because
+// every normalized metric depends on it.
+func (db *DB) ReferenceMetrics(ctx context.Context) ([]Metric, error) {
+	db.mu.Lock()
+	ref := db.ref
+	db.mu.Unlock()
+	if ref != nil {
+		return ref, nil
+	}
+	dp := DesignPoint{ISA: X8664Choice(), Cfg: ReferenceConfig()}
+	c, err := db.Evaluate(ctx, dp, nil)
+	if err != nil {
+		return nil, err
+	}
+	db.mu.Lock()
+	if db.ref == nil {
+		db.ref = c.M
+	}
+	ref = db.ref
+	db.mu.Unlock()
+	return ref, nil
+}
+
+// isOwnRef reports whether ref is the DB's memoized reference slice; only
+// evaluations normalized against it are cacheable (a foreign ref would bind
+// cached speedups to a different normalization basis).
+func (db *DB) isOwnRef(ref []Metric) bool {
+	if len(ref) == 0 {
+		return false
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.ref != nil && &db.ref[0] == &ref[0]
+}
+
+// Evaluate computes a candidate for one design point, normalized against the
+// reference metrics (see ReferenceMetrics). Evaluations against the DB's own
+// reference are memoized in the candidate cache tier, keyed by
+// DesignPoint.CacheKey, so repeated sweeps over overlapping design points
+// (different budgets, organizations, experiment drivers) share one scoring
+// pass. Quarantined regions degrade to the Policy penalties (Speedup =
+// SpeedupPenalty, NormEDP = EDPPenalty, with Cycles/Energy back-derived from
+// the reference) instead of failing; with a nil ref (the reference
+// evaluation itself) any failure is an error.
+func (db *DB) Evaluate(ctx context.Context, dp DesignPoint, ref []Metric) (*Candidate, error) {
+	cacheable := db.isOwnRef(ref)
+	var key string
+	if cacheable {
+		key = dp.CacheKey()
+		db.mu.Lock()
+		c, ok := db.cands[key]
+		db.mu.Unlock()
+		if ok {
+			db.Stats.CandidateHits.Inc()
+			return c, nil
+		}
+		db.Stats.CandidateMisses.Inc()
+	}
+	c, err := db.evaluate(ctx, dp, ref)
+	if err != nil {
+		return nil, err
+	}
+	if cacheable {
+		db.mu.Lock()
+		// Existing entries win so concurrent evaluations of one design
+		// point converge on a single shared candidate.
+		if prev, ok := db.cands[key]; ok {
+			c = prev
+		} else {
+			db.cands[key] = c
+		}
+		db.mu.Unlock()
+	}
+	return c, nil
+}
+
+// evaluate is the uncached scoring stage.
+func (db *DB) evaluate(ctx context.Context, dp DesignPoint, ref []Metric) (*Candidate, error) {
+	ps, err := db.Profiles(ctx, dp.ISA)
+	if err != nil {
+		return nil, err
+	}
+	pol := db.Policy.WithDefaults()
+	n := len(db.Regions)
+	c := &Candidate{
+		DP:       dp,
+		AreaMM2:  dp.Area(),
+		PeakW:    dp.Peak(),
+		M:        make([]Metric, n),
+		Speedup:  make([]float64, n),
+		NormEDP:  make([]float64, n),
+		Degraded: make([]bool, n),
+	}
+	tr := dp.ISA.Traits()
+	degrade := func(r int) {
+		db.Stats.DegradedRegions.Inc()
+		c.Degraded[r] = true
+		c.Speedup[r] = pol.SpeedupPenalty
+		c.NormEDP[r] = pol.EDPPenalty
+		// Back-derive placeholder metrics consistent with the penalties:
+		// D = refD/SpeedupPenalty and E*D = EDPPenalty*refE*refD.
+		c.M[r] = Metric{
+			Cycles: ref[r].Cycles / pol.SpeedupPenalty,
+			Energy: ref[r].Energy * pol.EDPPenalty * pol.SpeedupPenalty,
+		}
+	}
+	modelStart := time.Now()
+	for r := 0; r < n; r++ {
+		if ps[r] == nil {
+			if ref == nil {
+				return nil, fmt.Errorf("eval: reference region %s unavailable", db.Regions[r].Name)
+			}
+			degrade(r)
+			continue
+		}
+		db.Stats.ModelEvals.Inc()
+		perf, err := perfmodel.Cycles(ps[r], dp.Cfg)
+		if err != nil {
+			merr := fault.Wrap(fault.StageModel, db.Regions[r].Name, dp.ISA.Key(), err)
+			if ref == nil {
+				return nil, merr
+			}
+			db.logf("eval: degrading %s on %s: %v", db.Regions[r].Name, dp, merr)
+			degrade(r)
+			continue
+		}
+		en := power.Energy(tr, dp.Cfg, ps[r], perf)
+		c.M[r] = Metric{Cycles: perf.Cycles, Energy: en.Total, Perf: perf}
+		if ref != nil {
+			c.Speedup[r] = ref[r].Cycles / perf.Cycles
+			c.NormEDP[r] = (en.Total * perf.Cycles) / (ref[r].Energy * ref[r].Cycles)
+		}
+	}
+	db.Stats.ModelTime.Since(modelStart)
+	return c, nil
+}
+
+// Candidates evaluates every (ISA choice, configuration) pair on the par
+// pool. Profile warming for the choices also runs in parallel — the
+// singleflight cache dedupes concurrent interest in one ISA, so multi-ISA
+// experiments overlap their profiling instead of serializing it.
+func (db *DB) Candidates(ctx context.Context, choices []ISAChoice, cfgs []cpu.CoreConfig, ref []Metric) ([]*Candidate, error) {
+	if err := par.ForEach(ctx, len(choices), 0, func(i int) error {
+		_, err := db.Profiles(ctx, choices[i])
+		return err
+	}); err != nil {
+		return nil, err
+	}
+	jobs := make([]DesignPoint, 0, len(choices)*len(cfgs))
+	for _, ch := range choices {
+		for _, cfg := range cfgs {
+			jobs = append(jobs, DesignPoint{ISA: ch, Cfg: cfg})
+		}
+	}
+	return par.Map(ctx, len(jobs), 0, func(i int) (*Candidate, error) {
+		return db.Evaluate(ctx, jobs[i], ref)
+	})
+}

@@ -1,9 +1,10 @@
-// Checkpoint/resume for the exploration pipeline: the profile cache (the
-// expensive functional executions), the quarantine list, and the search
-// frontier (completed multicore searches) serialize to one JSON file, so a
-// killed run resumes instead of recomputing. Saves are atomic (tmp+rename);
-// a missing file is an empty checkpoint, and a version-mismatched or corrupt
-// file is an error rather than a silent partial restore.
+// Checkpoint/resume for the exploration pipeline: both evaluation cache
+// tiers (profiles — the expensive functional executions — and evaluated
+// candidates), the quarantine list, the accumulated pipeline stats, and the
+// search frontier (completed multicore searches) serialize to one JSON
+// file, so a killed run resumes instead of recomputing. Saves are atomic
+// (tmp+rename); a missing file is an empty checkpoint, and a corrupt or
+// future-versioned file is an error rather than a silent partial restore.
 
 package explore
 
@@ -15,14 +16,20 @@ import (
 	"os"
 
 	"compisa/internal/cpu"
+	"compisa/internal/eval"
 )
 
 // checkpointVersion gates restores: bump it whenever the profile or design
-// point schema changes incompatibly.
-const checkpointVersion = 1
+// point schema changes incompatibly. Version 1 (profiles + quarantine +
+// frontier, no candidate tier or stats) is still accepted as a legacy
+// format; version 2 added Candidates and Stats.
+const (
+	checkpointVersion       = 2
+	checkpointVersionLegacy = 1
+)
 
 // SavedSearch records one completed multicore search as its four design
-// points; resume re-evaluates the points against the restored profile cache,
+// points; resume re-evaluates the points against the restored caches,
 // which reproduces the exact cores (evaluation is deterministic).
 type SavedSearch struct {
 	Score  float64        `json:"score"`
@@ -34,27 +41,40 @@ type CheckpointState struct {
 	Version    int                       `json:"version"`
 	Profiles   map[string][]*cpu.Profile `json:"profiles"`
 	Quarantine map[string]string         `json:"quarantine,omitempty"`
-	Frontier   map[string]SavedSearch    `json:"frontier,omitempty"`
+	// Candidates and Stats are the v2 additions; absent in legacy files.
+	Candidates []*Candidate           `json:"candidates,omitempty"`
+	Stats      StatsSnapshot          `json:"stats,omitzero"`
+	Frontier   map[string]SavedSearch `json:"frontier,omitempty"`
 }
 
 // Snapshot captures the DB's caches and (if s is non-nil) the Searcher's
 // frontier into a checkpoint state.
 func Snapshot(db *DB, s *Searcher) *CheckpointState {
 	st := &CheckpointState{Version: checkpointVersion}
-	st.Profiles, st.Quarantine = db.exportState()
+	dbState := db.Export()
+	st.Profiles = dbState.Profiles
+	st.Quarantine = dbState.Quarantine
+	st.Candidates = dbState.Candidates
+	st.Stats = dbState.Stats
 	if s != nil {
 		st.Frontier = s.exportFrontier()
 	}
 	return st
 }
 
-// RestoreDB seeds the profile cache and quarantine list. Call it before
-// NewSearcher so the reference metrics reuse the restored profiles.
+// RestoreDB seeds both cache tiers and merges the checkpoint's stats into
+// the live counters. Call it before NewSearcher so the reference metrics
+// reuse the restored profiles.
 func (st *CheckpointState) RestoreDB(db *DB) {
 	if st == nil {
 		return
 	}
-	db.importState(st.Profiles, st.Quarantine)
+	db.Import(eval.State{
+		Profiles:   st.Profiles,
+		Quarantine: st.Quarantine,
+		Candidates: st.Candidates,
+		Stats:      st.Stats,
+	})
 }
 
 // RestoreSearcher seeds the search frontier.
@@ -66,6 +86,8 @@ func (st *CheckpointState) RestoreSearcher(s *Searcher) {
 }
 
 // LoadCheckpoint reads a checkpoint file; a missing file yields (nil, nil).
+// Both the current format and the legacy v1 format (which lacks the
+// candidate tier and stats) load; v1 files simply restore fewer caches.
 func LoadCheckpoint(path string) (*CheckpointState, error) {
 	data, err := os.ReadFile(path)
 	if errors.Is(err, fs.ErrNotExist) {
@@ -78,8 +100,9 @@ func LoadCheckpoint(path string) (*CheckpointState, error) {
 	if err := json.Unmarshal(data, &st); err != nil {
 		return nil, fmt.Errorf("explore: checkpoint %s: %w", path, err)
 	}
-	if st.Version != checkpointVersion {
-		return nil, fmt.Errorf("explore: checkpoint %s: version %d, want %d", path, st.Version, checkpointVersion)
+	if st.Version != checkpointVersion && st.Version != checkpointVersionLegacy {
+		return nil, fmt.Errorf("explore: checkpoint %s: version %d, want %d (or legacy %d)",
+			path, st.Version, checkpointVersion, checkpointVersionLegacy)
 	}
 	return &st, nil
 }

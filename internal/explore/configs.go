@@ -1,8 +1,11 @@
-// Package explore implements the design-space exploration: generation of
-// the pruned microarchitectural configuration space (Table I), the 26x180 =
-// 4680 single-core design points, profile-driven evaluation of performance,
-// power, area, and energy, and the multicore searches behind every figure
-// and table of the paper's evaluation.
+// Package explore is the domain layer of the design-space-exploration
+// pipeline (par → eval → explore; see DESIGN.md, "Pipeline layering"): the
+// pruned microarchitectural configuration space (Table I), the multicore
+// searches, and the experiment drivers behind every figure and table of the
+// paper's evaluation. The expensive work — profiling the 26 ISA choices and
+// scoring the 26x180 = 4680 single-core design points — lives in
+// internal/eval; this package re-exports that layer's types (see eval.go in
+// this directory) so consumers keep a single import.
 package explore
 
 import (

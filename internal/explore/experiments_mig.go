@@ -7,6 +7,7 @@ import (
 
 	"compisa/internal/compiler"
 	"compisa/internal/cpu"
+	"compisa/internal/eval"
 	"compisa/internal/isa"
 	"compisa/internal/migrate"
 	"compisa/internal/perfmodel"
@@ -72,7 +73,7 @@ func Fig14DowngradeCost(ctx context.Context, regions []workload.Region) (*Fig14R
 	cfg := downgradeEvalConfig()
 	type agg struct{ native, translated float64 }
 	acc := map[string]map[string]*agg{}
-	ropts := cpu.RunOptions{MaxInstrs: maxRegionInstrs, Interrupt: ctx.Err}
+	ropts := cpu.RunOptions{MaxInstrs: eval.MaxRegionInstrs, Interrupt: ctx.Err}
 	for _, dc := range res.Cases {
 		for _, r := range regions {
 			f, m, err := r.Build(dc.From.Width)
@@ -280,7 +281,7 @@ func (s *Searcher) Fig15MigrationOverhead(ctx context.Context, budget Budget, co
 	// Precompute per-region, per-core adjusted speedups.
 	adj := make([][4]float64, len(regions))
 	ref := s.Reference()
-	pol := s.DB.Policy.withDefaults()
+	pol := s.DB.Policy.WithDefaults()
 	for ri, r := range regions {
 		bFS := binFS[r.Benchmark]
 		bProfiles, err := s.DB.Profiles(ctx, ISAChoice{FS: bFS})

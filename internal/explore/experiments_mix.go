@@ -31,7 +31,7 @@ type classCounts struct {
 	loads, stores, ints, branches, fp, uops float64
 }
 
-func (db *DB) mixFor(ctx context.Context, c ISAChoice) (map[string]classCounts, error) {
+func mixFor(ctx context.Context, db *DB, c ISAChoice) (map[string]classCounts, error) {
 	ps, err := db.Profiles(ctx, c)
 	if err != nil {
 		return nil, err
@@ -81,16 +81,16 @@ func normalizeMix(num, den map[string]classCounts) []MixRow {
 // Fig2InstructionMix reproduces Figure 2: the dynamic micro-op breakdown of
 // the smallest feature set (microx86-8D-32W), x86-64+SSE, and the superset
 // ISA, normalized to x86-64.
-func (db *DB) Fig2InstructionMix(ctx context.Context) (*Fig2Result, error) {
-	base, err := db.mixFor(ctx, X8664Choice())
+func Fig2InstructionMix(ctx context.Context, db *DB) (*Fig2Result, error) {
+	base, err := mixFor(ctx, db, X8664Choice())
 	if err != nil {
 		return nil, err
 	}
-	micro, err := db.mixFor(ctx, ISAChoice{FS: isa.MicroX86Min})
+	micro, err := mixFor(ctx, db, ISAChoice{FS: isa.MicroX86Min})
 	if err != nil {
 		return nil, err
 	}
-	super, err := db.mixFor(ctx, ISAChoice{FS: isa.Superset})
+	super, err := mixFor(ctx, db, ISAChoice{FS: isa.Superset})
 	if err != nil {
 		return nil, err
 	}
@@ -136,7 +136,7 @@ func pct(n, d float64) float64 { return 100 * (n/d - 1) }
 
 // Sec3CodegenDeltas measures the Section III feature-impact numbers from the
 // compiled suite.
-func (db *DB) Sec3CodegenDeltas(ctx context.Context) (*Sec3Deltas, error) {
+func Sec3CodegenDeltas(ctx context.Context, db *DB) (*Sec3Deltas, error) {
 	total := func(m map[string]classCounts) classCounts {
 		var t classCounts
 		for _, c := range m {
@@ -150,7 +150,7 @@ func (db *DB) Sec3CodegenDeltas(ctx context.Context) (*Sec3Deltas, error) {
 		return t
 	}
 	get := func(fs isa.FeatureSet) (classCounts, error) {
-		m, err := db.mixFor(ctx, ISAChoice{FS: fs})
+		m, err := mixFor(ctx, db, ISAChoice{FS: fs})
 		if err != nil {
 			return classCounts{}, err
 		}

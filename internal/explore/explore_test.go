@@ -170,7 +170,7 @@ func TestSearchDeterministic(t *testing.T) {
 
 func TestSec3DeltaSigns(t *testing.T) {
 	db, _ := searcher(t)
-	d, err := db.Sec3CodegenDeltas(context.Background())
+	d, err := Sec3CodegenDeltas(context.Background(), db)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -198,7 +198,7 @@ func TestSec3DeltaSigns(t *testing.T) {
 
 func TestFig2Shape(t *testing.T) {
 	db, _ := searcher(t)
-	f, err := db.Fig2InstructionMix(context.Background())
+	f, err := Fig2InstructionMix(context.Background(), db)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,3 +1,8 @@
+// Integration-level fault-tolerance tests: search, checkpoint, and
+// cancellation behavior under injection. The pipeline-level fault tests
+// (retry, quarantine, degradation, singleflight) live with the evaluation
+// layer in internal/eval.
+
 package explore
 
 import (
@@ -5,12 +10,9 @@ import (
 	"errors"
 	"math"
 	"path/filepath"
-	"strings"
-	"sync"
 	"testing"
 	"time"
 
-	"compisa/internal/cpu"
 	"compisa/internal/fault"
 )
 
@@ -31,243 +33,6 @@ func smallDB(n int, in *fault.Injector) *DB {
 	db.Regions = db.Regions[:n]
 	db.Inject = in
 	return db
-}
-
-// injectable returns a non-reference composite choice (subject to injection).
-func injectable(t *testing.T) ISAChoice {
-	t.Helper()
-	for _, c := range CompositeChoices() {
-		if !isReference(c) {
-			return c
-		}
-	}
-	t.Fatal("no injectable composite choice")
-	return ISAChoice{}
-}
-
-// TestFaultCompileQuarantine: persistent compile faults quarantine every
-// (region, ISA) pair instead of failing Profiles, and each quarantine reason
-// names the region and the ISA.
-func TestFaultCompileQuarantine(t *testing.T) {
-	in := injector(t, fault.Config{Seed: 7, Rate: 1, Kinds: []fault.Kind{fault.KindCompile}})
-	db := smallDB(3, in)
-	c := injectable(t)
-	ps, err := db.Profiles(context.Background(), c)
-	if err != nil {
-		t.Fatalf("Profiles must degrade, not fail: %v", err)
-	}
-	for i, p := range ps {
-		if p != nil {
-			t.Errorf("region %d: expected quarantined nil slot", i)
-		}
-	}
-	cov := db.Coverage()
-	if len(cov.Quarantined) != 3 || cov.Evaluated != 0 {
-		t.Fatalf("coverage %s, want 0/3 with 3 quarantined", cov)
-	}
-	for _, q := range cov.Quarantined {
-		if !strings.Contains(q.Reason, q.Region) || !strings.Contains(q.Reason, c.Key()) {
-			t.Errorf("reason %q should name region %q and ISA %q", q.Reason, q.Region, c.Key())
-		}
-		if !strings.Contains(q.Reason, "compile") {
-			t.Errorf("reason %q should identify the compile stage", q.Reason)
-		}
-	}
-}
-
-// TestFaultReferenceExempt: the x86-64 reference ISA ignores the injector —
-// a 100% fault rate still yields a complete reference profile set.
-func TestFaultReferenceExempt(t *testing.T) {
-	in := injector(t, fault.Config{Seed: 7, Rate: 1})
-	db := smallDB(3, in)
-	ps, err := db.Profiles(context.Background(), X8664Choice())
-	if err != nil {
-		t.Fatal(err)
-	}
-	for i, p := range ps {
-		if p == nil {
-			t.Fatalf("reference region %d quarantined despite exemption", i)
-		}
-	}
-	if cov := db.Coverage(); len(cov.Quarantined) != 0 {
-		t.Fatalf("reference run quarantined pairs: %s", cov)
-	}
-}
-
-// TestFaultTransientRetry: faults marked transient clear on retry, so a 100%
-// injection rate with TransientFrac=1 still completes with zero quarantines.
-func TestFaultTransientRetry(t *testing.T) {
-	in := injector(t, fault.Config{Seed: 11, Rate: 1, TransientFrac: 1,
-		Kinds: []fault.Kind{fault.KindCompile, fault.KindRunaway, fault.KindCorrupt}})
-	db := smallDB(3, in)
-	retries := 0
-	var mu sync.Mutex
-	db.Log = func(format string, args ...any) {
-		mu.Lock()
-		if strings.Contains(format, "retrying") {
-			retries++
-		}
-		mu.Unlock()
-	}
-	ps, err := db.Profiles(context.Background(), injectable(t))
-	if err != nil {
-		t.Fatal(err)
-	}
-	for i, p := range ps {
-		if p == nil {
-			t.Errorf("region %d quarantined; transient faults must clear on retry", i)
-		}
-	}
-	if retries == 0 {
-		t.Error("expected at least one logged retry under 100% injection")
-	}
-}
-
-// TestFaultKindsExerciseRealPaths: runaway and corruption faults surface
-// through the CPU's genuine watchdog and decode errors, tagged as injected.
-func TestFaultKindsExerciseRealPaths(t *testing.T) {
-	cases := []struct {
-		kind fault.Kind
-		want error
-	}{
-		{fault.KindRunaway, cpu.ErrInstrBudget},
-		{fault.KindCorrupt, cpu.ErrUnimplementedOp},
-	}
-	for _, tc := range cases {
-		in := injector(t, fault.Config{Seed: 3, Rate: 1, Kinds: []fault.Kind{tc.kind}})
-		db := smallDB(1, in)
-		_, err := db.profileWithRetry(context.Background(), db.Regions[0], injectable(t))
-		if err == nil {
-			t.Fatalf("%v: expected an error", tc.kind)
-		}
-		if !errors.Is(err, tc.want) {
-			t.Errorf("%v: error %v should wrap %v", tc.kind, err, tc.want)
-		}
-		if !errors.Is(err, fault.ErrInjected) {
-			t.Errorf("%v: error %v should be tagged injected", tc.kind, err)
-		}
-		var fe *fault.Error
-		if !errors.As(err, &fe) || fe.Stage != fault.StageExec {
-			t.Errorf("%v: error %v should classify as an exec-stage fault", tc.kind, err)
-		}
-	}
-}
-
-// TestFaultDegradedScoring: quarantined pairs score at exactly the documented
-// Policy penalties rather than aborting Evaluate.
-func TestFaultDegradedScoring(t *testing.T) {
-	in := injector(t, fault.Config{Seed: 7, Rate: 1, Kinds: []fault.Kind{fault.KindCompile}})
-	db := smallDB(3, in)
-	ctx := context.Background()
-	ref, err := db.ReferenceMetrics(ctx)
-	if err != nil {
-		t.Fatal(err)
-	}
-	dp := DesignPoint{ISA: injectable(t), Cfg: ReferenceConfig()}
-	c, err := db.Evaluate(ctx, dp, ref)
-	if err != nil {
-		t.Fatalf("Evaluate must degrade, not fail: %v", err)
-	}
-	pol := db.Policy.withDefaults()
-	for r := range db.Regions {
-		if !c.Degraded[r] {
-			t.Fatalf("region %d: expected degraded evaluation", r)
-		}
-		if c.Speedup[r] != pol.SpeedupPenalty || c.NormEDP[r] != pol.EDPPenalty {
-			t.Errorf("region %d: speedup %v edp %v, want penalties %v / %v",
-				r, c.Speedup[r], c.NormEDP[r], pol.SpeedupPenalty, pol.EDPPenalty)
-		}
-	}
-}
-
-// TestFaultSeedDeterminism: the same seed yields identical quarantine lists
-// and identical degraded scores across independent runs.
-func TestFaultSeedDeterminism(t *testing.T) {
-	cfg := fault.Config{Seed: 42, Rate: 0.5}
-	run := func() (Coverage, []float64) {
-		db := smallDB(4, injector(t, cfg))
-		ctx := context.Background()
-		ref, err := db.ReferenceMetrics(ctx)
-		if err != nil {
-			t.Fatal(err)
-		}
-		var speedups []float64
-		for _, ch := range XIzedChoices() {
-			c, err := db.Evaluate(ctx, DesignPoint{ISA: ch, Cfg: ReferenceConfig()}, ref)
-			if err != nil {
-				t.Fatal(err)
-			}
-			speedups = append(speedups, c.Speedup...)
-		}
-		return db.Coverage(), speedups
-	}
-	cov1, sp1 := run()
-	cov2, sp2 := run()
-	if cov1.String() != cov2.String() {
-		t.Fatalf("coverage differs across runs: %s vs %s", cov1, cov2)
-	}
-	for i := range cov1.Quarantined {
-		if cov1.Quarantined[i] != cov2.Quarantined[i] {
-			t.Errorf("quarantine entry %d differs: %+v vs %+v", i, cov1.Quarantined[i], cov2.Quarantined[i])
-		}
-	}
-	for i := range sp1 {
-		if sp1[i] != sp2[i] {
-			t.Errorf("speedup %d differs: %v vs %v", i, sp1[i], sp2[i])
-		}
-	}
-	// A different seed must not reproduce the same fault pattern (with 4
-	// regions x 3 ISAs at 50% rate, identical lists are vanishingly unlikely).
-	db3 := smallDB(4, injector(t, fault.Config{Seed: 43, Rate: 0.5}))
-	ctx := context.Background()
-	if _, err := db3.ReferenceMetrics(ctx); err != nil {
-		t.Fatal(err)
-	}
-	for _, ch := range XIzedChoices() {
-		if _, err := db3.Profiles(ctx, ch); err != nil {
-			t.Fatal(err)
-		}
-	}
-	same := len(db3.Coverage().Quarantined) == len(cov1.Quarantined)
-	if same {
-		for i, q := range db3.Coverage().Quarantined {
-			if q != cov1.Quarantined[i] {
-				same = false
-				break
-			}
-		}
-	}
-	if same && len(cov1.Quarantined) > 0 {
-		t.Error("different seeds produced identical quarantine lists")
-	}
-}
-
-// TestFaultProfilesSingleflight: concurrent Profiles calls for one ISA share
-// a single computation (no cache stampede).
-func TestFaultProfilesSingleflight(t *testing.T) {
-	db := smallDB(3, nil)
-	c := injectable(t)
-	const callers = 16
-	results := make([][]*cpu.Profile, callers)
-	var wg sync.WaitGroup
-	for i := 0; i < callers; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			ps, err := db.Profiles(context.Background(), c)
-			if err != nil {
-				t.Error(err)
-				return
-			}
-			results[i] = ps
-		}(i)
-	}
-	wg.Wait()
-	for i := 1; i < callers; i++ {
-		if len(results[i]) == 0 || results[i][0] != results[0][0] {
-			t.Fatalf("caller %d received a distinct computation; stampede not deduplicated", i)
-		}
-	}
 }
 
 // TestFaultCancelMidSearch: canceling the context mid-search returns
@@ -323,6 +88,15 @@ func TestFaultCheckpointRoundtrip(t *testing.T) {
 	if st == nil {
 		t.Fatal("saved checkpoint reported missing")
 	}
+	if st.Version != 2 {
+		t.Fatalf("checkpoint version %d, want 2", st.Version)
+	}
+	if len(st.Candidates) == 0 {
+		t.Fatal("v2 checkpoint should carry the candidate cache tier")
+	}
+	if st.Stats.IsZero() {
+		t.Fatal("v2 checkpoint should carry pipeline stats")
+	}
 	// The resumed run injects nothing: only the restored state can reproduce
 	// the faulty run's quarantines and scores.
 	db2 := smallDB(3, nil)
@@ -332,9 +106,14 @@ func TestFaultCheckpointRoundtrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	st.RestoreSearcher(s2)
+	// Restored candidates satisfy the resumed search without re-scoring.
+	evalsAfterRestore := db2.Stats.ModelEvals.Load()
 	cmp2, err := s2.Search(ctx, OrgCompositeFixed, ObjMPThroughput, budget)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if got := db2.Stats.ModelEvals.Load(); got != evalsAfterRestore {
+		t.Errorf("resumed search re-scored design points: ModelEvals %d -> %d", evalsAfterRestore, got)
 	}
 	if cmp1.Score != cmp2.Score {
 		t.Errorf("resumed score %v != original %v", cmp2.Score, cmp1.Score)

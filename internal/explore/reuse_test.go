@@ -1,0 +1,103 @@
+// Tests for cross-search candidate reuse (the candidate cache tier) and
+// checkpoint format versioning.
+
+package explore
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCandidateReuseAcrossSearchers: back-to-back experiments in one process
+// share the DB's candidate cache — a second Searcher running a different
+// objective over the same organization performs zero new model evaluations.
+func TestCandidateReuseAcrossSearchers(t *testing.T) {
+	db := smallDB(3, nil)
+	ctx := context.Background()
+	s1, err := NewSearcher(ctx, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s1.Search(ctx, OrgCompositeFixed, ObjMPThroughput, Budget{AreaMM2: 64}); err != nil {
+		t.Fatal(err)
+	}
+	evals := db.Stats.ModelEvals.Load()
+	if evals == 0 {
+		t.Fatal("first search performed no model evaluations; counter not wired")
+	}
+
+	// A fresh Searcher simulates a second experiment driver in the same
+	// process: different objective, same underlying design points.
+	s2, err := NewSearcher(ctx, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.Search(ctx, OrgCompositeFixed, ObjMPEDP, Budget{AreaMM2: 64}); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Stats.ModelEvals.Load(); got != evals {
+		t.Errorf("second searcher re-ran the model stage: ModelEvals %d -> %d", evals, got)
+	}
+	if db.Stats.CandidateHits.Load() == 0 {
+		t.Error("second searcher recorded no candidate-cache hits")
+	}
+}
+
+// TestCheckpointLegacyV1: a version-1 checkpoint (profiles + quarantine +
+// frontier, no candidate tier or stats) still loads and restores; an unknown
+// future version is rejected.
+func TestCheckpointLegacyV1(t *testing.T) {
+	db1 := smallDB(3, nil)
+	ctx := context.Background()
+	s1, err := NewSearcher(ctx, db1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	budget := Budget{AreaMM2: 64}
+	cmp1, err := s1.Search(ctx, OrgCompositeFixed, ObjMPThroughput, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := Snapshot(db1, s1)
+	// Strip the checkpoint down to what a v1 writer produced.
+	legacy := &CheckpointState{
+		Version:    1,
+		Profiles:   full.Profiles,
+		Quarantine: full.Quarantine,
+		Frontier:   full.Frontier,
+	}
+	path := filepath.Join(t.TempDir(), "legacy.ckpt")
+	if err := SaveCheckpoint(path, legacy); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatalf("legacy v1 checkpoint must load: %v", err)
+	}
+	db2 := smallDB(3, nil)
+	st.RestoreDB(db2)
+	s2, err := NewSearcher(ctx, db2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.RestoreSearcher(s2)
+	cmp2, err := s2.Search(ctx, OrgCompositeFixed, ObjMPThroughput, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmp1.Score != cmp2.Score {
+		t.Errorf("legacy resume score %v != original %v", cmp2.Score, cmp1.Score)
+	}
+
+	future := filepath.Join(t.TempDir(), "future.ckpt")
+	if err := os.WriteFile(future, []byte(`{"version":3,"profiles":{}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(future); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("future version must be rejected with a version error, got %v", err)
+	}
+}

@@ -5,8 +5,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
-	"sync"
 
+	"compisa/internal/par"
 	"compisa/internal/workload"
 )
 
@@ -492,14 +492,17 @@ func Search(ctx context.Context, spec SearchSpec, regions []workload.Region) (CM
 		return best, nil
 	}
 
-	climb := func(seed CMP) CMP {
+	// climb hill-climbs one seed over an explicit candidate pool; the pool
+	// is a parameter (not a captured variable) so the polish pass below can
+	// widen it for one call without mutating shared state.
+	climb := func(seed CMP, pool []*Candidate) CMP {
 		best := seed
 		// Re-score against the true budget (seed scores already match).
 		for iter := 0; iter < 12; iter++ {
 			improved := false
 			for slot := 0; slot < 4; slot++ {
 				cur := best
-				for _, c := range cands {
+				for _, c := range pool {
 					if ctx.Err() != nil {
 						return best
 					}
@@ -521,16 +524,12 @@ func Search(ctx context.Context, spec SearchSpec, regions []workload.Region) (CM
 		}
 		return best
 	}
-	results := make([]CMP, len(seeds))
-	var wg sync.WaitGroup
-	for i := range seeds {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			results[i] = climb(seeds[i])
-		}(i)
+	results, err := par.Map(ctx, len(seeds), 0, func(i int) (CMP, error) {
+		return climb(seeds[i], cands), nil
+	})
+	if err != nil {
+		return CMP{}, err
 	}
-	wg.Wait()
 	if err := ctx.Err(); err != nil {
 		return CMP{}, err
 	}
@@ -559,10 +558,7 @@ func Search(ctx context.Context, spec SearchSpec, regions []workload.Region) (CM
 			}
 		}
 	}
-	saved := cands
-	cands = extended
-	best = climb(best)
-	cands = saved
+	best = climb(best, extended)
 	if err := ctx.Err(); err != nil {
 		return CMP{}, err
 	}

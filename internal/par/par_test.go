@@ -1,0 +1,208 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapResultsInOrder(t *testing.T) {
+	got, err := Map(context.Background(), 100, 4, func(i int) (int, error) {
+		return i * i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 100 {
+		t.Fatalf("len = %d, want 100", len(got))
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("got[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestMapZeroItems(t *testing.T) {
+	got, err := Map(context.Background(), 0, 4, func(i int) (int, error) {
+		t.Error("fn called for n=0")
+		return 0, nil
+	})
+	if err != nil || len(got) != 0 {
+		t.Fatalf("got %v, %v; want empty, nil", got, err)
+	}
+}
+
+func TestMapFirstError(t *testing.T) {
+	sentinel := errors.New("boom")
+	_, err := Map(context.Background(), 50, 2, func(i int) (int, error) {
+		if i == 7 || i == 30 {
+			return 0, fmt.Errorf("index %d: %w", i, sentinel)
+		}
+		return i, nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("got %v, want wrapped sentinel", err)
+	}
+	// The reported error is the lowest-index failure among the calls that
+	// ran; with indices handed out in order, index 7 always runs.
+	if want := "index 7"; err == nil || err.Error()[:len(want)] != want {
+		t.Fatalf("got %q, want the lowest-index error (index 7)", err)
+	}
+}
+
+func TestMapFailFastStopsUnstartedWork(t *testing.T) {
+	var calls atomic.Int64
+	_, err := Map(context.Background(), 10_000, 1, func(i int) (int, error) {
+		calls.Add(1)
+		if i == 0 {
+			return 0, errors.New("fail immediately")
+		}
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+	// With one worker failing on the first index, nearly all of the 10k
+	// indices must be skipped (a small scheduling margin is fine).
+	if n := calls.Load(); n > 10 {
+		t.Fatalf("%d calls ran after the first failure; fail-fast did not stop work", n)
+	}
+}
+
+func TestMapPanicRecovered(t *testing.T) {
+	_, err := Map(context.Background(), 8, 4, func(i int) (int, error) {
+		if i == 3 {
+			panic("kaboom")
+		}
+		return i, nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("got %v, want *PanicError", err)
+	}
+	if pe.Index != 3 || pe.Value != "kaboom" || len(pe.Stack) == 0 {
+		t.Fatalf("PanicError = {Index: %d, Value: %v, Stack: %d bytes}", pe.Index, pe.Value, len(pe.Stack))
+	}
+}
+
+func TestMapCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	started := make(chan struct{})
+	var once atomic.Bool
+	go func() {
+		<-started
+		cancel()
+	}()
+	_, err := Map(ctx, 1000, 2, func(i int) (int, error) {
+		if once.CompareAndSwap(false, true) {
+			close(started)
+		}
+		<-ctx.Done()
+		return 0, ctx.Err()
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}
+
+func TestMapConcurrencyBound(t *testing.T) {
+	const limit = 3
+	var inFlight, peak atomic.Int64
+	_, err := Map(context.Background(), 64, limit, func(i int) (int, error) {
+		cur := inFlight.Add(1)
+		defer inFlight.Add(-1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > limit {
+		t.Fatalf("peak concurrency %d exceeds limit %d", p, limit)
+	}
+}
+
+func TestForEachPropagatesError(t *testing.T) {
+	sentinel := errors.New("boom")
+	err := ForEach(context.Background(), 10, 2, func(i int) error {
+		if i == 4 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("got %v, want sentinel", err)
+	}
+	if err := ForEach(context.Background(), 10, 2, func(i int) error { return nil }); err != nil {
+		t.Fatalf("clean run returned %v", err)
+	}
+}
+
+func TestMapAllRunsEverything(t *testing.T) {
+	sentinel := errors.New("boom")
+	var calls atomic.Int64
+	res, errs := MapAll(context.Background(), 20, 4, func(i int) (int, error) {
+		calls.Add(1)
+		if i%3 == 0 {
+			return 0, fmt.Errorf("%d: %w", i, sentinel)
+		}
+		return i * 2, nil
+	})
+	if calls.Load() != 20 {
+		t.Fatalf("%d calls, want 20 (no fail-fast)", calls.Load())
+	}
+	for i := 0; i < 20; i++ {
+		if i%3 == 0 {
+			if !errors.Is(errs[i], sentinel) {
+				t.Errorf("errs[%d] = %v, want sentinel", i, errs[i])
+			}
+		} else if errs[i] != nil || res[i] != i*2 {
+			t.Errorf("index %d: res %d errs %v, want %d nil", i, res[i], errs[i], i*2)
+		}
+	}
+}
+
+func TestMapAllCancellationMarksRemaining(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancelled before any work starts
+	res, errs := MapAll(ctx, 10, 2, func(i int) (int, error) {
+		return i, nil
+	})
+	if len(res) != 10 || len(errs) != 10 {
+		t.Fatalf("lengths %d/%d, want 10/10", len(res), len(errs))
+	}
+	for i, err := range errs {
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("errs[%d] = %v, want context.Canceled", i, err)
+		}
+	}
+}
+
+func TestMapAllPanicPerIndex(t *testing.T) {
+	_, errs := MapAll(context.Background(), 5, 2, func(i int) (int, error) {
+		if i == 2 {
+			panic(i)
+		}
+		return i, nil
+	})
+	var pe *PanicError
+	if !errors.As(errs[2], &pe) || pe.Index != 2 {
+		t.Fatalf("errs[2] = %v, want *PanicError at index 2", errs[2])
+	}
+	for i, err := range errs {
+		if i != 2 && err != nil {
+			t.Errorf("errs[%d] = %v, want nil", i, err)
+		}
+	}
+}
