@@ -1,12 +1,23 @@
 GO ?= go
 
-.PHONY: check build vet test race fault-smoke bench bench-smoke
+.PHONY: check build vet lint test race fault-smoke conformance bench bench-smoke
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis beyond go vet: the repo-local faultwrap pass (error-chain
+# preservation at the internal/fault boundary) always runs; staticcheck runs
+# when installed (CI installs it; containers without network skip it).
+lint: vet
+	$(GO) run ./tools/analyzers/faultwrap ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
 
 test:
 	$(GO) test ./...
@@ -21,6 +32,15 @@ race:
 fault-smoke:
 	$(GO) test -run Fault -v ./internal/eval/ ./internal/explore/ ./internal/fault/ ./internal/cpu/
 
+# Conformance smoke: prove the compiler emits only feature-set-legal code
+# (zero findings over 26 feature sets x 49 regions, plain and compact
+# encodings) and that the verifier catches every seeded mutation class.
+conformance:
+	$(GO) run ./cmd/compose-lint -quiet
+	$(GO) run ./cmd/compose-lint -quiet -compact
+	$(GO) run ./cmd/compose-lint -mutate -quiet -region hmmer.0
+	$(GO) test -run 'TestMutationDetection|TestCleanCompilerOutput' ./internal/check/
+
 bench:
 	$(GO) test -bench=. -benchmem
 
@@ -29,4 +49,4 @@ bench:
 bench-smoke:
 	$(GO) test -bench 'Fig5' -benchtime 1x -run '^$$'
 
-check: vet build test race fault-smoke
+check: lint build test race fault-smoke

@@ -37,9 +37,10 @@ func main() {
 	checkpoint := flag.String("checkpoint", "", "checkpoint file: resume from it if present, save to it as searches complete")
 	injectRate := flag.Float64("inject-rate", 0, "fault injection rate in [0,1] (0 = no injection)")
 	injectSeed := flag.Uint64("inject-seed", 1, "fault injection seed (same seed => same faults)")
-	injectKinds := flag.String("inject-kinds", "", "comma-separated fault kinds to inject (compile,runaway,corrupt,slow); empty = all")
+	injectKinds := flag.String("inject-kinds", "", "comma-separated fault kinds to inject (compile,runaway,corrupt,slow,badcode); empty = all default kinds")
 	injectTransient := flag.Float64("inject-transient", 0, "fraction of injected faults that clear on the first retry")
 	stats := flag.Bool("stats", false, "print evaluation pipeline statistics (stage counts, timings, cache hit rates) on exit")
+	verify := flag.Bool("verify", true, "statically verify every compiled region conforms to its feature set before execution")
 	flag.Parse()
 
 	log.SetFlags(0)
@@ -54,6 +55,7 @@ func main() {
 	}
 
 	db := explore.NewDB()
+	db.Verify = *verify
 	db.Log = func(format string, args ...any) { log.Printf(format, args...) }
 	if *injectRate > 0 {
 		kinds, err := fault.ParseKinds(*injectKinds)

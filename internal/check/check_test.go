@@ -1,0 +1,408 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"compisa/internal/code"
+	"compisa/internal/encoding"
+	"compisa/internal/isa"
+)
+
+// ins builds an instruction with sane defaults (NoReg everywhere, Sz 4) so
+// handcrafted programs don't accidentally reference r0 through zero values.
+func ins(op code.Op, mod func(*code.Instr)) code.Instr {
+	in := code.Instr{Op: op, Sz: 4, Dst: code.NoReg, Src1: code.NoReg, Src2: code.NoReg,
+		Pred: code.NoReg, Mem: code.Mem{Base: code.NoReg, Index: code.NoReg, Scale: 1}}
+	if mod != nil {
+		mod(&in)
+	}
+	return in
+}
+
+func movImm(dst code.Reg, imm int64) code.Instr {
+	return ins(code.MOV, func(in *code.Instr) { in.Dst = dst; in.HasImm = true; in.Imm = imm })
+}
+
+func build(t *testing.T, fs isa.FeatureSet, instrs ...code.Instr) *code.Program {
+	t.Helper()
+	p := &code.Program{Name: "hand", FS: fs, Instrs: instrs}
+	if err := encoding.Layout(p, code.CodeBase); err != nil {
+		t.Fatalf("layout: %v", err)
+	}
+	return p
+}
+
+// permissive is the feature set under which everything is legal.
+var permissive = isa.MustNew(isa.FullX86, 64, 64, isa.FullPredication)
+
+// diamond is a clean if-diamond where r2 is written on only one arm and read
+// at the join: legal code that a must-analysis would falsely reject.
+func diamond(t *testing.T) *code.Program {
+	return build(t, permissive,
+		movImm(1, 1),
+		ins(code.CMP, func(in *code.Instr) { in.Src1 = 1; in.HasImm = true; in.Imm = 0 }),
+		ins(code.JCC, func(in *code.Instr) { in.CC = code.CCEQ; in.Target = 5 }),
+		movImm(2, 7),
+		ins(code.JMP, func(in *code.Instr) { in.Target = 5 }),
+		ins(code.TEST, func(in *code.Instr) { in.Src1 = 2; in.Src2 = 2 }),
+		ins(code.RET, func(in *code.Instr) { in.Src1 = 1 }),
+	)
+}
+
+func TestCFGRecovery(t *testing.T) {
+	p := diamond(t)
+	g := recoverCFG(p)
+	// Leaders: 0 (entry), 3 (fallthrough of JCC), 5 (branch target).
+	if len(g.Blocks) != 3 {
+		t.Fatalf("got %d blocks, want 3: %+v", len(g.Blocks), g.Blocks)
+	}
+	want := []BB{
+		{Start: 0, End: 3, Succs: []int{2, 1}},
+		{Start: 3, End: 5, Succs: []int{2}},
+		{Start: 5, End: 7, Succs: nil},
+	}
+	for i, w := range want {
+		b := g.Blocks[i]
+		if b.Start != w.Start || b.End != w.End {
+			t.Errorf("block %d spans [%d,%d), want [%d,%d)", i, b.Start, b.End, w.Start, w.End)
+		}
+		if len(b.Succs) != len(w.Succs) {
+			t.Errorf("block %d succs %v, want %v", i, b.Succs, w.Succs)
+		}
+		if !b.Reachable {
+			t.Errorf("block %d unreachable", i)
+		}
+	}
+	if got := g.BlockOf(4); got != 1 {
+		t.Errorf("BlockOf(4) = %d, want 1", got)
+	}
+	if len(g.Blocks[2].Preds) != 2 {
+		t.Errorf("join block preds %v, want two", g.Blocks[2].Preds)
+	}
+}
+
+func TestBitSet(t *testing.T) {
+	s := NewBitSet(81)
+	s.Set(0)
+	s.Set(63)
+	s.Set(64)
+	s.Set(80)
+	for _, i := range []int{0, 63, 64, 80} {
+		if !s.Has(i) {
+			t.Errorf("bit %d missing", i)
+		}
+	}
+	if s.Has(1) || s.Has(79) {
+		t.Error("spurious bits set")
+	}
+	s.Clear(63)
+	if s.Has(63) {
+		t.Error("Clear(63) did not clear")
+	}
+	o := NewBitSet(81)
+	o.Set(5)
+	if !o.UnionWith(s) {
+		t.Error("UnionWith should report change")
+	}
+	if o.UnionWith(s) {
+		t.Error("second UnionWith should be a no-op")
+	}
+	got := o.Members()
+	want := []int{0, 5, 64, 80}
+	if len(got) != len(want) {
+		t.Fatalf("Members = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Members = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestSolveLoop checks the solver reaches the fixpoint of a cyclic CFG: a
+// def inside a loop body must reach the loop header via the back edge.
+func TestSolveLoop(t *testing.T) {
+	p := build(t, permissive,
+		movImm(1, 10),
+		// loop header: uses r1 and (after first iteration) r2
+		ins(code.CMP, func(in *code.Instr) { in.Src1 = 1; in.HasImm = true; in.Imm = 0 }),
+		ins(code.JCC, func(in *code.Instr) { in.CC = code.CCEQ; in.Target = 6 }),
+		movImm(2, 3), // def in loop body
+		ins(code.SUB, func(in *code.Instr) { in.Dst = 1; in.Src1 = 1; in.HasImm = true; in.Imm = 1 }),
+		ins(code.JMP, func(in *code.Instr) { in.Target = 1 }),
+		ins(code.RET, func(in *code.Instr) { in.Src1 = 1 }),
+	)
+	a := newAnalysis(p)
+	if a.cfgErr != nil {
+		t.Fatalf("cfg: %v", a.cfgErr)
+	}
+	defsIn := a.reachingDefsIn()
+	header := a.cfg.BlockOf(1)
+	if !defsIn[header].Has(resInt(2)) {
+		t.Error("def of r2 in the loop body must reach the header via the back edge")
+	}
+	if !defsIn[header].Has(resInt(1)) {
+		t.Error("def of r1 before the loop must reach the header")
+	}
+}
+
+func TestUDefDiamondAccepted(t *testing.T) {
+	rep := Analyze(diamond(t))
+	if n := len(rep.Findings); n != 0 {
+		t.Fatalf("clean diamond produced %d findings:\n%s", n, rep.String())
+	}
+}
+
+func TestUDefNoWriteOnAnyPath(t *testing.T) {
+	// Same diamond but the one def of r2 is gone: no path writes r2.
+	p := build(t, permissive,
+		movImm(1, 1),
+		ins(code.CMP, func(in *code.Instr) { in.Src1 = 1; in.HasImm = true; in.Imm = 0 }),
+		ins(code.JCC, func(in *code.Instr) { in.CC = code.CCEQ; in.Target = 5 }),
+		ins(code.NOP, nil),
+		ins(code.JMP, func(in *code.Instr) { in.Target = 5 }),
+		ins(code.TEST, func(in *code.Instr) { in.Src1 = 2; in.Src2 = 2 }),
+		ins(code.RET, func(in *code.Instr) { in.Src1 = 1 }),
+	)
+	rep := Analyze(p)
+	if got := rep.ByRule()[RuleUDef]; got != 1 {
+		t.Fatalf("want exactly one udef finding, got %d:\n%s", got, rep.String())
+	}
+	f := rep.Findings[0]
+	if f.Index != 5 || !strings.Contains(f.Detail, "r2") {
+		t.Errorf("finding should name r2 at instr 5: %s", f)
+	}
+}
+
+// TestLivenessCrossCheck ties the backward analysis to the forward one:
+// every resource the forward pass flags as used-before-def must be live-in
+// at the entry block, and the clean diamond's partial def keeps r2 live-in
+// at entry without tripping the forward may-analysis.
+func TestLivenessCrossCheck(t *testing.T) {
+	p := diamond(t)
+	a := newAnalysis(p)
+	if a.cfgErr != nil {
+		t.Fatalf("cfg: %v", a.cfgErr)
+	}
+	live := a.liveIn()
+	if !live[0].Has(resInt(2)) {
+		t.Error("r2 is read on the fallthrough-free path: must be live-in at entry")
+	}
+	if fs := checkUDef(a); len(fs) != 0 {
+		t.Errorf("may-analysis must accept the partial def: %v", fs)
+	}
+
+	// Any resource udef flags is, by construction, live-in at entry.
+	q := build(t, permissive,
+		ins(code.TEST, func(in *code.Instr) { in.Src1 = 3; in.Src2 = 3 }),
+		movImm(1, 0),
+		ins(code.RET, func(in *code.Instr) { in.Src1 = 1 }),
+	)
+	aq := newAnalysis(q)
+	fs := checkUDef(aq)
+	if len(fs) == 0 {
+		t.Fatal("use of never-written r3 must be flagged")
+	}
+	liveq := aq.liveIn()
+	if !liveq[0].Has(resInt(3)) {
+		t.Error("udef-flagged r3 must appear live-in at entry (forward/backward disagreement)")
+	}
+}
+
+func TestCFGRuleFindings(t *testing.T) {
+	t.Run("unreachable", func(t *testing.T) {
+		p := build(t, permissive,
+			ins(code.JMP, func(in *code.Instr) { in.Target = 2 }),
+			movImm(1, 1), // dead
+			ins(code.RET, func(in *code.Instr) { in.Src1 = 0 }),
+		)
+		// r0 is never written, so silence udef by restricting to the cfg rule.
+		rep := AnalyzeOpts(p, Options{Rules: []string{RuleCFG}})
+		found := false
+		for _, f := range rep.Findings {
+			if strings.Contains(f.Detail, "unreachable") && f.Index == 1 {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("dead instr 1 not reported:\n%s", rep.String())
+		}
+	})
+	t.Run("fall-off-end", func(t *testing.T) {
+		p := build(t, permissive, movImm(1, 1))
+		rep := AnalyzeOpts(p, Options{Rules: []string{RuleCFG}})
+		if rep.Errors() < 2 { // no RET + falls off the end
+			t.Errorf("want no-RET and fall-off findings:\n%s", rep.String())
+		}
+	})
+	t.Run("target-out-of-range", func(t *testing.T) {
+		p := &code.Program{Name: "bad", FS: permissive, Instrs: []code.Instr{
+			ins(code.JMP, func(in *code.Instr) { in.Target = 99 }),
+		}}
+		rep := Analyze(p)
+		if rep.ByRule()[RuleCFG] == 0 {
+			t.Errorf("out-of-range target not reported:\n%s", rep.String())
+		}
+	})
+}
+
+func TestStackRule(t *testing.T) {
+	slot := func(n int32) int32 { return code.SpillBase + n*16 }
+	st := func(s int32) code.Instr {
+		return ins(code.ST, func(in *code.Instr) {
+			in.Src1 = 1
+			in.HasMem = true
+			in.Mem = code.Mem{Base: code.NoReg, Index: code.NoReg, Scale: 1, Disp: s}
+		})
+	}
+	ld := func(dst code.Reg, s int32) code.Instr {
+		return ins(code.LD, func(in *code.Instr) {
+			in.Dst = dst
+			in.HasMem = true
+			in.Mem = code.Mem{Base: code.NoReg, Index: code.NoReg, Scale: 1, Disp: s}
+		})
+	}
+	t.Run("balanced", func(t *testing.T) {
+		p := build(t, permissive,
+			movImm(1, 42), st(slot(0)), ld(2, slot(0)),
+			ins(code.RET, func(in *code.Instr) { in.Src1 = 2 }),
+		)
+		if rep := Analyze(p); len(rep.Findings) != 0 {
+			t.Errorf("balanced spill flagged:\n%s", rep.String())
+		}
+	})
+	t.Run("unwritten-slot", func(t *testing.T) {
+		p := build(t, permissive,
+			movImm(1, 42), st(slot(0)), ld(2, slot(1)),
+			ins(code.RET, func(in *code.Instr) { in.Src1 = 2 }),
+		)
+		rep := Analyze(p)
+		if rep.ByRule()[RuleStack] != 1 {
+			t.Errorf("refill from unwritten slot not flagged:\n%s", rep.String())
+		}
+	})
+	t.Run("store-after-load", func(t *testing.T) {
+		p := build(t, permissive,
+			movImm(1, 42), ld(2, slot(0)), st(slot(0)),
+			ins(code.RET, func(in *code.Instr) { in.Src1 = 2 }),
+		)
+		rep := Analyze(p)
+		if rep.ByRule()[RuleStack] != 1 {
+			t.Errorf("refill before the only store must be flagged:\n%s", rep.String())
+		}
+	})
+}
+
+func TestOperandRules(t *testing.T) {
+	fs8 := isa.MustNew(isa.MicroX86, 32, 8, isa.PartialPredication)
+	cases := []struct {
+		name string
+		rule string
+		in   code.Instr
+	}{
+		{"depth", RuleDepth, movImm(9, 1)},
+		{"width", RuleWidth, ins(code.ADD, func(in *code.Instr) { in.Sz = 8; in.Dst = 1; in.Src1 = 1; in.HasImm = true; in.Imm = 1 })},
+		{"pred", RulePred, ins(code.MOV, func(in *code.Instr) { in.Dst = 1; in.HasImm = true; in.Imm = 1; in.Pred = 2; in.PredSense = true })},
+		{"simd", RuleSIMD, ins(code.VADDF, func(in *code.Instr) { in.Sz = 16; in.Dst = 0; in.Src1 = 0; in.Src2 = 0 })},
+		{"complexity", RuleComplexity, ins(code.ADD, func(in *code.Instr) {
+			in.Dst = 1
+			in.Src1 = 1
+			in.HasMem = true
+			in.Mem = code.Mem{Base: 2, Index: code.NoReg, Scale: 1}
+		})},
+		{"imm-range", RuleImm, ins(code.ADD, func(in *code.Instr) { in.Dst = 1; in.Src1 = 1; in.HasImm = true; in.Imm = 1 << 40 })},
+		{"imm-shift", RuleImm, ins(code.SHL, func(in *code.Instr) { in.Dst = 1; in.Src1 = 1; in.HasImm = true; in.Imm = 40 })},
+		{"struct-imm-src2", RuleStruct, ins(code.ADD, func(in *code.Instr) { in.Dst = 1; in.Src1 = 1; in.Src2 = 2; in.HasImm = true; in.Imm = 1 })},
+		{"struct-mem-op", RuleStruct, ins(code.SHL, func(in *code.Instr) {
+			in.Dst = 1
+			in.Src1 = 1
+			in.HasImm = true
+			in.Imm = 1
+			in.HasMem = true
+			in.Mem = code.Mem{Base: 2, Index: code.NoReg, Scale: 1}
+		})},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			// Define every register the case reads so udef stays quiet, then
+			// run only the rule under test plus the operand prelude defs.
+			prelude := []code.Instr{movImm(1, 0), movImm(2, 0)}
+			instrs := append(append([]code.Instr{}, prelude...), tc.in,
+				ins(code.RET, func(in *code.Instr) { in.Src1 = 1 }))
+			p := &code.Program{Name: tc.name, FS: fs8, Instrs: instrs}
+			_ = encoding.Layout(p, code.CodeBase)
+			rep := AnalyzeOpts(p, Options{Rules: []string{tc.rule}})
+			if rep.ByRule()[tc.rule] == 0 {
+				t.Errorf("rule %s did not fire:\n%s", tc.rule, rep.String())
+			}
+		})
+	}
+}
+
+func TestEncodeRule(t *testing.T) {
+	p := diamond(t)
+	// Desynchronize layout from the bytes: stretch every PC after instr 2.
+	for i := 3; i < len(p.PC); i++ {
+		p.PC[i]++
+	}
+	p.Size++
+	rep := AnalyzeOpts(p, Options{Rules: []string{RuleEncode}})
+	if rep.ByRule()[RuleEncode] == 0 {
+		t.Fatalf("stretched layout not detected:\n%s", rep.String())
+	}
+	t.Run("no-layout", func(t *testing.T) {
+		q := diamond(t)
+		q.PC = nil
+		rep := AnalyzeOpts(q, Options{Rules: []string{RuleEncode}})
+		if rep.ByRule()[RuleEncode] == 0 {
+			t.Error("missing layout not reported")
+		}
+	})
+}
+
+func TestVerifyGate(t *testing.T) {
+	if err := Verify(diamond(t)); err != nil {
+		t.Fatalf("clean program rejected: %v", err)
+	}
+	p := diamond(t)
+	p.Instrs[0].Dst = 70 // past the 64-register file
+	if err := Verify(p); err == nil {
+		t.Fatal("r70 accepted")
+	} else if !strings.Contains(err.Error(), RuleDepth) {
+		t.Errorf("error should carry the rule ID: %v", err)
+	}
+}
+
+func TestFindingString(t *testing.T) {
+	f := Finding{Rule: RuleDepth, PC: 0x100_0010, Index: 3, Instr: "mov r9, 1", Severity: SevError, Detail: "r9 exceeds depth 8"}
+	s := f.String()
+	for _, want := range []string{"depth", "0x1000010", "[3]", "mov r9, 1", "r9 exceeds depth 8"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("finding string %q missing %q", s, want)
+		}
+	}
+}
+
+func TestRuleRegistry(t *testing.T) {
+	ids := map[string]bool{}
+	for _, r := range Rules() {
+		if r.ID == "" || r.Desc == "" || r.Check == nil {
+			t.Errorf("rule %+v incomplete", r)
+		}
+		if ids[r.ID] {
+			t.Errorf("duplicate rule ID %s", r.ID)
+		}
+		ids[r.ID] = true
+	}
+	for _, id := range OperandRuleIDs() {
+		if !ids[id] {
+			t.Errorf("operand rule %s not registered", id)
+		}
+	}
+	for _, mc := range MutationClasses() {
+		if !ids[mc.Class] {
+			t.Errorf("mutation class %s has no matching rule", mc.Class)
+		}
+	}
+}

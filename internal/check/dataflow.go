@@ -1,0 +1,180 @@
+package check
+
+// This file is the generic dataflow machinery: a dense bitset fact domain
+// and an iterative gen/kill solver that runs forward or backward over the
+// recovered CFG with union meet. The conformance rules instantiate it for
+// reaching definitions of machine resources (use-before-def), spill-slot
+// reaching stores (stack discipline), and backward liveness (cross-checked
+// against the forward results in tests).
+
+// BitSet is a fixed-universe bit vector.
+type BitSet []uint64
+
+// NewBitSet returns an empty set over a universe of n bits.
+func NewBitSet(n int) BitSet { return make(BitSet, (n+63)/64) }
+
+// Set adds bit i.
+func (s BitSet) Set(i int) { s[i/64] |= 1 << (i % 64) }
+
+// Has reports whether bit i is present.
+func (s BitSet) Has(i int) bool { return s[i/64]&(1<<(i%64)) != 0 }
+
+// Clear removes bit i.
+func (s BitSet) Clear(i int) { s[i/64] &^= 1 << (i % 64) }
+
+// Copy returns an independent copy.
+func (s BitSet) Copy() BitSet {
+	t := make(BitSet, len(s))
+	copy(t, s)
+	return t
+}
+
+// UnionWith adds every bit of t to s and reports whether s changed.
+func (s BitSet) UnionWith(t BitSet) bool {
+	changed := false
+	for i := range s {
+		n := s[i] | t[i]
+		if n != s[i] {
+			s[i] = n
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Members returns the set's elements in ascending order.
+func (s BitSet) Members() []int {
+	var out []int
+	for w, word := range s {
+		for b := 0; word != 0; b++ {
+			if word&1 != 0 {
+				out = append(out, w*64+b)
+			}
+			word >>= 1
+		}
+	}
+	return out
+}
+
+// Direction selects the dataflow orientation.
+type Direction uint8
+
+const (
+	// Forward propagates facts along CFG edges (reaching definitions).
+	Forward Direction = iota
+	// Backward propagates facts against CFG edges (liveness).
+	Backward
+)
+
+// GenKill is one block's transfer function in gen/kill form: the block's
+// output is gen ∪ (input − kill).
+type GenKill struct {
+	Gen, Kill BitSet
+}
+
+// Solve runs iterative union-meet dataflow to a fixed point and returns the
+// per-block input and output facts. For Forward problems, in[b] is the meet
+// over predecessors and out[b] = transfer(in[b]); for Backward problems the
+// roles of in/out and preds/succs swap: out[b] is the meet over successors
+// and in[b] = transfer(out[b]). The boundary fact (entry for forward, every
+// exit block for backward) starts empty; unreachable blocks keep empty
+// facts. With a monotone union meet over a finite domain the iteration
+// always terminates.
+func Solve(g *CFG, nbits int, dir Direction, tf []GenKill) (in, out []BitSet) {
+	nb := len(g.Blocks)
+	in = make([]BitSet, nb)
+	out = make([]BitSet, nb)
+	for i := 0; i < nb; i++ {
+		in[i] = NewBitSet(nbits)
+		out[i] = NewBitSet(nbits)
+	}
+	apply := func(dst, src BitSet, t GenKill) bool {
+		tmp := src.Copy()
+		for i := range tmp {
+			tmp[i] = t.Gen[i] | (tmp[i] &^ t.Kill[i])
+		}
+		return dst.UnionWith(tmp)
+	}
+	changed := true
+	for changed {
+		changed = false
+		for bi := 0; bi < nb; bi++ {
+			if !g.Blocks[bi].Reachable {
+				continue
+			}
+			if dir == Forward {
+				for _, p := range g.Blocks[bi].Preds {
+					in[bi].UnionWith(out[p])
+				}
+				if apply(out[bi], in[bi], tf[bi]) {
+					changed = true
+				}
+			} else {
+				for _, s := range g.Blocks[bi].Succs {
+					out[bi].UnionWith(in[s])
+				}
+				if apply(in[bi], out[bi], tf[bi]) {
+					changed = true
+				}
+			}
+		}
+	}
+	return in, out
+}
+
+// reachingDefsIn computes, per block, the set of machine resources that
+// have at least one write on some path from the entry to the block's first
+// instruction (forward, union meet, no kills: a write reaches forever).
+func (a *analysis) reachingDefsIn() []BitSet {
+	if a.defsIn != nil {
+		return a.defsIn
+	}
+	g := a.cfg
+	tf := make([]GenKill, len(g.Blocks))
+	var defs []int
+	for bi := range g.Blocks {
+		gen := NewBitSet(numRes)
+		for i := g.Blocks[bi].Start; i < g.Blocks[bi].End; i++ {
+			defs = instrDefs(&a.p.Instrs[i], defs[:0])
+			for _, d := range defs {
+				gen.Set(d)
+			}
+		}
+		tf[bi] = GenKill{Gen: gen, Kill: NewBitSet(numRes)}
+	}
+	a.defsIn, _ = Solve(g, numRes, Forward, tf)
+	return a.defsIn
+}
+
+// liveIn runs the backward liveness analysis over the recovered CFG: a
+// resource is live-in when some path from the block's first instruction
+// reaches a use with no intervening write. The check_test suite
+// cross-checks entry liveness against the forward use-before-def results.
+func (a *analysis) liveIn() []BitSet {
+	if a.liveInSets != nil {
+		return a.liveInSets
+	}
+	g := a.cfg
+	tf := make([]GenKill, len(g.Blocks))
+	var uses, defs []int
+	for bi := range g.Blocks {
+		gen := NewBitSet(numRes)  // used before any write in the block
+		kill := NewBitSet(numRes) // written in the block
+		for i := g.Blocks[bi].Start; i < g.Blocks[bi].End; i++ {
+			in := &a.p.Instrs[i]
+			uses = instrUses(in, uses[:0])
+			for _, u := range uses {
+				if !kill.Has(u) {
+					gen.Set(u)
+				}
+			}
+			defs = instrDefs(in, defs[:0])
+			for _, d := range defs {
+				kill.Set(d)
+			}
+		}
+		tf[bi] = GenKill{Gen: gen, Kill: kill}
+	}
+	a.liveInSets, _ = Solve(g, numRes, Backward, tf)
+	return a.liveInSets
+}

@@ -1,0 +1,312 @@
+package check
+
+import (
+	"fmt"
+	"math/rand"
+
+	"compisa/internal/code"
+	"compisa/internal/encoding"
+	"compisa/internal/isa"
+)
+
+// The mutation harness measures the verifier's detection power: it flips a
+// legal program into an illegal one along a single dimension and asserts
+// the matching rule catches it. A verifier that merely reports zero
+// findings on clean code could be vacuously weak; seeded mutations prove
+// each rule actually fires on the violation class it owns.
+
+// MutationClass describes one seeded violation class. Class doubles as the
+// rule ID that must appear in the mutant's findings for the class to count
+// as detected.
+type MutationClass struct {
+	Class string
+	Desc  string
+}
+
+// MutationClasses lists the seeded violation classes in deterministic order.
+func MutationClasses() []MutationClass {
+	return []MutationClass{
+		{RuleDepth, "raise a register number above the feature set's register depth"},
+		{RuleWidth, "widen an integer op to 64 bits on a 32-bit feature set"},
+		{RulePred, "attach a predicate prefix under partial predication"},
+		{RuleSIMD, "insert a packed-SSE op on a SIMD-less feature set"},
+		{RuleComplexity, "fold a memory operand into an ALU op under microx86"},
+		{RuleStack, "retarget a spill refill at a slot no store reaches"},
+		{RuleUDef, "insert a read of a register no write reaches"},
+		{RuleImm, "grow an immediate past the sign-extended imm32 form"},
+		{RuleEncode, "shift the layout PCs off the encoded bytes"},
+	}
+}
+
+// Mutate applies the named class's mutation to p in place, re-laying the
+// program out when the edit changes instruction bytes. It returns a
+// description of the edit and whether the class applies to this program and
+// feature set (a depth-64 program, for instance, has no register above the
+// depth to name). Mutations are deterministic in (program, class, seed).
+func Mutate(p *code.Program, class string, seed uint64) (string, bool) {
+	rng := rand.New(rand.NewSource(int64(seed) ^ int64(len(p.Instrs))<<32 ^ int64(hashClass(class))))
+	switch class {
+	case RuleDepth:
+		return mutateDepth(p, rng)
+	case RuleWidth:
+		return mutateWidth(p, rng)
+	case RulePred:
+		return mutatePred(p, rng)
+	case RuleSIMD:
+		return mutateSIMD(p)
+	case RuleComplexity:
+		return mutateComplexity(p, rng)
+	case RuleStack:
+		return mutateStack(p, rng)
+	case RuleUDef:
+		return mutateUDef(p)
+	case RuleImm:
+		return mutateImm(p, rng)
+	case RuleEncode:
+		return mutateEncode(p, rng)
+	}
+	return "", false
+}
+
+func hashClass(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint32(s[i])) * 16777619
+	}
+	return h
+}
+
+func relayout(p *code.Program) {
+	base := p.Base
+	if base == 0 {
+		base = code.CodeBase
+	}
+	// Layout of an in-range program cannot fail; a mutation that somehow
+	// breaks it still leaves PC/Size inconsistent, which the encode rule
+	// reports.
+	_ = encoding.Layout(p, base)
+}
+
+func pick(rng *rand.Rand, cands []int) int { return cands[rng.Intn(len(cands))] }
+
+func mutateDepth(p *code.Program, rng *rand.Rand) (string, bool) {
+	if p.FS.Depth >= 64 {
+		return "", false // every integer register is architectural
+	}
+	var cands []int
+	for i := range p.Instrs {
+		in := &p.Instrs[i]
+		if in.Dst != code.NoReg && !in.Op.IsFP() && !in.Op.IsBranch() {
+			cands = append(cands, i)
+		}
+	}
+	if len(cands) == 0 {
+		return "", false
+	}
+	i := pick(rng, cands)
+	bad := code.Reg(p.FS.Depth)
+	p.Instrs[i].Dst = bad
+	relayout(p)
+	return fmt.Sprintf("instr %d destination renamed to r%d (depth %d)", i, bad, p.FS.Depth), true
+}
+
+func mutateWidth(p *code.Program, rng *rand.Rand) (string, bool) {
+	if p.FS.Width != 32 {
+		return "", false
+	}
+	var cands []int
+	for i := range p.Instrs {
+		in := &p.Instrs[i]
+		switch in.Op {
+		case code.MOV, code.ADD, code.SUB, code.AND, code.OR, code.XOR, code.CMP, code.TEST:
+			if in.Sz == 4 {
+				cands = append(cands, i)
+			}
+		}
+	}
+	if len(cands) == 0 {
+		return "", false
+	}
+	i := pick(rng, cands)
+	p.Instrs[i].Sz = 8
+	relayout(p)
+	return fmt.Sprintf("instr %d widened to a 64-bit operation", i), true
+}
+
+func mutatePred(p *code.Program, rng *rand.Rand) (string, bool) {
+	if p.FS.Predication == isa.FullPredication {
+		return "", false
+	}
+	var cands []int
+	for i := range p.Instrs {
+		in := &p.Instrs[i]
+		if !in.Op.IsBranch() && !in.Predicated() {
+			cands = append(cands, i)
+		}
+	}
+	if len(cands) == 0 {
+		return "", false
+	}
+	i := pick(rng, cands)
+	p.Instrs[i].Pred, p.Instrs[i].PredSense = 0, true
+	relayout(p)
+	return fmt.Sprintf("instr %d predicated on r0 under partial predication", i), true
+}
+
+// insertAt0 prepends an instruction, fixing up branch targets and layout.
+func insertAt0(p *code.Program, in code.Instr) {
+	p.Instrs = append([]code.Instr{in}, p.Instrs...)
+	for i := range p.Instrs {
+		switch p.Instrs[i].Op {
+		case code.JCC, code.JMP:
+			p.Instrs[i].Target++
+		}
+	}
+	relayout(p)
+}
+
+func mutateSIMD(p *code.Program) (string, bool) {
+	if p.FS.HasSIMD() {
+		return "", false
+	}
+	in := code.Instr{Op: code.VADDF, Sz: 16, Dst: 0, Src1: 0, Src2: 0,
+		Pred: code.NoReg, Mem: code.Mem{Base: code.NoReg, Index: code.NoReg, Scale: 1}}
+	insertAt0(p, in)
+	return "packed vaddf inserted at entry on a SIMD-less feature set", true
+}
+
+func mutateComplexity(p *code.Program, rng *rand.Rand) (string, bool) {
+	if p.FS.Complexity != isa.MicroX86 {
+		return "", false
+	}
+	var cands []int
+	for i := range p.Instrs {
+		in := &p.Instrs[i]
+		switch in.Op {
+		case code.ADD, code.SUB, code.IMUL, code.AND, code.OR, code.XOR,
+			code.ADC, code.SBB, code.CMP, code.TEST:
+			if !in.HasMem && in.Src1 != code.NoReg {
+				cands = append(cands, i)
+			}
+		}
+	}
+	if len(cands) == 0 {
+		return "", false
+	}
+	i := pick(rng, cands)
+	in := &p.Instrs[i]
+	in.HasImm = false
+	in.Src2 = code.NoReg
+	in.HasMem = true
+	in.Mem = code.Mem{Base: in.Src1, Index: code.NoReg, Scale: 1, Disp: 0}
+	relayout(p)
+	return fmt.Sprintf("instr %d given a folded memory source under microx86", i), true
+}
+
+func mutateStack(p *code.Program, rng *rand.Rand) (string, bool) {
+	var cands []int
+	maxDisp := int32(code.SpillBase)
+	for i := range p.Instrs {
+		in := &p.Instrs[i]
+		if !in.HasMem || in.Mem.Base != code.NoReg || in.Mem.Index != code.NoReg {
+			continue
+		}
+		if in.Mem.Disp < code.SpillBase || int64(in.Mem.Disp) >= int64(code.ContextBase) {
+			continue
+		}
+		if in.Mem.Disp > maxDisp {
+			maxDisp = in.Mem.Disp
+		}
+		if in.Op == code.LD || in.Op == code.FLD || in.Op == code.VLD {
+			cands = append(cands, i)
+		}
+	}
+	if len(cands) == 0 {
+		return "", false // the region spills nothing under this feature set
+	}
+	i := pick(rng, cands)
+	fresh := maxDisp + 16 // one slot past every slot the program touches
+	p.Instrs[i].Mem.Disp = fresh
+	relayout(p)
+	return fmt.Sprintf("instr %d refills from untouched spill slot %#x", i, fresh), true
+}
+
+func mutateUDef(p *code.Program) (string, bool) {
+	in := code.Instr{Op: code.TEST, Sz: 4, Dst: code.NoReg, Src1: 0, Src2: 0,
+		Pred: code.NoReg, Mem: code.Mem{Base: code.NoReg, Index: code.NoReg, Scale: 1}}
+	insertAt0(p, in)
+	return "read of r0 inserted at entry before any write", true
+}
+
+func mutateImm(p *code.Program, rng *rand.Rand) (string, bool) {
+	var cands []int
+	for i := range p.Instrs {
+		in := &p.Instrs[i]
+		if in.HasImm && !(in.Op == code.MOV && in.Sz == 8) {
+			switch in.Op {
+			case code.SHL, code.SHR, code.SAR:
+				// Shift counts get their own out-of-range value below.
+				cands = append(cands, i)
+			default:
+				cands = append(cands, i)
+			}
+		}
+	}
+	if len(cands) == 0 {
+		return "", false
+	}
+	i := pick(rng, cands)
+	in := &p.Instrs[i]
+	switch in.Op {
+	case code.SHL, code.SHR, code.SAR:
+		in.Imm = 99 // past any operand width
+	default:
+		in.Imm = 1 << 40 // past the sign-extended imm32 form
+	}
+	relayout(p)
+	return fmt.Sprintf("instr %d immediate grown past its encodable range", i), true
+}
+
+func mutateEncode(p *code.Program, rng *rand.Rand) (string, bool) {
+	if len(p.Instrs) < 2 || len(p.PC) != len(p.Instrs) {
+		return "", false
+	}
+	i := 1 + rng.Intn(len(p.Instrs)-1)
+	for j := i; j < len(p.PC); j++ {
+		p.PC[j]++
+	}
+	p.Size++
+	return fmt.Sprintf("layout PCs shifted by one byte from instr %d", i), true
+}
+
+// Detection is the outcome of one mutation class on one program.
+type Detection struct {
+	Class   string
+	Applied bool
+	Desc    string
+	// Caught reports whether the mutant's findings include the class's
+	// rule ID (only meaningful when Applied).
+	Caught bool
+	// Rules are the mutant's finding counts by rule ID.
+	Rules map[string]int
+}
+
+// MutationSweep applies every mutation class to fresh clones of p and
+// reports, per class, whether the expected rule detected the mutant. The
+// original program is left untouched.
+func MutationSweep(p *code.Program, seed uint64) []Detection {
+	var out []Detection
+	for _, mc := range MutationClasses() {
+		d := Detection{Class: mc.Class}
+		q := Clone(p)
+		desc, ok := Mutate(q, mc.Class, seed)
+		d.Applied, d.Desc = ok, desc
+		if ok {
+			rep := Analyze(q)
+			d.Rules = rep.ByRule()
+			d.Caught = d.Rules[mc.Class] > 0
+		}
+		out = append(out, d)
+	}
+	return out
+}

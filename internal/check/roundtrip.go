@@ -1,0 +1,86 @@
+package check
+
+import (
+	"fmt"
+
+	"compisa/internal/code"
+	"compisa/internal/encoding"
+)
+
+// checkEncode is the translation-validation rule: every instruction must
+// encode (via the real encoder) into exactly the bytes the layout claims,
+// and the instruction-length decoder must parse those bytes back to the
+// same boundary. The whole image is then re-scanned with the ILD's
+// instruction-marker unit and its boundaries compared against the layout
+// PCs — disagreement means the fetch/decode models are simulating a
+// different program than the one that executes.
+func checkEncode(a *analysis) []Finding {
+	p := a.p
+	if len(p.PC) != len(p.Instrs) {
+		return []Finding{{Rule: RuleEncode, Index: -1, Severity: SevError,
+			Detail: fmt.Sprintf("program has no layout (%d PCs for %d instructions)", len(p.PC), len(p.Instrs))}}
+	}
+	var out []Finding
+	ild := encoding.NewILD(p.CompactEncoding)
+	img := make([]byte, 0, p.Size)
+	imgOK := true
+	for i := range p.Instrs {
+		in := &p.Instrs[i]
+		want := encoding.Length(p, i)
+		b, err := encoding.EncodeInstr(in, want, p.CompactEncoding)
+		if err != nil {
+			out = append(out, a.finding(RuleEncode, i, fmt.Sprintf("encode: %v", err)))
+			imgOK = false
+			continue
+		}
+		n, err := ild.DecodeLength(b)
+		if err != nil {
+			out = append(out, a.finding(RuleEncode, i, fmt.Sprintf("ILD decode: %v", err)))
+			imgOK = false
+			continue
+		}
+		if n != len(b) {
+			out = append(out, a.finding(RuleEncode, i,
+				fmt.Sprintf("ILD decodes %d bytes where the encoder emitted %d", n, len(b))))
+			imgOK = false
+			continue
+		}
+		img = append(img, b...)
+	}
+	if !imgOK {
+		return out
+	}
+	if len(img) != p.Size {
+		out = append(out, Finding{Rule: RuleEncode, Index: -1, Severity: SevError,
+			Detail: fmt.Sprintf("image is %d bytes but layout claims %d", len(img), p.Size)})
+		return out
+	}
+	mark, err := ild.Mark(img)
+	if err != nil {
+		out = append(out, Finding{Rule: RuleEncode, Index: -1, Severity: SevError,
+			Detail: fmt.Sprintf("instruction-marker scan failed: %v", err)})
+		return out
+	}
+	if len(mark.Boundaries) != len(p.Instrs) {
+		out = append(out, Finding{Rule: RuleEncode, Index: -1, Severity: SevError,
+			Detail: fmt.Sprintf("marker found %d instructions, layout has %d", len(mark.Boundaries), len(p.Instrs))})
+		return out
+	}
+	for i, off := range mark.Boundaries {
+		if uint32(off) != p.PC[i]-p.Base {
+			out = append(out, a.finding(RuleEncode, i,
+				fmt.Sprintf("marker boundary %#x disagrees with layout PC offset %#x", off, p.PC[i]-p.Base)))
+		}
+	}
+	return out
+}
+
+// clone deep-copies a program so the mutation harness can derive illegal
+// variants without touching the original.
+func Clone(p *code.Program) *code.Program {
+	q := *p
+	q.Instrs = append([]code.Instr(nil), p.Instrs...)
+	q.PC = append([]uint32(nil), p.PC...)
+	q.Pool = append([]code.PoolConst(nil), p.Pool...)
+	return &q
+}

@@ -2,11 +2,38 @@ package compiler
 
 import (
 	"fmt"
+	"testing"
 
+	"compisa/internal/check"
 	"compisa/internal/code"
 	"compisa/internal/ir"
 	"compisa/internal/isa"
 )
+
+// VerifyMode controls the post-compile conformance gate (internal/check).
+type VerifyMode uint8
+
+const (
+	// VerifyDefault enables the gate under `go test` and disables it
+	// otherwise: every test compilation is verified for free, while
+	// production explorations opt in per call (the evaluation pipeline has
+	// its own verification stage with fault accounting).
+	VerifyDefault VerifyMode = iota
+	// VerifyOn always runs the gate.
+	VerifyOn
+	// VerifyOff never runs the gate.
+	VerifyOff
+)
+
+func (m VerifyMode) enabled() bool {
+	switch m {
+	case VerifyOn:
+		return true
+	case VerifyOff:
+		return false
+	}
+	return testing.Testing()
+}
 
 // Options tunes the backend.
 type Options struct {
@@ -23,6 +50,9 @@ type Options struct {
 	// uses it to inject compile failures through the real pipeline so
 	// recovery paths stay exercised.
 	FaultHook func() error
+	// Verify selects whether the emitted program is gated through the
+	// internal/check conformance verifier before being returned.
+	Verify VerifyMode
 }
 
 // stripNops removes NOP placeholders left by memory-operand folding so later
@@ -55,14 +85,14 @@ func Compile(f *ir.Func, fs isa.FeatureSet, opts Options) (*code.Program, error)
 		}
 	}
 	if err := f.Verify(); err != nil {
-		return nil, fmt.Errorf("compile %s: %v", f.Name, err)
+		return nil, fmt.Errorf("compile %s: %w", f.Name, err)
 	}
 	mf := newMFunc(f.Name)
 
 	runVectorize(f, fs, &mf.stats)
 
 	if err := runISel(f, fs, mf, opts.DisableFolding); err != nil {
-		return nil, fmt.Errorf("compile %s for %s: isel: %v", f.Name, fs.ShortName(), err)
+		return nil, fmt.Errorf("compile %s for %s: isel: %w", f.Name, fs.ShortName(), err)
 	}
 
 	stripNops(mf)
@@ -76,14 +106,19 @@ func Compile(f *ir.Func, fs isa.FeatureSet, opts Options) (*code.Program, error)
 	runDCE(mf)
 
 	if err := mf.verify(); err != nil {
-		return nil, fmt.Errorf("compile %s for %s: %v", f.Name, fs.ShortName(), err)
+		return nil, fmt.Errorf("compile %s for %s: %w", f.Name, fs.ShortName(), err)
 	}
 
 	alloc := runRegAlloc(mf, fs)
 
 	prog, err := emitProgram(mf, fs, alloc, f.Name, opts.CompactEncoding)
 	if err != nil {
-		return nil, fmt.Errorf("compile %s for %s: %v", f.Name, fs.ShortName(), err)
+		return nil, fmt.Errorf("compile %s for %s: %w", f.Name, fs.ShortName(), err)
+	}
+	if opts.Verify.enabled() {
+		if err := check.Verify(prog); err != nil {
+			return nil, fmt.Errorf("compile %s for %s: %w", f.Name, fs.ShortName(), err)
+		}
 	}
 	return prog, nil
 }

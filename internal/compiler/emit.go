@@ -349,7 +349,7 @@ func emitProgram(f *mFunc, fs isa.FeatureSet, alloc *allocation, name string, co
 				continue
 			}
 			if err := e.emitInstr(&b.instrs[i]); err != nil {
-				return nil, fmt.Errorf("%s/%s: %v", f.name, b.name, err)
+				return nil, fmt.Errorf("%s/%s: %w", f.name, b.name, err)
 			}
 		}
 		var next *mBlock

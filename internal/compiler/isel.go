@@ -348,7 +348,7 @@ func (c *iselCtx) lowerBlock(b *ir.Block) error {
 			c.emit(set)
 		default:
 			if err := c.lowerInstr(in); err != nil {
-				return fmt.Errorf("%s/%s: %v", c.irf.Name, b.Name, err)
+				return fmt.Errorf("%s/%s: %w", c.irf.Name, b.Name, err)
 			}
 		}
 	}

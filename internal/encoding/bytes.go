@@ -222,13 +222,19 @@ func EncodeInstr(in *code.Instr, length int, compact bool) ([]byte, error) {
 				mod, rm, dispLen = 0, 0b101, 4 // absolute disp32
 			case m.Disp == 0:
 				mod, rm = 0, byte(m.Base&7)
-				if rm == 0b101 || rm == 0b100 {
-					rm = 0b000 // avoid the special encodings in this model
+				if rm == 0b101 {
+					rm = 0b000 // mod=00 rm=101 would mean absolute disp32
 				}
 			case fitsInt8(int64(m.Disp)):
 				mod, rm, dispLen = 0b01, byte(m.Base&7), 1
 			default:
 				mod, rm, dispLen = 0b10, byte(m.Base&7), 4
+			}
+			// rm=100 signals a SIB byte in every mod!=11 form. True register
+			// numbers travel in the prefix payload in this model, so the
+			// alias can simply be remapped away when no SIB is emitted.
+			if m.Base != code.NoReg && rm == 0b100 {
+				rm = 0b000
 			}
 			sib := false
 			if m.Index != code.NoReg {
@@ -300,7 +306,7 @@ func Image(p *code.Program) ([]byte, error) {
 	for i := range p.Instrs {
 		b, err := EncodeInstr(&p.Instrs[i], Length(p, i), p.CompactEncoding)
 		if err != nil {
-			return nil, fmt.Errorf("%s[%d]: %v", p.Name, i, err)
+			return nil, fmt.Errorf("%s[%d]: %w", p.Name, i, err)
 		}
 		out = append(out, b...)
 	}

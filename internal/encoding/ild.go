@@ -153,7 +153,7 @@ func (d *ILD) Mark(img []byte) (*MarkResult, error) {
 		res.Boundaries = append(res.Boundaries, off)
 		n, err := d.DecodeLength(img[off:])
 		if err != nil {
-			return nil, fmt.Errorf("at offset %d: %v", off, err)
+			return nil, fmt.Errorf("at offset %d: %w", off, err)
 		}
 		if off/d.ChunkBytes != (off+n-1)/d.ChunkBytes {
 			res.Straddles++

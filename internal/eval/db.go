@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"compisa/internal/check"
 	"compisa/internal/compiler"
 	"compisa/internal/cpu"
 	"compisa/internal/fault"
@@ -42,6 +43,12 @@ type DB struct {
 	// Inject deterministically injects faults into non-reference profile
 	// evaluations (nil = no injection).
 	Inject *fault.Injector
+	// Verify runs the static conformance verifier (internal/check) on every
+	// freshly compiled program before execution; violations become
+	// StageVerify faults handled by the retry/quarantine machinery.
+	// NewDB enables it — the stage costs well under a millisecond per
+	// region and turns silent bad codegen into a classified fault.
+	Verify bool
 	// Policy tunes retries and degradation penalties.
 	Policy Policy
 	// Log, if set, receives fault-tolerance events (retries, quarantines,
@@ -70,6 +77,7 @@ type inflightProfiles struct {
 func NewDB() *DB {
 	return &DB{
 		Regions:    workload.Regions(),
+		Verify:     true,
 		profiles:   map[string][]*cpu.Profile{},
 		inflight:   map[string]*inflightProfiles{},
 		quarantine: map[string]string{},
@@ -247,7 +255,10 @@ func (db *DB) profileOnce(ctx context.Context, r workload.Region, c ISAChoice, a
 	if err != nil {
 		return nil, classify(fault.StageCompile, err)
 	}
-	copts := compiler.Options{}
+	// The pipeline has its own verification stage below (with fault
+	// classification and stats); skip the compiler's internal gate so the
+	// work isn't done twice and failures carry the right stage.
+	copts := compiler.Options{Verify: compiler.VerifyOff}
 	if d.Kind == fault.KindCompile {
 		copts.FaultHook = func() error { return d.Errorf() }
 	}
@@ -257,6 +268,25 @@ func (db *DB) profileOnce(ctx context.Context, r workload.Region, c ISAChoice, a
 	}
 	db.Stats.CompileTime.Since(compileStart)
 	prog.Name = r.Name
+	if d.Kind == fault.KindBadCode {
+		// Seed illegal codegen through the real mutation harness: the
+		// static verification stage (not the executor) must catch it.
+		check.Mutate(prog, check.RuleUDef, db.Inject.Seed())
+	}
+	if db.Verify {
+		verifyStart := time.Now()
+		db.Stats.Verifies.Inc()
+		rep := check.Analyze(prog)
+		db.Stats.VerifyTime.Since(verifyStart)
+		if n := rep.Errors(); n > 0 {
+			db.Stats.VerifyFindings.Add(int64(n))
+			verr := rep.Err()
+			if d.Kind == fault.KindBadCode {
+				verr = fmt.Errorf("%w: %w", fault.ErrInjected, verr)
+			}
+			return nil, classify(fault.StageVerify, verr)
+		}
+	}
 	ropts := cpu.RunOptions{MaxInstrs: MaxRegionInstrs, Interrupt: ctx.Err}
 	switch d.Kind {
 	case fault.KindRunaway:

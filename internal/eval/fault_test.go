@@ -7,6 +7,7 @@ import (
 	"sync"
 	"testing"
 
+	"compisa/internal/check"
 	"compisa/internal/cpu"
 	"compisa/internal/fault"
 )
@@ -267,5 +268,69 @@ func TestFaultProfilesSingleflight(t *testing.T) {
 	}
 	if db.Stats.ProfileHits.Load() != callers-1 {
 		t.Errorf("ProfileHits = %d, want %d (joiners count as hits)", db.Stats.ProfileHits.Load(), callers-1)
+	}
+}
+
+// TestFaultBadCodeVerifyStage: injected illegal codegen (KindBadCode) is
+// caught by the static verification stage before execution, classified as a
+// StageVerify fault tagged injected, and counted in the verify stats. With
+// verification disabled the same mutant executes "successfully" (it only
+// reads a zero-initialized register), which is exactly the silent-bad-code
+// hazard the stage exists to close.
+func TestFaultBadCodeVerifyStage(t *testing.T) {
+	cfg := fault.Config{Seed: 5, Rate: 1, Kinds: []fault.Kind{fault.KindBadCode}}
+	db := smallDB(1, injector(t, cfg))
+	_, err := db.profileWithRetry(context.Background(), db.Regions[0], injectable(t))
+	if err == nil {
+		t.Fatal("expected a verify-stage fault")
+	}
+	var fe *fault.Error
+	if !errors.As(err, &fe) || fe.Stage != fault.StageVerify {
+		t.Fatalf("error %v should classify as a verify-stage fault", err)
+	}
+	if !errors.Is(err, fault.ErrInjected) {
+		t.Errorf("error %v should be tagged injected", err)
+	}
+	if !strings.Contains(err.Error(), check.RuleUDef) {
+		t.Errorf("error %v should carry the %q rule ID", err, check.RuleUDef)
+	}
+	if db.Stats.Verifies.Load() == 0 || db.Stats.VerifyFindings.Load() == 0 {
+		t.Errorf("verify stats not recorded: %d checks, %d findings",
+			db.Stats.Verifies.Load(), db.Stats.VerifyFindings.Load())
+	}
+
+	off := smallDB(1, injector(t, cfg))
+	off.Verify = false
+	p, err := off.profileWithRetry(context.Background(), off.Regions[0], injectable(t))
+	if err != nil || p == nil {
+		t.Fatalf("with verification off the mutant must execute: %v", err)
+	}
+	if off.Stats.Verifies.Load() != 0 {
+		t.Errorf("Verify=false must not run the stage (%d checks)", off.Stats.Verifies.Load())
+	}
+}
+
+// TestFaultBadCodeQuarantine: a persistent badcode fault degrades into
+// quarantine like any other stage failure, with the reason naming the
+// verify stage.
+func TestFaultBadCodeQuarantine(t *testing.T) {
+	db := smallDB(2, injector(t, fault.Config{Seed: 9, Rate: 1, Kinds: []fault.Kind{fault.KindBadCode}}))
+	ps, err := db.Profiles(context.Background(), injectable(t))
+	if err != nil {
+		t.Fatalf("Profiles must degrade, not fail: %v", err)
+	}
+	for i, p := range ps {
+		if p != nil {
+			t.Errorf("region %d: expected quarantined nil slot", i)
+		}
+	}
+	cov := db.Coverage()
+	if len(cov.Quarantined) != 2 {
+		t.Fatalf("want 2 quarantined pairs, got %d", len(cov.Quarantined))
+	}
+	for _, q := range cov.Quarantined {
+		if !strings.Contains(q.Reason, "verify") {
+			t.Errorf("reason %q should identify the verify stage", q.Reason)
+		}
 	}
 }

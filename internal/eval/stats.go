@@ -14,7 +14,12 @@ import (
 type Stats struct {
 	// Profiling stage.
 	Compiles metrics.Counter // region builds + backend compilations attempted
+	Verifies metrics.Counter // static-conformance verifications run
 	Execs    metrics.Counter // functional executions attempted
+	// VerifyFindings counts conformance violations the verification stage
+	// found (every one turns the evaluation into a StageVerify fault, so a
+	// non-zero count on a clean compiler is a codegen bug).
+	VerifyFindings metrics.Counter
 	// Scoring stage.
 	ModelEvals metrics.Counter // perfmodel evaluations (one per live region per design point)
 	// Cache tiers.
@@ -26,6 +31,7 @@ type Stats struct {
 	DegradedRegions metrics.Counter // regions scored at the Policy penalties
 	// Stage timings.
 	CompileTime metrics.Histogram // successful build+compile passes
+	VerifyTime  metrics.Histogram // static-conformance verification passes
 	ExecTime    metrics.Histogram // successful functional executions
 	ModelTime   metrics.Histogram // per-candidate scoring passes (all regions)
 }
@@ -34,6 +40,8 @@ type Stats struct {
 // checkpoint files so pipeline statistics accumulate across resumed runs.
 type StatsSnapshot struct {
 	Compiles        int64 `json:"compiles"`
+	Verifies        int64 `json:"verifies,omitempty"`
+	VerifyFindings  int64 `json:"verify_findings,omitempty"`
 	Execs           int64 `json:"execs"`
 	ModelEvals      int64 `json:"model_evals"`
 	ProfileHits     int64 `json:"profile_hits"`
@@ -45,6 +53,7 @@ type StatsSnapshot struct {
 	DegradedRegions int64 `json:"degraded_regions"`
 
 	CompileTime metrics.HistogramSnapshot `json:"compile_time"`
+	VerifyTime  metrics.HistogramSnapshot `json:"verify_time,omitempty"`
 	ExecTime    metrics.HistogramSnapshot `json:"exec_time"`
 	ModelTime   metrics.HistogramSnapshot `json:"model_time"`
 }
@@ -53,6 +62,8 @@ type StatsSnapshot struct {
 func (s *Stats) Snapshot() StatsSnapshot {
 	return StatsSnapshot{
 		Compiles:        s.Compiles.Load(),
+		Verifies:        s.Verifies.Load(),
+		VerifyFindings:  s.VerifyFindings.Load(),
 		Execs:           s.Execs.Load(),
 		ModelEvals:      s.ModelEvals.Load(),
 		ProfileHits:     s.ProfileHits.Load(),
@@ -63,6 +74,7 @@ func (s *Stats) Snapshot() StatsSnapshot {
 		Quarantines:     s.Quarantines.Load(),
 		DegradedRegions: s.DegradedRegions.Load(),
 		CompileTime:     s.CompileTime.Snapshot(),
+		VerifyTime:      s.VerifyTime.Snapshot(),
 		ExecTime:        s.ExecTime.Snapshot(),
 		ModelTime:       s.ModelTime.Snapshot(),
 	}
@@ -71,6 +83,8 @@ func (s *Stats) Snapshot() StatsSnapshot {
 // Merge adds a snapshot's counts into the live stats (checkpoint resume).
 func (s *Stats) Merge(sn StatsSnapshot) {
 	s.Compiles.Add(sn.Compiles)
+	s.Verifies.Add(sn.Verifies)
+	s.VerifyFindings.Add(sn.VerifyFindings)
 	s.Execs.Add(sn.Execs)
 	s.ModelEvals.Add(sn.ModelEvals)
 	s.ProfileHits.Add(sn.ProfileHits)
@@ -81,6 +95,7 @@ func (s *Stats) Merge(sn StatsSnapshot) {
 	s.Quarantines.Add(sn.Quarantines)
 	s.DegradedRegions.Add(sn.DegradedRegions)
 	s.CompileTime.Merge(sn.CompileTime)
+	s.VerifyTime.Merge(sn.VerifyTime)
 	s.ExecTime.Merge(sn.ExecTime)
 	s.ModelTime.Merge(sn.ModelTime)
 }
@@ -88,7 +103,8 @@ func (s *Stats) Merge(sn StatsSnapshot) {
 // IsZero reports whether the snapshot records no activity at all (used to
 // keep empty stats out of checkpoint files).
 func (sn StatsSnapshot) IsZero() bool {
-	return sn.Compiles == 0 && sn.Execs == 0 && sn.ModelEvals == 0 &&
+	return sn.Compiles == 0 && sn.Verifies == 0 && sn.VerifyFindings == 0 &&
+		sn.Execs == 0 && sn.ModelEvals == 0 &&
 		sn.ProfileHits == 0 && sn.ProfileMisses == 0 &&
 		sn.CandidateHits == 0 && sn.CandidateMisses == 0 &&
 		sn.Retries == 0 && sn.Quarantines == 0 && sn.DegradedRegions == 0 &&
@@ -101,6 +117,10 @@ func (sn StatsSnapshot) Format() string {
 	var sb strings.Builder
 	sb.WriteString("evaluation pipeline stats\n")
 	fmt.Fprintf(&sb, "  compile stage:    %8d passes   %s\n", sn.Compiles, sn.CompileTime)
+	if sn.Verifies > 0 {
+		fmt.Fprintf(&sb, "  verify stage:     %8d checks   %s  (%d findings)\n",
+			sn.Verifies, sn.VerifyTime, sn.VerifyFindings)
+	}
 	fmt.Fprintf(&sb, "  exec stage:       %8d runs     %s\n", sn.Execs, sn.ExecTime)
 	fmt.Fprintf(&sb, "  model stage:      %8d evals    %s\n", sn.ModelEvals, sn.ModelTime)
 	fmt.Fprintf(&sb, "  profile cache:    %8d hits %8d misses  (%s hit rate)\n",

@@ -97,7 +97,7 @@ func Fig14DowngradeCost(ctx context.Context, regions []workload.Region) (*Fig14R
 			}
 			trProf, _, err := cpu.CollectProfileOpts(trans, m, ropts)
 			if err != nil {
-				return nil, fmt.Errorf("%s %s: %v", dc.Name, r.Name, err)
+				return nil, fmt.Errorf("%s %s: %w", dc.Name, r.Name, err)
 			}
 			nat, err := perfmodel.Cycles(natProf, cfg)
 			if err != nil {

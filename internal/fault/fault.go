@@ -28,6 +28,10 @@ const (
 	StageExec
 	// StageModel covers timing/power model failures on a valid profile.
 	StageModel
+	// StageVerify covers static-conformance failures: the compiled region
+	// carries machine code illegal for its composite feature set
+	// (internal/check found violations before execution).
+	StageVerify
 )
 
 func (s Stage) String() string {
@@ -38,6 +42,8 @@ func (s Stage) String() string {
 		return "exec"
 	case StageModel:
 		return "model"
+	case StageVerify:
+		return "verify"
 	}
 	return fmt.Sprintf("stage(%d)", uint8(s))
 }

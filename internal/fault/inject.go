@@ -26,6 +26,13 @@ const (
 	// KindSlow delays the evaluation (without failing it) to exercise
 	// deadline/cancellation handling.
 	KindSlow
+	// KindBadCode mutates the compiled program into one that is illegal for
+	// its feature set, so the static verification stage (not the executor)
+	// must catch it. Opt-in only: it is excluded from the default kind list
+	// because enabling it would reshuffle the deterministic kind assignment
+	// (hash % len(kinds)) existing seeds rely on, and because it only
+	// produces a failure when verification is enabled.
+	KindBadCode
 )
 
 func (k Kind) String() string {
@@ -40,12 +47,15 @@ func (k Kind) String() string {
 		return "corrupt"
 	case KindSlow:
 		return "slow"
+	case KindBadCode:
+		return "badcode"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
 
 // ParseKinds parses a comma-separated kind list ("compile,runaway,corrupt,
-// slow"). An empty string selects every error-producing kind.
+// slow,badcode"). An empty string selects every default error-producing
+// kind; "badcode" is opt-in (see KindBadCode) and must be named explicitly.
 func ParseKinds(s string) ([]Kind, error) {
 	if strings.TrimSpace(s) == "" {
 		return []Kind{KindCompile, KindRunaway, KindCorrupt, KindSlow}, nil
@@ -61,6 +71,8 @@ func ParseKinds(s string) ([]Kind, error) {
 			out = append(out, KindCorrupt)
 		case "slow":
 			out = append(out, KindSlow)
+		case "badcode":
+			out = append(out, KindBadCode)
 		case "":
 		default:
 			return nil, fmt.Errorf("fault: unknown kind %q", strings.TrimSpace(part))
@@ -123,6 +135,15 @@ func NewInjector(cfg Config) (*Injector, error) {
 		cfg.SlowDelay = 2 * time.Millisecond
 	}
 	return &Injector{cfg: cfg, kinds: sorted}, nil
+}
+
+// Seed returns the configured seed (0 for a nil injector), so downstream
+// stages can derive deterministic per-run values from the same source.
+func (in *Injector) Seed() uint64 {
+	if in == nil {
+		return 0
+	}
+	return in.cfg.Seed
 }
 
 // hash mixes the seed and key with FNV-1a.

@@ -223,6 +223,67 @@ func TestVerifyCatchesUndefinedUse(t *testing.T) {
 	}
 }
 
+// TestVerifyCatchesUnreachableDef covers the hole the global used/defined
+// pass leaves open: a use in the entry block whose only definition sits in
+// a block no path from the use can supply. The definition exists somewhere
+// in f.Blocks, so the global pass accepts it; the reaching-defs pass must
+// not.
+func TestVerifyCatchesUnreachableDef(t *testing.T) {
+	b := NewBuilder("bad")
+	later := b.Block("later")
+	v := b.F.NewVReg(I64)
+	b.Ret(v) // used here, but nothing reaches the entry block
+	b.SetBlock(later)
+	c := b.Const(I64, 1)
+	b.Assign(v, Add, I64, c, c)
+	b.Ret(v)
+	if err := b.F.Verify(); err == nil || !strings.Contains(err.Error(), "no definition reaches") {
+		t.Fatalf("verifier must catch use with no reaching definition, got %v", err)
+	}
+}
+
+// TestVerifyAcceptsDefReachingAcrossBlockOrder pins the converse: a
+// definition that appears *later* in f.Blocks order but reaches the use
+// through the CFG is legal, so the reaching-defs pass must not regress into
+// a linear-order check.
+func TestVerifyAcceptsDefReachingAcrossBlockOrder(t *testing.T) {
+	b := NewBuilder("order")
+	useblk := b.Block("use")
+	defblk := b.Block("def")
+	v := b.F.NewVReg(I64)
+	b.Br(defblk)
+	b.SetBlock(defblk)
+	c := b.Const(I64, 21)
+	b.Assign(v, Add, I64, c, c)
+	b.Br(useblk)
+	b.SetBlock(useblk)
+	b.Ret(v)
+	if err := b.F.Verify(); err != nil {
+		t.Fatalf("def reaches use via CFG despite later block order: %v", err)
+	}
+}
+
+// TestVerifyAcceptsPartialJoinDef pins the may-analysis semantics: a value
+// defined on only one side of a diamond is still legal at the join (the
+// interpreter zero-initializes registers), so Verify must not reject it.
+func TestVerifyAcceptsPartialJoinDef(t *testing.T) {
+	b := NewBuilder("diamond")
+	then := b.Block("then")
+	join := b.Block("join")
+	v := b.F.NewVReg(I64)
+	one := b.Const(I64, 1)
+	cond := b.Cmp(LT, I64, one, one)
+	b.CondBr(cond, then, join, 0.5)
+	b.SetBlock(then)
+	b.Assign(v, Add, I64, one, one)
+	b.Br(join)
+	b.SetBlock(join)
+	b.Ret(v)
+	if err := b.F.Verify(); err != nil {
+		t.Fatalf("def on one join path must be accepted: %v", err)
+	}
+}
+
 func TestCFGAndRPO(t *testing.T) {
 	f := buildSumLoop(0x1000, 4)
 	f.ComputeCFG()

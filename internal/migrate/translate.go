@@ -72,33 +72,33 @@ func Translate(prog *code.Program, target isa.FeatureSet) (*code.Program, error)
 	// complexity, of which microx86 code is a subset.
 	if downs[isa.DowngradePredication] {
 		if cur, err = reverseIfConvert(cur); err != nil {
-			return nil, fmt.Errorf("migrate: %s predication downgrade: %v", prog.Name, err)
+			return nil, fmt.Errorf("migrate: %s predication downgrade: %w", prog.Name, err)
 		}
 	}
 	lifted := cur.FS
 	lifted.Complexity = isa.FullX86
 	if cur, err = retarget(cur, lifted); err != nil {
-		return nil, fmt.Errorf("migrate: %s: %v", prog.Name, err)
+		return nil, fmt.Errorf("migrate: %s: %w", prog.Name, err)
 	}
 	if downs[isa.DowngradeWidth] {
 		// Folded 64-bit memory operands must become explicit loads first:
 		// the widener emulates high words through registers' context
 		// slots, which memory operands do not have.
 		if cur, err = decompose(cur, true); err != nil {
-			return nil, fmt.Errorf("migrate: %s width downgrade: %v", prog.Name, err)
+			return nil, fmt.Errorf("migrate: %s width downgrade: %w", prog.Name, err)
 		}
 		if cur, err = narrowWidth(cur); err != nil {
-			return nil, fmt.Errorf("migrate: %s width downgrade: %v", prog.Name, err)
+			return nil, fmt.Errorf("migrate: %s width downgrade: %w", prog.Name, err)
 		}
 	}
 	if downs[isa.DowngradeDepth] {
 		if cur, err = lowerDepth(cur, target.Depth); err != nil {
-			return nil, fmt.Errorf("migrate: %s depth downgrade: %v", prog.Name, err)
+			return nil, fmt.Errorf("migrate: %s depth downgrade: %w", prog.Name, err)
 		}
 	}
 	if target.Complexity == isa.MicroX86 {
 		if cur, err = decompose(cur, false); err != nil {
-			return nil, fmt.Errorf("migrate: %s complexity downgrade: %v", prog.Name, err)
+			return nil, fmt.Errorf("migrate: %s complexity downgrade: %w", prog.Name, err)
 		}
 	}
 	// Final feature set: exactly the target.

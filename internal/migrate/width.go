@@ -25,7 +25,7 @@ func narrowWidth(p *code.Program) (*code.Program, error) {
 	for i := range p.Instrs {
 		rw.beginInstr(i)
 		if err := w.instr(i); err != nil {
-			return nil, fmt.Errorf("narrow %s[%d] (%s): %v", p.Name, i, code.FormatInstr(&p.Instrs[i]), err)
+			return nil, fmt.Errorf("narrow %s[%d] (%s): %w", p.Name, i, code.FormatInstr(&p.Instrs[i]), err)
 		}
 	}
 	fs := p.FS
@@ -488,7 +488,7 @@ func lowerDepth(p *code.Program, depth int) (*code.Program, error) {
 		for k, h := range high {
 			s, err := pick()
 			if err != nil {
-				return nil, fmt.Errorf("lowerDepth %s[%d]: %v", p.Name, i, err)
+				return nil, fmt.Errorf("lowerDepth %s[%d]: %w", p.Name, i, err)
 			}
 			sub[h] = s
 			slot := saveBaseDepth + k

@@ -1,0 +1,237 @@
+// Command faultwrap is a repository-local vet pass enforcing error-chain
+// preservation at the internal/fault boundary: every fmt.Errorf that
+// formats an error value must use %w, not %v/%s/%q.
+//
+// The evaluation pipeline's retry/quarantine machinery classifies failures
+// by walking error chains (errors.Is(err, fault.ErrInjected),
+// errors.As(&fault.Error{}), fault.IsTransient). A fmt.Errorf("...: %v",
+// err) anywhere between the failure site and the classifier flattens the
+// chain to a string and silently turns a classified fault into an opaque
+// one, so the check is enforced repo-wide.
+//
+// The pass is intentionally syntactic (stdlib go/parser only, no type
+// information): an argument is treated as an error when its terminal name
+// is "err" or ends in "err"/"Err" — matching this repository's naming
+// convention — which keeps the analyzer dependency-free in containers
+// without golang.org/x/tools. Deliberate stringification via err.Error()
+// is not flagged.
+//
+// Usage:
+//
+//	go run ./tools/analyzers/faultwrap ./...
+//
+// Exit status 1 if any finding is reported, 0 when clean.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	args := os.Args[1:]
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	fset := token.NewFileSet()
+	var findings []Finding
+	for _, arg := range args {
+		fs, err := checkPath(fset, arg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "faultwrap: %v\n", err)
+			os.Exit(2)
+		}
+		findings = append(findings, fs...)
+	}
+	for _, f := range findings {
+		fmt.Printf("%s: %s\n", fset.Position(f.Pos), f.Msg)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "faultwrap: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// checkPath analyzes one argument: a file, a directory, or a recursive
+// dir/... pattern.
+func checkPath(fset *token.FileSet, arg string) ([]Finding, error) {
+	recursive := false
+	if strings.HasSuffix(arg, "/...") {
+		recursive = true
+		arg = strings.TrimSuffix(arg, "/...")
+		if arg == "" {
+			arg = "."
+		}
+	}
+	info, err := os.Stat(arg)
+	if err != nil {
+		return nil, err
+	}
+	if !info.IsDir() {
+		return checkFile(fset, arg)
+	}
+	var findings []Finding
+	walk := func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != arg && (strings.HasPrefix(name, ".") || name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			if path != arg && !recursive {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		fs, ferr := checkFile(fset, path)
+		if ferr != nil {
+			return ferr
+		}
+		findings = append(findings, fs...)
+		return nil
+	}
+	if err := filepath.WalkDir(arg, walk); err != nil {
+		return nil, err
+	}
+	return findings, nil
+}
+
+func checkFile(fset *token.FileSet, path string) ([]Finding, error) {
+	f, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+	if err != nil {
+		return nil, err
+	}
+	return CheckFile(f), nil
+}
+
+// Finding is one %v/%s/%q-formats-an-error diagnostic.
+type Finding struct {
+	Pos token.Pos
+	Msg string
+}
+
+// CheckFile reports every fmt.Errorf call in the file that formats an
+// error-named argument with a stringifying verb instead of %w.
+func CheckFile(f *ast.File) []Finding {
+	// Resolve the local name bound to the real fmt package, so renamed
+	// imports are followed and a foreign package named "fmt" is ignored.
+	fmtName := ""
+	for _, imp := range f.Imports {
+		if imp.Path.Value == `"fmt"` {
+			fmtName = "fmt"
+			if imp.Name != nil {
+				fmtName = imp.Name.Name
+			}
+		}
+	}
+	if fmtName == "" || fmtName == "_" || fmtName == "." {
+		return nil
+	}
+	var findings []Finding
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Errorf" {
+			return true
+		}
+		pkg, ok := sel.X.(*ast.Ident)
+		if !ok || pkg.Name != fmtName || len(call.Args) < 2 {
+			return true
+		}
+		lit, ok := call.Args[0].(*ast.BasicLit)
+		if !ok || lit.Kind != token.STRING {
+			return true
+		}
+		format, err := strconv.Unquote(lit.Value)
+		if err != nil {
+			return true
+		}
+		verbs := formatVerbs(format)
+		for i, verb := range verbs {
+			if i+1 >= len(call.Args) {
+				break // malformed call; go vet reports arity
+			}
+			arg := call.Args[i+1]
+			if (verb == 'v' || verb == 's' || verb == 'q') && isErrorExpr(arg) {
+				findings = append(findings, Finding{
+					Pos: arg.Pos(),
+					Msg: fmt.Sprintf("fmt.Errorf formats error %q with %%%c; use %%w so the fault classifier can walk the chain",
+						exprName(arg), verb),
+				})
+			}
+		}
+		return true
+	})
+	return findings
+}
+
+// formatVerbs extracts the verb letter for each argument-consuming
+// directive in a Printf-style format string, in argument order. A '*'
+// width/precision consumes an argument of its own and is emitted as '*'.
+func formatVerbs(format string) []byte {
+	var verbs []byte
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		for i < len(format) {
+			c := format[i]
+			if c == '*' {
+				verbs = append(verbs, '*')
+				i++
+				continue
+			}
+			if strings.ContainsRune("+-# 0123456789.", rune(c)) {
+				i++
+				continue
+			}
+			break
+		}
+		if i >= len(format) {
+			break
+		}
+		if format[i] != '%' { // "%%" consumes no argument
+			verbs = append(verbs, format[i])
+		}
+	}
+	return verbs
+}
+
+// isErrorExpr reports whether an expression syntactically names an error:
+// its terminal identifier is "err" or ends in "err"/"Err". Calls like
+// ctx.Err() qualify through their method name; err.Error() does not —
+// stringifying through Error() is the explicit opt-out.
+func isErrorExpr(e ast.Expr) bool {
+	name := exprName(e)
+	return name == "err" || strings.HasSuffix(name, "err") || strings.HasSuffix(name, "Err")
+}
+
+// exprName returns the terminal name of an identifier, selector, or call
+// expression ("" when the shape is anything else).
+func exprName(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	case *ast.CallExpr:
+		return exprName(e.Fun)
+	}
+	return ""
+}

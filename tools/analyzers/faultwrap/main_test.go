@@ -1,0 +1,91 @@
+package main
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func check(t *testing.T, src string) []Finding {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "test.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return CheckFile(f)
+}
+
+func TestFlagsStringifiedError(t *testing.T) {
+	for _, src := range []string{
+		`package p; import "fmt"; func f(err error) error { return fmt.Errorf("x: %v", err) }`,
+		`package p; import "fmt"; func f(err error) error { return fmt.Errorf("x: %s", err) }`,
+		`package p; import "fmt"; func f(err error) error { return fmt.Errorf("x: %q", err) }`,
+		`package p; import "fmt"; func f(buildErr error) error { return fmt.Errorf("x: %v", buildErr) }`,
+		`package p; import "fmt"; import "context"; func f(ctx context.Context) error { return fmt.Errorf("x: %v", ctx.Err()) }`,
+		`package p; import "fmt"; type s struct{ err error }; func f(x s) error { return fmt.Errorf("x: %v", x.err) }`,
+		`package p; import "fmt"; func f(err error) error { return fmt.Errorf("%s at %d: %v", "f", 3, err) }`,
+		`package p; import "fmt"; func f(err error) error { return fmt.Errorf("%*d: %v", 4, 3, err) }`,
+	} {
+		if got := check(t, src); len(got) != 1 {
+			t.Errorf("want 1 finding, got %d for %s", len(got), src)
+		}
+	}
+}
+
+func TestAcceptsWrappedAndNonErrors(t *testing.T) {
+	for _, src := range []string{
+		`package p; import "fmt"; func f(err error) error { return fmt.Errorf("x: %w", err) }`,
+		`package p; import "fmt"; func f(err error) error { return fmt.Errorf("x: %w: %w", err, err) }`,
+		`package p; import "fmt"; func f(err error) string { return fmt.Sprintf("x: %v", err) }`,
+		`package p; import "fmt"; func f(err error) error { return fmt.Errorf("x: %s", err.Error()) }`,
+		`package p; import "fmt"; func f(n int) error { return fmt.Errorf("x: %v", n) }`,
+		`package p; import "fmt"; func f(name string) error { return fmt.Errorf("100%% of %s", name) }`,
+		`package p; func f() {}`,
+	} {
+		if got := check(t, src); len(got) != 0 {
+			t.Errorf("want 0 findings, got %d for %s", len(got), src)
+		}
+	}
+}
+
+func TestRespectsImportRenaming(t *testing.T) {
+	// A renamed fmt import is still the real fmt.Errorf...
+	src := `package p; import f "fmt"; func g(err error) error { return f.Errorf("x: %v", err) }`
+	if got := check(t, src); len(got) != 1 {
+		t.Errorf("renamed fmt import: want 1 finding, got %d", len(got))
+	}
+	// ...and a foreign package that happens to be called fmt is not.
+	src = `package p; import fmt "example.com/notfmt"; func g(err error) error { return fmt.Errorf("x: %v", err) }`
+	if got := check(t, src); len(got) != 0 {
+		t.Errorf("shadowed fmt package: want 0 findings, got %d", len(got))
+	}
+}
+
+func TestFindingMessageNamesVerb(t *testing.T) {
+	src := `package p; import "fmt"; func f(err error) error { return fmt.Errorf("x: %q", err) }`
+	got := check(t, src)
+	if len(got) != 1 || !strings.Contains(got[0].Msg, "%q") || !strings.Contains(got[0].Msg, "%w") {
+		t.Fatalf("finding must name the offending verb and suggest %%w: %+v", got)
+	}
+}
+
+func TestFormatVerbs(t *testing.T) {
+	for _, tc := range []struct {
+		format string
+		want   string
+	}{
+		{"%v", "v"},
+		{"%s: %d: %w", "sdw"},
+		{"%%", ""},
+		{"%-8s %+d %#x", "sdx"},
+		{"%*d", "*d"},
+		{"%.2f%%", "f"},
+		{"trailing %", ""},
+	} {
+		if got := string(formatVerbs(tc.format)); got != tc.want {
+			t.Errorf("formatVerbs(%q) = %q, want %q", tc.format, got, tc.want)
+		}
+	}
+}
