@@ -1,6 +1,7 @@
 GO ?= go
 
-.PHONY: check build vet lint test race fault-smoke conformance bench bench-smoke
+.PHONY: check build vet lint test race fault-smoke conformance bench bench-smoke \
+	bench-baseline bench-diff serve-smoke fuzz cover
 
 build:
 	$(GO) build ./...
@@ -25,7 +26,7 @@ test:
 # Race-check the concurrent packages (worker pools, metrics counters,
 # profile cache singleflight, candidate cache, parallel search seeds).
 race:
-	$(GO) test -race ./internal/par/ ./internal/metrics/ ./internal/eval/ ./internal/explore/ ./internal/fault/ ./internal/cpu/
+	$(GO) test -race ./internal/par/ ./internal/metrics/ ./internal/eval/ ./internal/explore/ ./internal/fault/ ./internal/cpu/ ./internal/serve/
 
 # Fault-tolerance smoke: the TestFault* suite exercises injection, retry,
 # quarantine, cancellation, determinism, and checkpoint/resume.
@@ -48,5 +49,44 @@ bench:
 # that unit tests miss without paying for the full bench sweep.
 bench-smoke:
 	$(GO) test -bench 'Fig5' -benchtime 1x -run '^$$'
+
+# Refresh the committed benchmark baseline (run this when a change is
+# intentionally slower, and say so in the commit).
+bench-baseline:
+	$(GO) test -bench . -benchtime 3x -run '^$$' -timeout 30m | tee /tmp/bench.txt
+	$(GO) run ./tools/benchdiff -write -baseline BENCH_baseline.json /tmp/bench.txt
+
+# Compare a fresh benchmark run against the committed baseline (the CI
+# bench-regression gate, locally).
+bench-diff:
+	$(GO) test -bench . -benchtime 3x -run '^$$' -timeout 30m | tee /tmp/bench.txt
+	$(GO) run ./tools/benchdiff -baseline BENCH_baseline.json -threshold 0.15 /tmp/bench.txt
+
+# Boot the evaluation service on an ephemeral port, drive it with the
+# closed-loop load generator, and gate on cache-hit rate and 5xx count —
+# the CI serve-smoke job, locally.
+serve-smoke:
+	$(GO) build -o /tmp/compisa-bin/ ./cmd/compose-serve ./cmd/compose-load
+	@rm -f /tmp/compisa-bin/serve.log
+	/tmp/compisa-bin/compose-serve -addr 127.0.0.1:0 -regions 8 -warm 2>/tmp/compisa-bin/serve.log & \
+	SERVE_PID=$$!; \
+	for i in $$(seq 1 50); do \
+		ADDR=$$(sed -n 's/^listening on \(http:[^ ]*\).*/\1/p' /tmp/compisa-bin/serve.log); \
+		[ -n "$$ADDR" ] && curl -fsS "$$ADDR/healthz" >/dev/null 2>&1 && break; \
+		sleep 0.2; \
+	done; \
+	[ -n "$$ADDR" ] || { echo "compose-serve did not come up"; cat /tmp/compisa-bin/serve.log; kill $$SERVE_PID; exit 1; }; \
+	/tmp/compisa-bin/compose-load -addr "$$ADDR" -requests 200 -concurrency 8 -points 3 -seed 7 \
+		-min-hit-rate 0.5 -max-5xx 0 -out BENCH_serve.json; \
+	STATUS=$$?; kill -TERM $$SERVE_PID; wait $$SERVE_PID 2>/dev/null; exit $$STATUS
+
+# 30-second fuzz pass over the superset instruction codec (the CI fuzz
+# step, locally).
+fuzz:
+	$(GO) test -fuzz FuzzEncodeDecodeVerify -fuzztime 30s -run '^$$' ./internal/encoding/
+
+cover:
+	$(GO) test -coverprofile=coverage.out ./internal/...
+	$(GO) tool cover -func=coverage.out | tail -1
 
 check: lint build test race fault-smoke

@@ -1,0 +1,140 @@
+// Command compose-serve exposes the design-point evaluation pipeline as a
+// long-lived HTTP/JSON service, so interactive tools and sweep clients
+// share one process-wide cache instead of paying the full profile+score
+// cost per invocation.
+//
+// Endpoints:
+//
+//	POST /evaluate      score one design point or a batch (≤256)
+//	POST /explore       start an async sweep; poll GET /explore/{id}
+//	GET  /healthz       liveness (503 + Retry-After while draining)
+//	GET  /metrics       Prometheus text exposition
+//
+// Operational controls:
+//
+//	-checkpoint  warm-start both cache tiers from a compose-explore
+//	             checkpoint and save the (grown) caches on shutdown.
+//	-warm        compute the reference metrics in the background at boot,
+//	             so the first request doesn't pay for them.
+//	-regions     serve only the first N suite regions (CI smoke runs).
+//
+// SIGTERM/SIGINT drains gracefully: in-flight requests complete, new ones
+// get 503 + Retry-After, then the caches are checkpointed.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"compisa/internal/explore"
+	"compisa/internal/par"
+	"compisa/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port)")
+	workers := flag.Int("workers", 0, "max concurrent evaluations (0 = one per CPU)")
+	queue := flag.Int("queue", 0, "max evaluations waiting for a worker before 429 (0 = 4x workers)")
+	timeout := flag.Duration("timeout", 2*time.Minute, "server-side deadline per design-point evaluation")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests")
+	checkpoint := flag.String("checkpoint", "", "checkpoint file: warm-start caches from it, save them back on shutdown")
+	regions := flag.Int("regions", 0, "serve only the first N suite regions (0 = full suite)")
+	verify := flag.Bool("verify", true, "statically verify compiled regions against their feature sets")
+	warm := flag.Bool("warm", false, "compute reference metrics in the background at startup")
+	stats := flag.Bool("stats", false, "print evaluation pipeline statistics on exit")
+	flag.Parse()
+	log.SetFlags(0)
+
+	if err := run(*addr, *workers, *queue, *timeout, *drainTimeout, *checkpoint, *regions, *verify, *warm, *stats); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(addr string, workers, queue int, timeout, drainTimeout time.Duration,
+	checkpoint string, regions int, verify, warm, stats bool) error {
+	db := explore.NewDB()
+	db.Verify = verify
+	db.Log = func(format string, args ...any) { log.Printf(format, args...) }
+	if regions > 0 && regions < len(db.Regions) {
+		db.Regions = db.Regions[:regions]
+	}
+
+	if checkpoint != "" {
+		st, err := explore.LoadCheckpoint(checkpoint)
+		if err != nil {
+			return err
+		}
+		if st != nil {
+			st.RestoreDB(db)
+			log.Printf("[warm-started from %s: %d ISA profile sets, %d candidates]",
+				checkpoint, len(st.Profiles), len(st.Candidates))
+		}
+	}
+
+	if workers <= 0 {
+		workers = par.DefaultLimit()
+	}
+	srv := serve.New(db, serve.Config{
+		Workers: workers, Queue: queue, Timeout: timeout,
+		EvalStats: &db.Stats,
+		Log:       func(format string, args ...any) { log.Printf(format, args...) },
+	})
+	srv.MarkEvaluated(db.CandidateKeys()...)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if warm {
+		go func() {
+			if _, err := db.ReferenceMetrics(ctx); err != nil && ctx.Err() == nil {
+				log.Printf("warm reference metrics: %v", err)
+			}
+		}()
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	// Printed for humans and for scripts that booted with :0.
+	fmt.Fprintf(os.Stderr, "listening on http://%s (%d regions, %d workers)\n",
+		ln.Addr(), len(db.Regions), workers)
+
+	hs := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("[shutting down: draining up to %s]", drainTimeout)
+	dctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := srv.Drain(dctx); err != nil {
+		log.Printf("drain: %v", err)
+	}
+	if err := hs.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("shutdown: %v", err)
+	}
+	if checkpoint != "" {
+		if err := explore.SaveCheckpoint(checkpoint, explore.Snapshot(db, nil)); err != nil {
+			log.Printf("checkpoint: %v", err)
+		} else {
+			log.Printf("[caches saved to %s]", checkpoint)
+		}
+	}
+	if stats {
+		fmt.Fprint(os.Stderr, db.Stats.Snapshot().Format())
+	}
+	return nil
+}

@@ -48,9 +48,23 @@ func (d DesignPoint) String() string {
 // CacheKey canonically identifies the design point for the candidate cache
 // tier. cpu.CoreConfig.Name() abbreviates (it omits fields that are coupled
 // within the pruned 180-config space), so the key spells out every
-// configuration field instead.
+// configuration field instead — explicitly, field by field, rather than
+// through reflective formatting. The key is a cross-process identity:
+// checkpoints written by one binary (compose-explore) warm-start another
+// (compose-serve), so its derivation must depend only on field values —
+// never on map iteration, pointer formatting, or struct declaration order —
+// and any change to it must bump the checkpoint version.
 func (d DesignPoint) CacheKey() string {
-	return d.ISA.Key() + "|" + fmt.Sprintf("%+v", d.Cfg)
+	c := d.Cfg
+	return fmt.Sprintf("%s|ooo=%t,w=%d,bp=%s,iq=%d,rob=%d,prfi=%d,prff=%d,alu=%d,mul=%d,fpu=%d,lsq=%d,l1i=%s,l1d=%s,l2=%s,uop=%t,fuse=%t",
+		d.ISA.Key(), c.OoO, c.Width, c.Predictor.ShortString(), c.IQ, c.ROB,
+		c.PRFInt, c.PRFFP, c.IntALU, c.IntMul, c.FPALU, c.LSQ,
+		cacheCfgKey(c.L1I), cacheCfgKey(c.L1D), cacheCfgKey(c.L2), c.UopCache, c.Fusion)
+}
+
+// cacheCfgKey canonically renders one cache configuration for CacheKey.
+func cacheCfgKey(c cpu.CacheCfg) string {
+	return fmt.Sprintf("%dk/%d/%d", c.SizeKB, c.Assoc, c.Banks)
 }
 
 // Area returns the core's total area (mm², including cache shares).
@@ -98,6 +112,45 @@ func VendorChoices() []ISAChoice {
 
 // X8664Choice is the single-ISA baseline.
 func X8664Choice() ISAChoice { return ISAChoice{FS: isa.X8664} }
+
+// AllChoices enumerates every ISA choice the pipeline can evaluate, in
+// deterministic order: the x86-64 reference, the 26 composite feature sets,
+// the x86-ized fixed sets, and the vendor ISAs.
+func AllChoices() []ISAChoice {
+	out := []ISAChoice{X8664Choice()}
+	out = append(out, CompositeChoices()...)
+	out = append(out, XIzedChoices()...)
+	out = append(out, VendorChoices()...)
+	return out
+}
+
+// ChoiceByKey resolves an ISA key (as produced by ISAChoice.Key, e.g.
+// "x86-16D-64W-P" or "vendor:thumb") back to its choice. It is the parsing
+// seam of the serving layer: requests name ISAs by key, and the key
+// vocabulary is exactly the enumerable choice space.
+func ChoiceByKey(key string) (ISAChoice, bool) {
+	for _, c := range AllChoices() {
+		if c.Key() == key {
+			return c, true
+		}
+	}
+	return ISAChoice{}, false
+}
+
+// ChoiceKeys lists every valid ISA key in AllChoices order, duplicates
+// (the x86-ized sets overlap the composites) removed.
+func ChoiceKeys() []string {
+	var keys []string
+	seen := map[string]bool{}
+	for _, c := range AllChoices() {
+		k := c.Key()
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	return keys
+}
 
 // ReferenceConfig is the normalization core: the largest out-of-order
 // configuration with 64KB caches and the 8MB L2.

@@ -56,6 +56,11 @@ type State struct {
 	// Candidates is the candidate cache tier; keys are re-derived from each
 	// candidate's design point on import.
 	Candidates []*Candidate `json:"candidates,omitempty"`
+	// Ref is the memoized normalization basis (the x86-64 reference metrics).
+	// Persisting it lets a warm-started process serve cached candidates
+	// without first re-running the reference's model stage; it stays valid
+	// across processes because evaluation is deterministic.
+	Ref []Metric `json:"ref,omitempty"`
 	// Stats accumulates pipeline statistics across checkpoint lineages.
 	Stats StatsSnapshot `json:"stats,omitzero"`
 }
@@ -84,6 +89,7 @@ func (db *DB) Export() State {
 	for _, k := range keys {
 		st.Candidates = append(st.Candidates, db.cands[k])
 	}
+	st.Ref = db.ref
 	db.mu.Unlock()
 	st.Stats = db.Stats.Snapshot()
 	return st
@@ -117,6 +123,9 @@ func (db *DB) Import(st State) {
 			db.cands[key] = c
 		}
 	}
+	if db.ref == nil && len(st.Ref) == len(db.Regions) {
+		db.ref = st.Ref
+	}
 	db.mu.Unlock()
 	db.Stats.Merge(st.Stats)
 }
@@ -126,4 +135,18 @@ func (db *DB) CachedCandidates() int {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	return len(db.cands)
+}
+
+// CandidateKeys returns the cache keys of every cached candidate, sorted.
+// A serving layer warm-started from a checkpoint uses them to account
+// requests for restored points as cache hits.
+func (db *DB) CandidateKeys() []string {
+	db.mu.Lock()
+	keys := make([]string, 0, len(db.cands))
+	for k := range db.cands {
+		keys = append(keys, k)
+	}
+	db.mu.Unlock()
+	sort.Strings(keys)
+	return keys
 }

@@ -42,9 +42,13 @@ type CheckpointState struct {
 	Profiles   map[string][]*cpu.Profile `json:"profiles"`
 	Quarantine map[string]string         `json:"quarantine,omitempty"`
 	// Candidates and Stats are the v2 additions; absent in legacy files.
-	Candidates []*Candidate           `json:"candidates,omitempty"`
-	Stats      StatsSnapshot          `json:"stats,omitzero"`
-	Frontier   map[string]SavedSearch `json:"frontier,omitempty"`
+	Candidates []*Candidate  `json:"candidates,omitempty"`
+	Stats      StatsSnapshot `json:"stats,omitzero"`
+	// Ref is the memoized normalization basis (optional within v2): with it
+	// restored, a warm-started process serves cached candidates without
+	// re-running the reference's model stage first.
+	Ref      []Metric               `json:"ref,omitempty"`
+	Frontier map[string]SavedSearch `json:"frontier,omitempty"`
 }
 
 // Snapshot captures the DB's caches and (if s is non-nil) the Searcher's
@@ -55,6 +59,7 @@ func Snapshot(db *DB, s *Searcher) *CheckpointState {
 	st.Profiles = dbState.Profiles
 	st.Quarantine = dbState.Quarantine
 	st.Candidates = dbState.Candidates
+	st.Ref = dbState.Ref
 	st.Stats = dbState.Stats
 	if s != nil {
 		st.Frontier = s.exportFrontier()
@@ -73,6 +78,7 @@ func (st *CheckpointState) RestoreDB(db *DB) {
 		Profiles:   st.Profiles,
 		Quarantine: st.Quarantine,
 		Candidates: st.Candidates,
+		Ref:        st.Ref,
 		Stats:      st.Stats,
 	})
 }

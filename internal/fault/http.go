@@ -1,0 +1,57 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"time"
+)
+
+// StatusClientClosedRequest is the nginx-convention status for a request
+// whose client went away before the response was ready; net/http has no
+// name for it.
+const StatusClientClosedRequest = 499
+
+// HTTPStatus maps an evaluation-pipeline error onto the HTTP status code a
+// serving layer should answer with. The mapping follows the taxonomy's
+// retry semantics: transient faults are 503 (the caller should retry,
+// after the hint from RetryAfter), deterministic compile/verify faults are
+// 422 (the design point itself produces illegal or uncompilable code — no
+// retry will change that), deadline expiry is 504, and anything else
+// deterministic is a plain 500. A nil error maps to 200.
+func HTTPStatus(err error) int {
+	switch {
+	case err == nil:
+		return http.StatusOK
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return StatusClientClosedRequest
+	}
+	var fe *Error
+	if errors.As(err, &fe) {
+		if fe.Transient {
+			return http.StatusServiceUnavailable
+		}
+		switch fe.Stage {
+		case StageCompile, StageVerify:
+			return http.StatusUnprocessableEntity
+		}
+		return http.StatusInternalServerError
+	}
+	return http.StatusInternalServerError
+}
+
+// RetryAfter returns the retry hint for an error: how long a client should
+// wait before retrying, and whether retrying is worthwhile at all. Only
+// transient faults (and deadline expiry, which clears when load does) are
+// retryable; the hint matches the pipeline's own first-retry backoff scale.
+func RetryAfter(err error) (time.Duration, bool) {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return 2 * time.Second, true
+	}
+	if IsTransient(err) {
+		return time.Second, true
+	}
+	return 0, false
+}

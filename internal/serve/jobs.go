@@ -1,0 +1,135 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	"compisa/internal/eval"
+	"compisa/internal/fault"
+	"compisa/internal/par"
+)
+
+// job is one asynchronous /explore sweep. The submitting request returns
+// immediately with the job id; clients poll GET /explore/{id}. Jobs run on
+// the server's root context, so Drain cancels them — their clients observe
+// the failure on the next poll and resubmit elsewhere.
+type job struct {
+	id        string
+	total     int
+	completed atomic.Int64
+
+	mu      sync.Mutex
+	done    bool
+	err     error
+	results []PointResult
+}
+
+func (j *job) response(includeResults bool) JobResponse {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	resp := JobResponse{
+		ID:        j.id,
+		Status:    "running",
+		Total:     j.total,
+		Completed: int(j.completed.Load()),
+	}
+	if j.done {
+		resp.Status = "done"
+		if j.err != nil {
+			resp.Status = "failed"
+			resp.Error = j.err.Error()
+		}
+		for _, r := range j.results {
+			if r.Error != "" {
+				resp.Errors++
+			}
+		}
+		if includeResults {
+			resp.Results = j.results
+		}
+	}
+	return resp
+}
+
+func (s *Server) handleExploreStart(w http.ResponseWriter, r *http.Request) {
+	if !s.serveBegin(w) {
+		return
+	}
+	defer s.end()
+	var req ExploreRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request body: %v", err))
+		return
+	}
+	isas := req.ISAs
+	if len(isas) == 0 {
+		isas = eval.ChoiceKeys()
+	}
+	points := make([]PointRequest, 0, len(isas)*max(len(req.Configs), 1))
+	for _, isa := range isas {
+		if _, ok := eval.ChoiceByKey(isa); !ok {
+			writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown ISA key %q", isa))
+			return
+		}
+		if len(req.Configs) == 0 {
+			points = append(points, PointRequest{ISA: isa})
+			continue
+		}
+		for i := range req.Configs {
+			cfg := req.Configs[i]
+			points = append(points, PointRequest{ISA: isa, Config: &cfg})
+		}
+	}
+
+	s.mu.Lock()
+	s.seq++
+	j := &job{id: fmt.Sprintf("job-%d", s.seq), total: len(points)}
+	s.jobs[j.id] = j
+	s.mu.Unlock()
+
+	go func() {
+		results := make([]PointResult, len(points))
+		_, errs := par.MapAll(s.root, len(points), 0, func(i int) (struct{}, error) {
+			results[i] = s.evalOne(s.root, points[i])
+			j.completed.Add(1)
+			return struct{}{}, nil
+		})
+		for i, err := range errs {
+			if err != nil && results[i].ISA == "" {
+				results[i] = PointResult{
+					ISA: points[i].ISA, Error: err.Error(), Status: fault.HTTPStatus(err),
+				}
+			}
+		}
+		j.mu.Lock()
+		j.done = true
+		j.results = results
+		for _, err := range errs {
+			if err != nil {
+				j.err = err
+				break
+			}
+		}
+		if j.err == nil && s.root.Err() != nil {
+			j.err = fmt.Errorf("job canceled: %w", s.root.Err())
+		}
+		j.mu.Unlock()
+	}()
+
+	writeJSON(w, http.StatusAccepted, j.response(false))
+}
+
+func (s *Server) handleExplorePoll(w http.ResponseWriter, r *http.Request) {
+	s.stats.Requests.Inc()
+	id := r.PathValue("id")
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("no such job %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.response(true))
+}

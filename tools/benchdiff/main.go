@@ -1,0 +1,214 @@
+// Command benchdiff compares a `go test -bench` run against a committed
+// baseline and fails on performance regressions — the comparator behind
+// the CI bench-regression gate.
+//
+// Two modes:
+//
+//	benchdiff -write -baseline BENCH_baseline.json bench.txt
+//	    parse a benchmark run and write it as the new baseline
+//	benchdiff -baseline BENCH_baseline.json [-threshold 0.15] bench.txt
+//	    compare a run against the baseline; exit 1 on regression or on a
+//	    baseline benchmark missing from the run
+//
+// Committed baselines are recorded on one machine and checked on another,
+// so absolute ns/op differences mostly measure the hardware. Calibration
+// (default on) removes that: each benchmark's new/old ratio is divided by
+// the median ratio across all benchmarks, so a uniform machine-speed shift
+// cancels out and only benchmarks that moved relative to the rest of the
+// suite can trip the threshold. -calibrate=false compares absolutes.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Baseline is the committed artifact: benchmark name -> ns/op.
+type Baseline struct {
+	Note       string             `json:"note,omitempty"`
+	Benchmarks map[string]float64 `json:"benchmarks"`
+}
+
+// timingRE matches the measurement part of a benchmark line: iteration
+// count, then ns/op. The repo's benchmarks log tables to stdout, so the
+// timing usually lands on its own line after the log output rather than on
+// the name line; both forms parse.
+var timingRE = regexp.MustCompile(`^\s*\d+\s+([0-9.]+) ns/op`)
+
+// nameRE matches a benchmark name at line start, with the optional
+// -GOMAXPROCS suffix Go appends on parallel runs.
+var nameRE = regexp.MustCompile(`^(Benchmark[\w/]+?)(?:-\d+)?(\s|$)`)
+
+// parseBench extracts name -> ns/op pairs from `go test -bench` output,
+// associating each timing line with the most recent benchmark name.
+func parseBench(r io.Reader) (map[string]float64, error) {
+	out := map[string]float64{}
+	var current string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if m := nameRE.FindStringSubmatch(line); m != nil {
+			current = m[1]
+			line = strings.TrimPrefix(line, m[0])
+		} else if !strings.HasPrefix(line, " ") && !strings.HasPrefix(line, "\t") {
+			// Log output resets nothing, but PASS/ok/FAIL end the stream's
+			// benchmark section; keep scanning anyway (harmless).
+			line = strings.TrimSpace(line)
+			if line == "PASS" || strings.HasPrefix(line, "ok ") || strings.HasPrefix(line, "FAIL") {
+				current = ""
+			}
+			continue
+		}
+		if current == "" {
+			continue
+		}
+		if m := timingRE.FindStringSubmatch(strings.TrimLeft(line, " \t")); m != nil {
+			v, err := strconv.ParseFloat(m[1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchdiff: bad ns/op on %q: %w", line, err)
+			}
+			out[current] = v
+			current = ""
+		}
+	}
+	return out, sc.Err()
+}
+
+// median of a non-empty slice (sorted copy; even length averages the pair).
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_baseline.json", "baseline JSON file")
+	write := flag.Bool("write", false, "write the parsed run as the new baseline instead of comparing")
+	threshold := flag.Float64("threshold", 0.15, "fail when a benchmark regresses more than this fraction")
+	calibrate := flag.Bool("calibrate", true, "normalize by the median new/old ratio to cancel machine-speed differences")
+	note := flag.String("note", "go test -bench . -benchtime 3x", "note recorded in a written baseline")
+	out := flag.String("out", "", "also write the parsed run as JSON to this file (artifact upload)")
+	flag.Parse()
+	log.SetFlags(0)
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() > 0 && flag.Arg(0) != "-" {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	run, err := parseBench(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(run) == 0 {
+		log.Fatal("benchdiff: no benchmarks found in input")
+	}
+
+	if *out != "" || *write {
+		data, err := json.MarshalIndent(Baseline{Note: *note, Benchmarks: run}, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		data = append(data, '\n')
+		paths := []string{}
+		if *out != "" {
+			paths = append(paths, *out)
+		}
+		if *write {
+			paths = append(paths, *baselinePath)
+		}
+		for _, p := range paths {
+			if err := os.WriteFile(p, data, 0o644); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if *write {
+			fmt.Printf("wrote %d benchmarks to %s\n", len(run), *baselinePath)
+			return
+		}
+	}
+
+	data, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var base Baseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		log.Fatalf("benchdiff: %s: %v", *baselinePath, err)
+	}
+	failures := compare(os.Stdout, base.Benchmarks, run, *threshold, *calibrate)
+	if failures > 0 {
+		fmt.Printf("\nFAIL: %d benchmark(s) regressed beyond %.0f%% (or went missing)\n", failures, *threshold*100)
+		os.Exit(1)
+	}
+	fmt.Printf("\nok: %d benchmarks within %.0f%% of baseline\n", len(base.Benchmarks), *threshold*100)
+}
+
+// compare prints a per-benchmark table and returns the number of failures:
+// regressions beyond the threshold plus baseline benchmarks missing from
+// the run. New benchmarks absent from the baseline are reported but never
+// fail (they gate once the baseline is refreshed).
+func compare(w io.Writer, base, run map[string]float64, threshold float64, calibrate bool) int {
+	names := make([]string, 0, len(base))
+	ratios := make([]float64, 0, len(base))
+	for name, old := range base {
+		names = append(names, name)
+		if v, ok := run[name]; ok && old > 0 {
+			ratios = append(ratios, v/old)
+		}
+	}
+	sort.Strings(names)
+	scale := 1.0
+	if calibrate && len(ratios) > 0 {
+		scale = median(ratios)
+		fmt.Fprintf(w, "calibration: median new/old ratio %.3f (machine-speed factor, divided out)\n", scale)
+	}
+
+	failures := 0
+	fmt.Fprintf(w, "%-42s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	for _, name := range names {
+		old := base[name]
+		v, ok := run[name]
+		if !ok {
+			fmt.Fprintf(w, "%-42s %14.0f %14s %9s  MISSING\n", name, old, "-", "-")
+			failures++
+			continue
+		}
+		delta := v/old/scale - 1
+		mark := ""
+		if delta > threshold {
+			mark = "  REGRESSION"
+			failures++
+		}
+		fmt.Fprintf(w, "%-42s %14.0f %14.0f %+8.1f%%%s\n", name, old, v, delta*100, mark)
+	}
+	extra := make([]string, 0)
+	for name := range run {
+		if _, ok := base[name]; !ok {
+			extra = append(extra, name)
+		}
+	}
+	sort.Strings(extra)
+	for _, name := range extra {
+		fmt.Fprintf(w, "%-42s %14s %14.0f %9s  (new, not gated)\n", name, "-", run[name], "-")
+	}
+	return failures
+}

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+// sample mirrors the repo's real bench output: names followed by logged
+// tables, with the timing line arriving separately — plus the same-line
+// form and a unit suffix.
+const sample = `BenchmarkSec3CodegenDeltas             	Section III code-generation deltas (measured vs paper)
+  depth 32->16: stores (spills)                    +61.3%   (paper +3.7%)
+20W                         1.000                  1.009
+
+       3	     56496 ns/op
+BenchmarkFig2InstructionMix            	Figure 2: dynamic micro-op mix
+astar       2.07    5.03    1.17    1.00    0.00    1.37
+
+       3	     56182 ns/op
+BenchmarkProfilePass                   	       3	  20039359 ns/op
+BenchmarkDetailedSim-8                 	       3	   5054703 ns/op	   9324335 instrs/s
+PASS
+ok  	compisa	264.289s
+`
+
+func TestParseBench(t *testing.T) {
+	got, err := parseBench(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{
+		"BenchmarkSec3CodegenDeltas":  56496,
+		"BenchmarkFig2InstructionMix": 56182,
+		"BenchmarkProfilePass":        20039359,
+		"BenchmarkDetailedSim":        5054703,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d benchmarks, want %d: %v", len(got), len(want), got)
+	}
+	for name, v := range want {
+		if got[name] != v {
+			t.Errorf("%s = %v, want %v", name, got[name], v)
+		}
+	}
+}
+
+func TestCompareCalibrated(t *testing.T) {
+	base := map[string]float64{"A": 1000, "B": 2000, "C": 4000}
+	// Machine uniformly 2x slower, but C also regressed 50% on top.
+	run := map[string]float64{"A": 2000, "B": 4000, "C": 12000}
+	if f := compare(io.Discard, base, run, 0.15, true); f != 1 {
+		t.Errorf("calibrated compare flagged %d failures, want 1 (only C)", f)
+	}
+	// Without calibration the uniform slowdown trips everything.
+	if f := compare(io.Discard, base, run, 0.15, false); f != 3 {
+		t.Errorf("absolute compare flagged %d failures, want 3", f)
+	}
+	// A clean uniform shift passes calibrated.
+	clean := map[string]float64{"A": 2000, "B": 4000, "C": 8000}
+	if f := compare(io.Discard, base, clean, 0.15, true); f != 0 {
+		t.Errorf("uniform shift flagged %d failures, want 0", f)
+	}
+}
+
+func TestCompareMissingAndNew(t *testing.T) {
+	base := map[string]float64{"A": 1000, "B": 2000}
+	run := map[string]float64{"A": 1000, "New": 5}
+	if f := compare(io.Discard, base, run, 0.15, false); f != 1 {
+		t.Errorf("missing benchmark flagged %d failures, want 1", f)
+	}
+}
