@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet lint test race fault-smoke conformance bench bench-smoke \
+.PHONY: check build vet lint test race fault-smoke chaos conformance bench bench-smoke \
 	bench-baseline bench-diff serve-smoke fuzz cover
 
 build:
@@ -24,14 +24,22 @@ test:
 	$(GO) test ./...
 
 # Race-check the concurrent packages (worker pools, metrics counters,
-# profile cache singleflight, candidate cache, parallel search seeds).
+# profile cache singleflight, candidate cache, parallel search seeds,
+# store appends and the store circuit breaker).
 race:
-	$(GO) test -race ./internal/par/ ./internal/metrics/ ./internal/eval/ ./internal/explore/ ./internal/fault/ ./internal/cpu/ ./internal/serve/
+	$(GO) test -race ./internal/par/ ./internal/metrics/ ./internal/eval/ ./internal/explore/ ./internal/fault/ ./internal/cpu/ ./internal/serve/ ./internal/store/
 
 # Fault-tolerance smoke: the TestFault* suite exercises injection, retry,
 # quarantine, cancellation, determinism, and checkpoint/resume.
 fault-smoke:
 	$(GO) test -run Fault -v ./internal/eval/ ./internal/explore/ ./internal/fault/ ./internal/cpu/
+
+# Crash-safety chaos suite: kill a store-writing child process at every
+# mutating operation (appends, fsyncs, compaction writes, renames) and
+# prove recovery — no acked-and-synced record lost, torn tails discarded,
+# reopen never fails. CHAOS_REPORT=<path> writes the recovery report JSON.
+chaos:
+	$(GO) test -run 'TestChaos' -v ./internal/store/
 
 # Conformance smoke: prove the compiler emits only feature-set-legal code
 # (zero findings over 26 feature sets x 49 regions, plain and compact
@@ -89,4 +97,4 @@ cover:
 	$(GO) test -coverprofile=coverage.out ./internal/...
 	$(GO) tool cover -func=coverage.out | tail -1
 
-check: lint build test race fault-smoke
+check: lint build test race fault-smoke chaos

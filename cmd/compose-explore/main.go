@@ -7,7 +7,12 @@
 //	-timeout     bounds the whole run; on expiry the run stops with a
 //	             saved checkpoint instead of hanging.
 //	-checkpoint  persists the profile cache and search frontier; an
-//	             interrupted run resumes from where it stopped.
+//	             interrupted run resumes from where it stopped. A corrupt
+//	             file is quarantined to <path>.corrupt and the run starts
+//	             cold (-checkpoint-strict fails instead).
+//	-store       crash-safe append-only candidate store: evaluations are
+//	             written through as they complete (durable mid-run, not
+//	             only at checkpoint boundaries) and reloaded at startup.
 //	-inject-*    deterministically inject evaluation faults to exercise
 //	             the retry/quarantine machinery.
 //	-stats       print evaluation-pipeline statistics on exit: per-stage
@@ -27,14 +32,19 @@ import (
 	"syscall"
 	"time"
 
+	"compisa/internal/eval"
 	"compisa/internal/explore"
 	"compisa/internal/fault"
+	"compisa/internal/store"
 )
 
 func main() {
 	exp := flag.String("experiment", "all", "experiment to run (sec3, fig2, fig5..fig15, table3, table4, all)")
 	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = no limit)")
 	checkpoint := flag.String("checkpoint", "", "checkpoint file: resume from it if present, save to it as searches complete")
+	checkpointStrict := flag.Bool("checkpoint-strict", false, "fail on a corrupt checkpoint instead of quarantining it and starting cold")
+	storePath := flag.String("store", "", "crash-safe candidate store: reload from it, write evaluations through as they complete")
+	storeSyncEvery := flag.Int("store-sync-every", 1, "group-commit boundary: fsync the store every N appended records")
 	injectRate := flag.Float64("inject-rate", 0, "fault injection rate in [0,1] (0 = no injection)")
 	injectSeed := flag.Uint64("inject-seed", 1, "fault injection seed (same seed => same faults)")
 	injectKinds := flag.String("inject-kinds", "", "comma-separated fault kinds to inject (compile,runaway,corrupt,slow,badcode); empty = all default kinds")
@@ -74,7 +84,17 @@ func main() {
 
 	var cpState *explore.CheckpointState
 	if *checkpoint != "" {
-		st, err := explore.LoadCheckpoint(*checkpoint)
+		var st *explore.CheckpointState
+		var err error
+		if *checkpointStrict {
+			st, err = explore.LoadCheckpoint(*checkpoint)
+		} else {
+			var quarantined string
+			st, quarantined, err = explore.RecoverCheckpoint(*checkpoint)
+			if quarantined != "" {
+				fmt.Fprintf(os.Stderr, "[corrupt checkpoint quarantined to %s; starting cold]\n", quarantined)
+			}
+		}
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -84,6 +104,32 @@ func main() {
 				*checkpoint, len(st.Profiles), len(st.Candidates), len(st.Frontier))
 		}
 		cpState = st
+	}
+
+	// The durable candidate store is optional and advisory: if it cannot
+	// open, the run proceeds memory-only (a checkpoint still captures
+	// results). With the default -store-sync-every=1 every acknowledged
+	// write is already fsynced, so skipping Close on a fatal exit loses
+	// nothing.
+	if *storePath != "" {
+		cs, err := store.Open(*storePath, store.Options{
+			SyncEvery: *storeSyncEvery,
+			Log:       func(format string, args ...any) { log.Printf(format, args...) },
+		})
+		if err != nil {
+			log.Printf("[store %s unavailable, running memory-only: %v]", *storePath, err)
+		} else {
+			defer cs.Close()
+			adapter := &eval.CandidateStore{S: cs}
+			loaded, skipped, lerr := adapter.LoadInto(db)
+			if lerr != nil {
+				log.Printf("[store warm-start: %v]", lerr)
+			} else if loaded > 0 || skipped > 0 {
+				fmt.Fprintf(os.Stderr, "[reloaded %d candidates from store %s (%d skipped)]\n",
+					loaded, *storePath, skipped)
+			}
+			db.Persist = adapter
+		}
 	}
 
 	s, err := explore.NewSearcher(ctx, db)

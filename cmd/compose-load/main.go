@@ -25,6 +25,7 @@ import (
 	"sync"
 	"time"
 
+	"compisa/internal/atomicfile"
 	"compisa/internal/cpu"
 	"compisa/internal/eval"
 )
@@ -106,7 +107,9 @@ func main() {
 	}
 	data = append(data, '\n')
 	if *out != "" {
-		if err := os.WriteFile(*out, data, 0o644); err != nil {
+		// Atomic+durable: a CI kill mid-write must not leave a torn
+		// BENCH_serve.json for the regression gate to choke on.
+		if err := atomicfile.WriteFile(*out, data, 0o644); err != nil {
 			log.Fatal(err)
 		}
 	} else {

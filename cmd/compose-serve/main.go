@@ -13,7 +13,15 @@
 // Operational controls:
 //
 //	-checkpoint  warm-start both cache tiers from a compose-explore
-//	             checkpoint and save the (grown) caches on shutdown.
+//	             checkpoint and save the (grown) caches on shutdown. A
+//	             corrupt checkpoint is quarantined to <path>.corrupt and
+//	             the server starts cold (-checkpoint-strict fails instead).
+//	-store       crash-safe append-only candidate store: every fresh
+//	             evaluation is written through as it completes, and the
+//	             candidate cache warm-starts from the log at boot. Store
+//	             failures never fail serving — a circuit breaker degrades
+//	             to memory-only ( /healthz "degraded") and probes for
+//	             recovery.
 //	-warm        compute the reference metrics in the background at boot,
 //	             so the first request doesn't pay for them.
 //	-regions     serve only the first N suite regions (CI smoke runs).
@@ -35,9 +43,11 @@ import (
 	"syscall"
 	"time"
 
+	"compisa/internal/eval"
 	"compisa/internal/explore"
 	"compisa/internal/par"
 	"compisa/internal/serve"
+	"compisa/internal/store"
 )
 
 func main() {
@@ -47,6 +57,9 @@ func main() {
 	timeout := flag.Duration("timeout", 2*time.Minute, "server-side deadline per design-point evaluation")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests")
 	checkpoint := flag.String("checkpoint", "", "checkpoint file: warm-start caches from it, save them back on shutdown")
+	checkpointStrict := flag.Bool("checkpoint-strict", false, "fail on a corrupt checkpoint instead of quarantining it and starting cold")
+	storePath := flag.String("store", "", "crash-safe candidate store: warm-start from it, write evaluations through as they complete")
+	storeSyncEvery := flag.Int("store-sync-every", 1, "group-commit boundary: fsync the store every N appended records")
 	regions := flag.Int("regions", 0, "serve only the first N suite regions (0 = full suite)")
 	verify := flag.Bool("verify", true, "statically verify compiled regions against their feature sets")
 	warm := flag.Bool("warm", false, "compute reference metrics in the background at startup")
@@ -54,13 +67,15 @@ func main() {
 	flag.Parse()
 	log.SetFlags(0)
 
-	if err := run(*addr, *workers, *queue, *timeout, *drainTimeout, *checkpoint, *regions, *verify, *warm, *stats); err != nil {
+	if err := run(*addr, *workers, *queue, *timeout, *drainTimeout, *checkpoint, *checkpointStrict,
+		*storePath, *storeSyncEvery, *regions, *verify, *warm, *stats); err != nil {
 		log.Fatal(err)
 	}
 }
 
 func run(addr string, workers, queue int, timeout, drainTimeout time.Duration,
-	checkpoint string, regions int, verify, warm, stats bool) error {
+	checkpoint string, checkpointStrict bool, storePath string, storeSyncEvery int,
+	regions int, verify, warm, stats bool) error {
 	db := explore.NewDB()
 	db.Verify = verify
 	db.Log = func(format string, args ...any) { log.Printf(format, args...) }
@@ -69,7 +84,17 @@ func run(addr string, workers, queue int, timeout, drainTimeout time.Duration,
 	}
 
 	if checkpoint != "" {
-		st, err := explore.LoadCheckpoint(checkpoint)
+		var st *explore.CheckpointState
+		var err error
+		if checkpointStrict {
+			st, err = explore.LoadCheckpoint(checkpoint)
+		} else {
+			var quarantined string
+			st, quarantined, err = explore.RecoverCheckpoint(checkpoint)
+			if quarantined != "" {
+				log.Printf("[corrupt checkpoint quarantined to %s; starting cold]", quarantined)
+			}
+		}
 		if err != nil {
 			return err
 		}
@@ -80,12 +105,42 @@ func run(addr string, workers, queue int, timeout, drainTimeout time.Duration,
 		}
 	}
 
+	// The durable tier is strictly optional: if the store cannot open, log
+	// and serve memory-only rather than refuse to start. Once open, a
+	// circuit breaker keeps runtime store failures away from the request
+	// path, and the candidate cache warm-starts from the log.
+	var breaker *serve.StoreBreaker
+	var candStore *store.Store
+	if storePath != "" {
+		cs, err := store.Open(storePath, store.Options{
+			SyncEvery: storeSyncEvery,
+			Log:       func(format string, args ...any) { log.Printf(format, args...) },
+		})
+		if err != nil {
+			log.Printf("[store %s unavailable, serving memory-only: %v]", storePath, err)
+		} else {
+			candStore = cs
+			adapter := &eval.CandidateStore{S: cs}
+			loaded, skipped, lerr := adapter.LoadInto(db)
+			if lerr != nil {
+				log.Printf("[store warm-start: %v]", lerr)
+			} else if loaded > 0 || skipped > 0 {
+				log.Printf("[warm-started %d candidates from store %s (%d skipped)]", loaded, storePath, skipped)
+			}
+			breaker = serve.NewStoreBreaker(adapter, serve.BreakerConfig{
+				Log: func(format string, args ...any) { log.Printf(format, args...) },
+			})
+			db.Persist = breaker
+		}
+	}
+
 	if workers <= 0 {
 		workers = par.DefaultLimit()
 	}
 	srv := serve.New(db, serve.Config{
 		Workers: workers, Queue: queue, Timeout: timeout,
 		EvalStats: &db.Stats,
+		Store:     breaker,
 		Log:       func(format string, args ...any) { log.Printf(format, args...) },
 	})
 	srv.MarkEvaluated(db.CandidateKeys()...)
@@ -131,6 +186,11 @@ func run(addr string, workers, queue int, timeout, drainTimeout time.Duration,
 			log.Printf("checkpoint: %v", err)
 		} else {
 			log.Printf("[caches saved to %s]", checkpoint)
+		}
+	}
+	if candStore != nil {
+		if err := candStore.Close(); err != nil {
+			log.Printf("store close: %v", err)
 		}
 	}
 	if stats {

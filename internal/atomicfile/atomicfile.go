@@ -1,0 +1,73 @@
+// Package atomicfile writes files atomically and durably: readers observe
+// either the previous contents or the new contents, never a torn mix, and
+// once WriteFile returns the new contents survive power loss.
+//
+// The sequence is the standard crash-safe construction:
+//
+//  1. create a uniquely named temp file in the target's directory (same
+//     filesystem, so the rename is atomic; unique name, so concurrent
+//     writers never clobber each other's temp),
+//  2. write the payload and fsync the temp (contents durable under the
+//     temp name before the swap),
+//  3. rename over the target (atomic on POSIX),
+//  4. fsync the parent directory (the rename itself durable).
+//
+// Skipping step 2 is the classic bug: rename-without-fsync can commit the
+// name before the data, leaving a zero-length or partial target after a
+// crash. Skipping step 4 can lose the rename itself, resurrecting the old
+// file — acceptable for caches, surprising for checkpoints.
+package atomicfile
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// WriteFile atomically and durably replaces path with data. The temp file
+// is created via os.CreateTemp in path's directory and removed on any
+// failure, so aborted writes leave no debris behind the target name.
+func WriteFile(path string, data []byte, perm os.FileMode) (err error) {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("atomicfile: %w", err)
+	}
+	tmp := f.Name()
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	if _, err = f.Write(data); err != nil {
+		return fmt.Errorf("atomicfile: write %s: %w", tmp, err)
+	}
+	// CreateTemp uses 0600; widen to the caller's mode before publishing.
+	if err = f.Chmod(perm); err != nil {
+		return fmt.Errorf("atomicfile: chmod %s: %w", tmp, err)
+	}
+	if err = f.Sync(); err != nil {
+		return fmt.Errorf("atomicfile: fsync %s: %w", tmp, err)
+	}
+	if err = f.Close(); err != nil {
+		return fmt.Errorf("atomicfile: close %s: %w", tmp, err)
+	}
+	if err = os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("atomicfile: rename %s: %w", tmp, err)
+	}
+	if err = syncDir(dir); err != nil {
+		return fmt.Errorf("atomicfile: sync dir %s: %w", dir, err)
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so a just-committed rename survives a crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

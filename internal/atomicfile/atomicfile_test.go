@@ -1,0 +1,124 @@
+package atomicfile
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+func TestWriteAndReplace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.json")
+	if err := WriteFile(path, []byte("v1"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "v1" {
+		t.Fatalf("read back %q, %v", got, err)
+	}
+	if runtime.GOOS != "windows" {
+		fi, _ := os.Stat(path)
+		if fi.Mode().Perm() != 0o644 {
+			t.Fatalf("mode = %v, want 0644", fi.Mode().Perm())
+		}
+	}
+	if err := WriteFile(path, []byte("v2"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = os.ReadFile(path)
+	if string(got) != "v2" {
+		t.Fatalf("after replace: %q", got)
+	}
+}
+
+// TestNoTempDebris: success and failure alike leave no temp files next to
+// the target.
+func TestNoTempDebris(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out")
+	if err := WriteFile(path, []byte("ok"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A write into a missing directory fails before any temp is created
+	// elsewhere.
+	if err := WriteFile(filepath.Join(dir, "missing", "out"), []byte("x"), 0o644); err == nil {
+		t.Fatal("write into missing directory succeeded")
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 || ents[0].Name() != "out" {
+		names := make([]string, len(ents))
+		for i, e := range ents {
+			names[i] = e.Name()
+		}
+		t.Fatalf("directory contains %v, want only [out]", names)
+	}
+}
+
+// TestConcurrentWriters: racing writers never produce a torn file — every
+// observable state is one writer's complete payload.
+func TestConcurrentWriters(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "contended")
+	payload := func(i int) []byte {
+		return bytes.Repeat([]byte{byte('a' + i)}, 4096)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 20; j++ {
+				if err := WriteFile(path, payload(i), 0o644); err != nil {
+					t.Errorf("writer %d: %v", i, err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4096 {
+		t.Fatalf("torn file: %d bytes", len(got))
+	}
+	for _, b := range got {
+		if b != got[0] {
+			t.Fatal("torn file: mixed payloads")
+		}
+	}
+}
+
+func TestLargePayload(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "big")
+	data := make([]byte, 8<<20)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	if err := WriteFile(path, data, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("payload mismatch")
+	}
+}
+
+func ExampleWriteFile() {
+	dir, _ := os.MkdirTemp("", "atomicfile")
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "report.txt")
+	_ = WriteFile(path, []byte("done\n"), 0o644)
+	data, _ := os.ReadFile(path)
+	fmt.Print(string(data))
+	// Output: done
+}

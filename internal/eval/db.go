@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"compisa/internal/check"
@@ -54,8 +55,16 @@ type DB struct {
 	// Log, if set, receives fault-tolerance events (retries, quarantines,
 	// degraded evaluations).
 	Log func(format string, args ...any)
+	// Persist, if set, receives every freshly evaluated cacheable candidate
+	// (write-through durability; see Persister). Persist failures degrade
+	// durability, never the evaluation.
+	Persist Persister
 	// Stats instruments the pipeline's stages and cache tiers.
 	Stats Stats
+
+	// persistDown tracks the durable tier's health for edge-triggered
+	// logging (a dead disk must not flood the log per evaluation).
+	persistDown atomic.Bool
 
 	mu         sync.Mutex
 	profiles   map[string][]*cpu.Profile // ISA key -> per-region profiles (nil slot = quarantined)

@@ -116,12 +116,19 @@ func (db *DB) Evaluate(ctx context.Context, dp DesignPoint, ref []Metric) (*Cand
 		db.mu.Lock()
 		// Existing entries win so concurrent evaluations of one design
 		// point converge on a single shared candidate.
+		won := false
 		if prev, ok := db.cands[key]; ok {
 			c = prev
 		} else {
 			db.cands[key] = c
+			won = true
 		}
 		db.mu.Unlock()
+		// Write-through the winning entry only: the durable log gets each
+		// evaluated point once, as soon as it exists.
+		if won {
+			db.persist(key, c)
+		}
 	}
 	return c, nil
 }

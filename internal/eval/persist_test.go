@@ -1,0 +1,149 @@
+package eval
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"compisa/internal/store"
+)
+
+// recordingPersister captures write-throughs and optionally fails them.
+type recordingPersister struct {
+	keys []string
+	err  error
+}
+
+func (p *recordingPersister) PutCandidate(key string, c *Candidate) error {
+	if p.err != nil {
+		return p.err
+	}
+	p.keys = append(p.keys, key)
+	return nil
+}
+
+// TestPersistWriteThrough: each cacheable evaluation reaches the Persister
+// exactly once — cache hits and repeated sweeps never re-persist.
+func TestPersistWriteThrough(t *testing.T) {
+	db := smallDB(2, nil)
+	p := &recordingPersister{}
+	db.Persist = p
+	ctx := context.Background()
+	ref, err := db.ReferenceMetrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp := DesignPoint{ISA: injectable(t), Cfg: ReferenceConfig()}
+	if _, err := db.Evaluate(ctx, dp, ref); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Evaluate(ctx, dp, ref); err != nil {
+		t.Fatal(err)
+	}
+	// Exactly one persist: the reference evaluation runs with a nil ref
+	// (uncacheable) and the second Evaluate of dp is a cache hit, so only
+	// dp's first evaluation writes through.
+	if len(p.keys) != 1 || p.keys[0] != dp.CacheKey() {
+		t.Fatalf("persisted keys = %v, want [%s]", p.keys, dp.CacheKey())
+	}
+	if got := db.Stats.Persisted.Load(); got != 1 {
+		t.Fatalf("Stats.Persisted = %d, want 1", got)
+	}
+
+	// Foreign-ref evaluations bypass the cache and must not persist either.
+	foreign := append([]Metric{}, ref...)
+	if _, err := db.Evaluate(ctx, dp, foreign); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.keys) != 1 {
+		t.Fatalf("foreign-ref evaluation persisted: keys = %v", p.keys)
+	}
+}
+
+// TestPersistFailureNeverFailsEvaluation: a dead Persister degrades
+// durability, not correctness — evaluations succeed, the error counter
+// moves, the result is still cached in memory.
+func TestPersistFailureNeverFailsEvaluation(t *testing.T) {
+	db := smallDB(2, nil)
+	db.Persist = &recordingPersister{err: errors.New("disk gone")}
+	ctx := context.Background()
+	ref, err := db.ReferenceMetrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp := DesignPoint{ISA: injectable(t), Cfg: ReferenceConfig()}
+	c, err := db.Evaluate(ctx, dp, ref)
+	if err != nil {
+		t.Fatalf("evaluation must survive persist failure: %v", err)
+	}
+	if c == nil {
+		t.Fatal("nil candidate")
+	}
+	if got := db.Stats.PersistErrors.Load(); got == 0 {
+		t.Fatal("Stats.PersistErrors did not move")
+	}
+	if db.Stats.Persisted.Load() != 0 {
+		t.Fatal("Stats.Persisted moved despite failures")
+	}
+	c2, err := db.Evaluate(ctx, dp, ref)
+	if err != nil || c2 != c {
+		t.Fatalf("in-memory cache must still serve the candidate: %v", err)
+	}
+}
+
+// TestCandidateStoreRoundtrip: evaluate against a real store, then
+// warm-start a fresh DB from the log — the restored candidates serve cache
+// hits without re-running the model stage.
+func TestCandidateStoreRoundtrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cands.log")
+	st, err := store.Open(path, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := smallDB(2, nil)
+	db.Persist = &CandidateStore{S: st}
+	ctx := context.Background()
+	ref, err := db.ReferenceMetrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dp := DesignPoint{ISA: injectable(t), Cfg: ReferenceConfig()}
+	if _, err := db.Evaluate(ctx, dp, ref); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := store.Open(path, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	db2 := smallDB(2, nil)
+	loaded, skipped, err := (&CandidateStore{S: st2}).LoadInto(db2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 0 {
+		t.Fatalf("skipped %d records on a clean log", skipped)
+	}
+	if loaded != 1 { // only dp: the reference evaluation is uncacheable
+		t.Fatalf("loaded = %d, want 1", loaded)
+	}
+	ref2, err := db2.ReferenceMetrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evals := db2.Stats.ModelEvals.Load()
+	if _, err := db2.Evaluate(ctx, dp, ref2); err != nil {
+		t.Fatal(err)
+	}
+	if got := db2.Stats.ModelEvals.Load(); got != evals {
+		t.Fatalf("warm-started evaluation re-ran the model stage (%d -> %d)", evals, got)
+	}
+	if db2.Stats.CandidateHits.Load() != 1 {
+		t.Fatalf("CandidateHits = %d, want 1", db2.Stats.CandidateHits.Load())
+	}
+}

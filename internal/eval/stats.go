@@ -29,6 +29,9 @@ type Stats struct {
 	Retries         metrics.Counter
 	Quarantines     metrics.Counter
 	DegradedRegions metrics.Counter // regions scored at the Policy penalties
+	// Durable tier (the write-through Persist hook).
+	Persisted     metrics.Counter // candidates written through to the store
+	PersistErrors metrics.Counter // write-throughs that failed (durability degraded)
 	// Stage timings.
 	CompileTime metrics.Histogram // successful build+compile passes
 	VerifyTime  metrics.Histogram // static-conformance verification passes
@@ -51,6 +54,8 @@ type StatsSnapshot struct {
 	Retries         int64 `json:"retries"`
 	Quarantines     int64 `json:"quarantines"`
 	DegradedRegions int64 `json:"degraded_regions"`
+	Persisted       int64 `json:"persisted,omitempty"`
+	PersistErrors   int64 `json:"persist_errors,omitempty"`
 
 	CompileTime metrics.HistogramSnapshot `json:"compile_time"`
 	VerifyTime  metrics.HistogramSnapshot `json:"verify_time,omitempty"`
@@ -73,6 +78,8 @@ func (s *Stats) Snapshot() StatsSnapshot {
 		Retries:         s.Retries.Load(),
 		Quarantines:     s.Quarantines.Load(),
 		DegradedRegions: s.DegradedRegions.Load(),
+		Persisted:       s.Persisted.Load(),
+		PersistErrors:   s.PersistErrors.Load(),
 		CompileTime:     s.CompileTime.Snapshot(),
 		VerifyTime:      s.VerifyTime.Snapshot(),
 		ExecTime:        s.ExecTime.Snapshot(),
@@ -94,6 +101,8 @@ func (s *Stats) Merge(sn StatsSnapshot) {
 	s.Retries.Add(sn.Retries)
 	s.Quarantines.Add(sn.Quarantines)
 	s.DegradedRegions.Add(sn.DegradedRegions)
+	s.Persisted.Add(sn.Persisted)
+	s.PersistErrors.Add(sn.PersistErrors)
 	s.CompileTime.Merge(sn.CompileTime)
 	s.VerifyTime.Merge(sn.VerifyTime)
 	s.ExecTime.Merge(sn.ExecTime)
@@ -108,6 +117,7 @@ func (sn StatsSnapshot) IsZero() bool {
 		sn.ProfileHits == 0 && sn.ProfileMisses == 0 &&
 		sn.CandidateHits == 0 && sn.CandidateMisses == 0 &&
 		sn.Retries == 0 && sn.Quarantines == 0 && sn.DegradedRegions == 0 &&
+		sn.Persisted == 0 && sn.PersistErrors == 0 &&
 		sn.CompileTime.Count == 0 && sn.ExecTime.Count == 0 && sn.ModelTime.Count == 0
 }
 
@@ -129,5 +139,9 @@ func (sn StatsSnapshot) Format() string {
 		sn.CandidateHits, sn.CandidateMisses, metrics.Rate(sn.CandidateHits, sn.CandidateMisses))
 	fmt.Fprintf(&sb, "  fault handling:   %8d retries %6d quarantines %6d degraded regions\n",
 		sn.Retries, sn.Quarantines, sn.DegradedRegions)
+	if sn.Persisted > 0 || sn.PersistErrors > 0 {
+		fmt.Fprintf(&sb, "  durable store:    %8d persisted %6d persist errors\n",
+			sn.Persisted, sn.PersistErrors)
+	}
 	return sb.String()
 }

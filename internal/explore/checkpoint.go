@@ -3,8 +3,10 @@
 // candidates), the quarantine list, the accumulated pipeline stats, and the
 // search frontier (completed multicore searches) serialize to one JSON
 // file, so a killed run resumes instead of recomputing. Saves are atomic
-// (tmp+rename); a missing file is an empty checkpoint, and a corrupt or
-// future-versioned file is an error rather than a silent partial restore.
+// and durable (atomicfile: temp + fsync + rename + dir fsync); a missing
+// file is an empty checkpoint, and a corrupt or future-versioned file is an
+// ErrCheckpointCorrupt error rather than a silent partial restore —
+// RecoverCheckpoint turns that into a quarantine-and-start-cold path.
 
 package explore
 
@@ -15,9 +17,16 @@ import (
 	"io/fs"
 	"os"
 
+	"compisa/internal/atomicfile"
 	"compisa/internal/cpu"
 	"compisa/internal/eval"
 )
+
+// ErrCheckpointCorrupt wraps every checkpoint failure that a retry cannot
+// fix: undecodable JSON (truncated or garbage file) and unusable versions.
+// Callers distinguish it from I/O errors to decide between degrading (start
+// cold, quarantine the file — see RecoverCheckpoint) and failing loudly.
+var ErrCheckpointCorrupt = errors.New("checkpoint corrupt")
 
 // checkpointVersion gates restores: bump it whenever the profile or design
 // point schema changes incompatibly. Version 1 (profiles + quarantine +
@@ -104,27 +113,45 @@ func LoadCheckpoint(path string) (*CheckpointState, error) {
 	}
 	var st CheckpointState
 	if err := json.Unmarshal(data, &st); err != nil {
-		return nil, fmt.Errorf("explore: checkpoint %s: %w", path, err)
+		return nil, fmt.Errorf("explore: checkpoint %s: %w: %w", path, ErrCheckpointCorrupt, err)
 	}
 	if st.Version != checkpointVersion && st.Version != checkpointVersionLegacy {
-		return nil, fmt.Errorf("explore: checkpoint %s: version %d, want %d (or legacy %d)",
-			path, st.Version, checkpointVersion, checkpointVersionLegacy)
+		return nil, fmt.Errorf("explore: checkpoint %s: %w: version %d, want %d (or legacy %d)",
+			path, ErrCheckpointCorrupt, st.Version, checkpointVersion, checkpointVersionLegacy)
 	}
 	return &st, nil
 }
 
-// SaveCheckpoint writes the state atomically (tmp file + rename), so a crash
-// mid-save never leaves a truncated checkpoint behind.
+// RecoverCheckpoint loads a checkpoint, degrading gracefully on corruption:
+// an unusable file (ErrCheckpointCorrupt) is renamed aside to
+// <path>.corrupt for post-mortem and the run starts cold with a nil state.
+// quarantined reports the rename target when that happened. Genuine I/O
+// errors (permissions, transient filesystem faults) still fail — retrying
+// those can succeed, and silently discarding a readable checkpoint would
+// throw away real work.
+func RecoverCheckpoint(path string) (st *CheckpointState, quarantined string, err error) {
+	st, err = LoadCheckpoint(path)
+	if err == nil {
+		return st, "", nil
+	}
+	if !errors.Is(err, ErrCheckpointCorrupt) {
+		return nil, "", err
+	}
+	dst := path + ".corrupt"
+	if rerr := os.Rename(path, dst); rerr != nil {
+		return nil, "", fmt.Errorf("explore: quarantine corrupt checkpoint: %w (load error: %w)", rerr, err)
+	}
+	return nil, dst, nil
+}
+
+// SaveCheckpoint writes the state atomically and durably (see atomicfile),
+// so a crash mid-save never leaves a truncated or missing checkpoint.
 func SaveCheckpoint(path string, st *CheckpointState) error {
 	data, err := json.Marshal(st)
 	if err != nil {
 		return fmt.Errorf("explore: save checkpoint: %w", err)
 	}
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
-		return fmt.Errorf("explore: save checkpoint: %w", err)
-	}
-	if err := os.Rename(tmp, path); err != nil {
+	if err := atomicfile.WriteFile(path, data, 0o644); err != nil {
 		return fmt.Errorf("explore: save checkpoint: %w", err)
 	}
 	return nil

@@ -1,0 +1,144 @@
+// Tests for checkpoint corruption handling: corrupt files are typed
+// (ErrCheckpointCorrupt), RecoverCheckpoint quarantines them and starts
+// cold, and good checkpoints survive recovery untouched.
+
+package explore
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeCheckpointFile plants raw bytes as a checkpoint.
+func writeCheckpointFile(t *testing.T, data []byte) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "ckpt.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestLoadCheckpointCorruptTyped: truncated JSON, garbage bytes, and
+// unusable versions all surface as ErrCheckpointCorrupt, while a missing
+// file stays (nil, nil) and plain I/O problems stay untyped.
+func TestLoadCheckpointCorruptTyped(t *testing.T) {
+	good := &CheckpointState{Version: checkpointVersion}
+	goodPath := filepath.Join(t.TempDir(), "good.json")
+	if err := SaveCheckpoint(goodPath, good); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(goodPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"truncated", data[:len(data)/2]},
+		{"garbage", []byte("\x00\xffnot json at all")},
+		{"empty", nil},
+		{"future-version", []byte(`{"version":99,"profiles":{}}`)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			path := writeCheckpointFile(t, tc.data)
+			_, err := LoadCheckpoint(path)
+			if !errors.Is(err, ErrCheckpointCorrupt) {
+				t.Fatalf("LoadCheckpoint(%s) = %v, want ErrCheckpointCorrupt", tc.name, err)
+			}
+		})
+	}
+
+	if st, err := LoadCheckpoint(filepath.Join(t.TempDir(), "absent.json")); st != nil || err != nil {
+		t.Fatalf("missing checkpoint: (%v, %v), want (nil, nil)", st, err)
+	}
+}
+
+// TestRecoverCheckpointQuarantines: recovery from a corrupt checkpoint
+// renames it aside to <path>.corrupt (preserving the bytes for post-mortem)
+// and returns a cold-start nil state.
+func TestRecoverCheckpointQuarantines(t *testing.T) {
+	garbage := []byte("{\"version\": 2, \"profiles\": {tru")
+	path := writeCheckpointFile(t, garbage)
+
+	st, quarantined, err := RecoverCheckpoint(path)
+	if err != nil {
+		t.Fatalf("RecoverCheckpoint: %v", err)
+	}
+	if st != nil {
+		t.Fatal("corrupt checkpoint produced a non-nil state")
+	}
+	if quarantined != path+".corrupt" {
+		t.Fatalf("quarantined = %q, want %q", quarantined, path+".corrupt")
+	}
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("original path still exists after quarantine: %v", err)
+	}
+	kept, err := os.ReadFile(quarantined)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(kept) != string(garbage) {
+		t.Fatal("quarantined file does not preserve the corrupt bytes")
+	}
+
+	// The quarantined name is out of the way: a fresh save to the original
+	// path works and loads cleanly afterwards.
+	if err := SaveCheckpoint(path, &CheckpointState{Version: checkpointVersion}); err != nil {
+		t.Fatal(err)
+	}
+	st2, quarantined2, err := RecoverCheckpoint(path)
+	if err != nil || quarantined2 != "" {
+		t.Fatalf("recover after resave: (%v, %q, %v)", st2, quarantined2, err)
+	}
+	if st2 == nil || st2.Version != checkpointVersion {
+		t.Fatalf("resaved checkpoint did not load: %+v", st2)
+	}
+}
+
+// TestRecoverCheckpointPassesThrough: a healthy checkpoint and a missing
+// one flow through recovery unchanged (no quarantine, no error).
+func TestRecoverCheckpointPassesThrough(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ok.json")
+	if err := SaveCheckpoint(path, &CheckpointState{Version: checkpointVersion}); err != nil {
+		t.Fatal(err)
+	}
+	st, q, err := RecoverCheckpoint(path)
+	if err != nil || q != "" || st == nil {
+		t.Fatalf("healthy: (%v, %q, %v)", st, q, err)
+	}
+	st, q, err = RecoverCheckpoint(filepath.Join(t.TempDir(), "absent.json"))
+	if err != nil || q != "" || st != nil {
+		t.Fatalf("missing: (%v, %q, %v)", st, q, err)
+	}
+}
+
+// TestSaveCheckpointNoTempDebris: saves leave exactly the checkpoint file —
+// the atomicfile temp never lingers, even across repeated saves.
+func TestSaveCheckpointNoTempDebris(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ckpt.json")
+	for i := 0; i < 3; i++ {
+		if err := SaveCheckpoint(path, &CheckpointState{Version: checkpointVersion}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Fatalf("temp debris left behind: %s", e.Name())
+		}
+	}
+	if len(ents) != 1 {
+		t.Fatalf("directory has %d entries, want 1", len(ents))
+	}
+}

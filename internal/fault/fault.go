@@ -32,6 +32,12 @@ const (
 	// carries machine code illegal for its composite feature set
 	// (internal/check found violations before execution).
 	StageVerify
+	// StageStore covers durable-tier failures: the content-addressed
+	// design-point store (internal/store) could not append, sync, or
+	// compact. Store faults never invalidate an in-memory evaluation —
+	// they degrade durability, so they are typically marked Transient
+	// (the disk may come back) and a serving layer answers from memory.
+	StageStore
 )
 
 func (s Stage) String() string {
@@ -44,6 +50,8 @@ func (s Stage) String() string {
 		return "model"
 	case StageVerify:
 		return "verify"
+	case StageStore:
+		return "store"
 	}
 	return fmt.Sprintf("stage(%d)", uint8(s))
 }
@@ -67,6 +75,10 @@ type Error struct {
 }
 
 func (e *Error) Error() string {
+	if e.Region == "" && e.ISA == "" {
+		// Store faults are not tied to a (region, ISA) pair.
+		return fmt.Sprintf("%s: %v", e.Stage, e.Err)
+	}
 	return fmt.Sprintf("%s %s for %s: %v", e.Stage, e.Region, e.ISA, e.Err)
 }
 

@@ -1,0 +1,144 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// allStages enumerates every Stage; extend it when the taxonomy grows (the
+// totality test below fails if a stage is added here without a String()
+// case, and the String() test's sentinel catches the reverse drift).
+var allStages = []Stage{StageCompile, StageExec, StageModel, StageVerify, StageStore}
+
+// TestStageStringTotal: every stage renders a real name — the taxonomy has
+// no stage that falls through to the "stage(N)" fallback.
+func TestStageStringTotal(t *testing.T) {
+	seen := map[string]Stage{}
+	for _, st := range allStages {
+		s := st.String()
+		if s == "" || strings.HasPrefix(s, "stage(") {
+			t.Errorf("Stage %d has no real String(): %q", st, s)
+		}
+		if prev, dup := seen[s]; dup {
+			t.Errorf("stages %d and %d share the name %q", prev, st, s)
+		}
+		seen[s] = st
+	}
+	// Guard the enumeration itself: a brand-new stage defined after the
+	// last known one would not be in allStages.
+	if next := allStages[len(allStages)-1] + 1; !strings.HasPrefix(next.String(), "stage(") {
+		t.Errorf("stage %d exists but is missing from allStages; extend the table", next)
+	}
+}
+
+// TestHTTPStatusTotal: the taxonomy→status mapping is total over every
+// (stage, transient) pair, and each status is one the serving layer
+// documents: transient faults are always 503, deterministic compile/verify
+// are 422, the rest 500.
+func TestHTTPStatusTotal(t *testing.T) {
+	for _, st := range allStages {
+		for _, transient := range []bool{false, true} {
+			err := &Error{Stage: st, Region: "r", ISA: "isa", Transient: transient, Err: errors.New("x")}
+			got := HTTPStatus(err)
+			want := http.StatusInternalServerError
+			switch {
+			case transient:
+				want = http.StatusServiceUnavailable
+			case st == StageCompile || st == StageVerify:
+				want = http.StatusUnprocessableEntity
+			}
+			if got != want {
+				t.Errorf("HTTPStatus(%s, transient=%v) = %d, want %d", st, transient, got, want)
+			}
+			if got < 400 || got > 599 {
+				t.Errorf("HTTPStatus(%s, transient=%v) = %d: not an error status", st, transient, got)
+			}
+		}
+	}
+}
+
+// TestHTTPStatusWrapped: the mapping sees through fmt.Errorf("%w") chains
+// and errors.Join — a fault wrapped by arbitrary context layers keeps its
+// status.
+func TestHTTPStatusWrapped(t *testing.T) {
+	base := &Error{Stage: StageStore, Transient: true, Err: errors.New("disk gone")}
+	cases := []struct {
+		name string
+		err  error
+		want int
+	}{
+		{"bare", base, http.StatusServiceUnavailable},
+		{"wrapped once", fmt.Errorf("put key: %w", base), http.StatusServiceUnavailable},
+		{"wrapped twice", fmt.Errorf("outer: %w", fmt.Errorf("inner: %w", base)), http.StatusServiceUnavailable},
+		{"joined with plain", errors.Join(errors.New("unrelated"), base), http.StatusServiceUnavailable},
+		{"joined deterministic", errors.Join(
+			fmt.Errorf("ctx: %w", &Error{Stage: StageCompile, Err: errors.New("bad encoding")}),
+		), http.StatusUnprocessableEntity},
+		{"wrapped deadline", fmt.Errorf("evaluate: %w", context.DeadlineExceeded), http.StatusGatewayTimeout},
+		{"wrapped cancel", fmt.Errorf("evaluate: %w", context.Canceled), StatusClientClosedRequest},
+		{"plain error", errors.New("mystery"), http.StatusInternalServerError},
+		{"nil", nil, http.StatusOK},
+	}
+	for _, tc := range cases {
+		if got := HTTPStatus(tc.err); got != tc.want {
+			t.Errorf("HTTPStatus(%s) = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestRetryAfter: only transient faults and deadline expiry earn a retry
+// hint, and the hint survives wrapping and joining like the status does.
+func TestRetryAfter(t *testing.T) {
+	transient := &Error{Stage: StageStore, Transient: true, Err: errors.New("io")}
+	deterministic := &Error{Stage: StageModel, Err: errors.New("nan")}
+	cases := []struct {
+		name      string
+		err       error
+		retryable bool
+		min       time.Duration
+	}{
+		{"transient bare", transient, true, time.Second},
+		{"transient wrapped", fmt.Errorf("put: %w", transient), true, time.Second},
+		{"transient joined", errors.Join(errors.New("noise"), transient), true, time.Second},
+		{"deadline", fmt.Errorf("eval: %w", context.DeadlineExceeded), true, 2 * time.Second},
+		{"deterministic", deterministic, false, 0},
+		{"deterministic wrapped", fmt.Errorf("x: %w", deterministic), false, 0},
+		{"plain", errors.New("plain"), false, 0},
+		{"nil", nil, false, 0},
+	}
+	for _, tc := range cases {
+		d, ok := RetryAfter(tc.err)
+		if ok != tc.retryable {
+			t.Errorf("RetryAfter(%s) retryable = %v, want %v", tc.name, ok, tc.retryable)
+			continue
+		}
+		if ok && d < tc.min {
+			t.Errorf("RetryAfter(%s) = %v, want >= %v", tc.name, d, tc.min)
+		}
+		if !ok && d != 0 {
+			t.Errorf("RetryAfter(%s) = %v with ok=false, want 0", tc.name, d)
+		}
+	}
+}
+
+// TestErrorMessageShapes: store faults (no region/ISA) render without the
+// dangling "for" that the (region, ISA) format would produce.
+func TestErrorMessageShapes(t *testing.T) {
+	withPair := &Error{Stage: StageCompile, Region: "gcc", ISA: "x86", Err: errors.New("boom")}
+	if msg := withPair.Error(); !strings.Contains(msg, "gcc") || !strings.Contains(msg, "x86") {
+		t.Errorf("pair fault message lost its coordinates: %q", msg)
+	}
+	storeFault := &Error{Stage: StageStore, Transient: true, Err: errors.New("fsync failed")}
+	msg := storeFault.Error()
+	if strings.Contains(msg, " for ") || strings.Contains(msg, "  ") {
+		t.Errorf("store fault message has pair-format debris: %q", msg)
+	}
+	if !strings.HasPrefix(msg, "store: ") {
+		t.Errorf("store fault message = %q, want 'store: ...' prefix", msg)
+	}
+}

@@ -33,6 +33,22 @@ const (
 	// (hash % len(kinds)) existing seeds rely on, and because it only
 	// produces a failure when verification is enabled.
 	KindBadCode
+	// The Kind*Write/Sync/Crash kinds are store-operation faults consumed
+	// by a StoreInjector (see store.go), not by the evaluation pipeline's
+	// Injector: they fire per filesystem operation of the durable
+	// design-point store rather than per (region, ISA) evaluation.
+	//
+	// KindShortWrite makes a write persist only a prefix of its buffer and
+	// report an error — the torn-write shape a crash leaves on disk.
+	KindShortWrite
+	// KindWriteErr fails a write outright with no bytes persisted.
+	KindWriteErr
+	// KindSyncErr fails an fsync (the data may or may not reach disk; the
+	// store must treat it as not durable).
+	KindSyncErr
+	// KindCrash kills the process mid-operation (after persisting a torn
+	// prefix for writes), driving the subprocess chaos harness.
+	KindCrash
 )
 
 func (k Kind) String() string {
@@ -49,6 +65,14 @@ func (k Kind) String() string {
 		return "slow"
 	case KindBadCode:
 		return "badcode"
+	case KindShortWrite:
+		return "shortwrite"
+	case KindWriteErr:
+		return "writeerr"
+	case KindSyncErr:
+		return "syncerr"
+	case KindCrash:
+		return "crash"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }

@@ -38,6 +38,20 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	pw.Histogram("compisa_serve_point_duration_seconds", "Per-point serving latency.",
 		s.stats.Latency.Snapshot())
 
+	if b := s.cfg.Store; b != nil {
+		degraded := 0.0
+		if b.Degraded() {
+			degraded = 1
+		}
+		pw.Gauge("compisa_serve_store_degraded",
+			"1 while the store circuit is not closed (serving memory-only).", degraded)
+		bs := b.Stats()
+		pw.Counter("compisa_serve_store_trips_total", "Store circuit open transitions.", bs.Trips.Load())
+		pw.Counter("compisa_serve_store_skipped_writes_total", "Writes dropped while the circuit was open.",
+			bs.Skipped.Load())
+		pw.Counter("compisa_serve_store_probes_total", "Half-open probe writes attempted.", bs.Probes.Load())
+		pw.Counter("compisa_serve_store_failures_total", "Store writes that failed.", bs.Failures.Load())
+	}
 	if es := s.cfg.EvalStats; es != nil {
 		pw.Counter("compisa_eval_stage_total", "Pipeline stage executions.", es.Compiles.Load(), "stage", "compile")
 		pw.Counter("compisa_eval_stage_total", "Pipeline stage executions.", es.Verifies.Load(), "stage", "verify")
@@ -51,6 +65,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		pw.Counter("compisa_eval_quarantines_total", "(region, ISA) pairs quarantined.", es.Quarantines.Load())
 		pw.Counter("compisa_eval_degraded_regions_total", "Regions scored at the Policy penalties.",
 			es.DegradedRegions.Load())
+		pw.Counter("compisa_eval_persisted_total", "Candidates written through to the durable store.",
+			es.Persisted.Load())
+		pw.Counter("compisa_eval_persist_errors_total", "Candidate write-throughs that failed.",
+			es.PersistErrors.Load())
 		pw.Histogram("compisa_eval_stage_duration_seconds", "Stage timings.",
 			es.CompileTime.Snapshot(), "stage", "compile")
 		pw.Histogram("compisa_eval_stage_duration_seconds", "Stage timings.",

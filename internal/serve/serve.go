@@ -69,6 +69,11 @@ type Config struct {
 	// EvalStats, when set, exposes the evaluation pipeline's own counters
 	// and histograms on /metrics alongside the server's.
 	EvalStats *eval.Stats
+	// Store, when set, is the durable tier's circuit breaker; its state is
+	// surfaced on /healthz ("degraded" while the circuit is not closed) and
+	// /metrics. Serving never depends on it — a degraded store only means
+	// fresh evaluations are not being persisted.
+	Store *StoreBreaker
 	// Log, if set, receives serving events (rejections, faults, drain).
 	Log func(format string, args ...any)
 }
@@ -432,6 +437,15 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	h := HealthResponse{
 		Status:  "ok",
 		UptimeS: time.Since(s.start).Seconds(),
+	}
+	if b := s.cfg.Store; b != nil {
+		h.Store = string(b.State())
+		if b.Degraded() {
+			// Degraded is still 200: the service answers evaluations from
+			// memory; only durability is impaired. Load balancers keep
+			// routing here, operators alert on the status string.
+			h.Status = "degraded"
+		}
 	}
 	if s.Draining() {
 		h.Status = "draining"

@@ -1,0 +1,104 @@
+package store
+
+import (
+	"fmt"
+
+	"compisa/internal/fault"
+	"os"
+)
+
+// FaultFS wraps an FS and consults a fault.StoreInjector on every mutating
+// operation: writes, fsyncs, renames, and directory fsyncs. It simulates
+//
+//   - short writes: only a prefix of the buffer reaches the file, and the
+//     operation reports an error (what a crashed write leaves behind);
+//   - write errors: nothing reaches the file;
+//   - fsync errors: the sync reports failure (bytes may or may not be
+//     durable — the store must treat them as not);
+//   - crashes: the process exits mid-operation, after persisting a torn
+//     prefix for writes, driving the subprocess chaos harness.
+//
+// Reads and truncates pass through untouched: recovery must always be able
+// to run.
+type FaultFS struct {
+	FS
+	Inject *fault.StoreInjector
+}
+
+// NewFaultFS wraps fs (nil = OSFS{}) with injection.
+func NewFaultFS(fs FS, inj *fault.StoreInjector) *FaultFS {
+	if fs == nil {
+		fs = OSFS{}
+	}
+	return &FaultFS{FS: fs, Inject: inj}
+}
+
+func (f *FaultFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	file, err := f.FS.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{File: file, inj: f.Inject}, nil
+}
+
+func (f *FaultFS) CreateTemp(dir, pattern string) (File, string, error) {
+	file, name, err := f.FS.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, "", err
+	}
+	return &faultFile{File: file, inj: f.Inject}, name, nil
+}
+
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	switch d := f.Inject.Decide(fault.OpRename); d.Kind {
+	case fault.KindCrash:
+		// Killed before the swap: the old file must still be complete.
+		f.Inject.Crash()
+	}
+	return f.FS.Rename(oldpath, newpath)
+}
+
+func (f *FaultFS) SyncDir(dir string) error {
+	switch d := f.Inject.Decide(fault.OpSyncDir); d.Kind {
+	case fault.KindCrash:
+		// Killed after the rename but before the directory fsync.
+		f.Inject.Crash()
+	case fault.KindSyncErr:
+		return fmt.Errorf("%w: %s dir sync", fault.ErrInjected, d.Kind)
+	}
+	return f.FS.SyncDir(dir)
+}
+
+// faultFile intercepts the mutating File operations.
+type faultFile struct {
+	File
+	inj *fault.StoreInjector
+}
+
+func (f *faultFile) WriteAt(p []byte, off int64) (int, error) {
+	switch d := f.inj.Decide(fault.OpWrite); d.Kind {
+	case fault.KindCrash:
+		// Persist a torn prefix, then die: the on-disk image matches a
+		// kill mid-write.
+		f.File.WriteAt(p[:len(p)/2], off)
+		f.inj.Crash()
+	case fault.KindShortWrite:
+		n, _ := f.File.WriteAt(p[:len(p)/2], off)
+		return n, fmt.Errorf("%w: short write (%d of %d bytes)", fault.ErrInjected, n, len(p))
+	case fault.KindWriteErr:
+		return 0, fmt.Errorf("%w: write error", fault.ErrInjected)
+	}
+	return f.File.WriteAt(p, off)
+}
+
+func (f *faultFile) Sync() error {
+	switch d := f.inj.Decide(fault.OpSync); d.Kind {
+	case fault.KindCrash:
+		// Killed instead of syncing: anything since the last good sync
+		// may or may not survive — the invariant only covers acked syncs.
+		f.inj.Crash()
+	case fault.KindSyncErr:
+		return fmt.Errorf("%w: fsync error", fault.ErrInjected)
+	}
+	return f.File.Sync()
+}

@@ -1,0 +1,69 @@
+package store
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// FS is the seam between the store and the filesystem: every byte the
+// store persists flows through it, so a fault-injecting implementation
+// (FaultFS) can tear writes, fail fsyncs, and crash the process at any
+// mutating operation while the store's own logic stays untouched.
+type FS interface {
+	// OpenFile opens (creating if needed) the named file for read/write.
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	// CreateTemp creates a uniquely named temporary file in dir (compaction
+	// targets; renamed into place once complete and synced).
+	CreateTemp(dir, pattern string) (File, string, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file (stale compaction temporaries).
+	Remove(name string) error
+	// SyncDir fsyncs a directory, making a completed rename durable.
+	SyncDir(dir string) error
+}
+
+// File is the slice of *os.File the store uses. Appends go through WriteAt
+// at the tracked end offset (never O_APPEND), so a fault wrapper sees the
+// exact bytes and offset of every write.
+type File interface {
+	io.ReaderAt
+	io.WriterAt
+	io.Closer
+	Sync() error
+	Truncate(size int64) error
+}
+
+// OSFS is the production FS backed by package os.
+type OSFS struct{}
+
+func (OSFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	return os.OpenFile(name, flag, perm)
+}
+
+func (OSFS) CreateTemp(dir, pattern string) (File, string, error) {
+	f, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, "", err
+	}
+	return f, f.Name(), nil
+}
+
+func (OSFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (OSFS) Remove(name string) error { return os.Remove(name) }
+
+func (OSFS) SyncDir(dir string) error {
+	d, err := os.Open(filepath.Clean(dir))
+	if err != nil {
+		return err
+	}
+	// Directory fsync is advisory on some filesystems; a sync error still
+	// matters (the rename may not be durable) and is reported as such.
+	serr := d.Sync()
+	if cerr := d.Close(); serr == nil {
+		serr = cerr
+	}
+	return serr
+}
