@@ -61,13 +61,13 @@ bench-smoke:
 # Refresh the committed benchmark baseline (run this when a change is
 # intentionally slower, and say so in the commit).
 bench-baseline:
-	$(GO) test -bench . -benchtime 3x -run '^$$' -timeout 30m | tee /tmp/bench.txt
+	$(GO) test -bench . -benchtime 3x -benchmem -run '^$$' -timeout 30m | tee /tmp/bench.txt
 	$(GO) run ./tools/benchdiff -write -baseline BENCH_baseline.json /tmp/bench.txt
 
 # Compare a fresh benchmark run against the committed baseline (the CI
-# bench-regression gate, locally).
+# bench-regression gate, locally). -benchmem feeds the allocs/op gate.
 bench-diff:
-	$(GO) test -bench . -benchtime 3x -run '^$$' -timeout 30m | tee /tmp/bench.txt
+	$(GO) test -bench . -benchtime 3x -benchmem -run '^$$' -timeout 30m | tee /tmp/bench.txt
 	$(GO) run ./tools/benchdiff -baseline BENCH_baseline.json -threshold 0.15 /tmp/bench.txt
 
 # Boot the evaluation service on an ephemeral port, drive it with the

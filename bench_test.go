@@ -15,6 +15,7 @@ import (
 	"compisa/internal/cpu"
 	"compisa/internal/explore"
 	"compisa/internal/isa"
+	"compisa/internal/perfmodel"
 	"compisa/internal/power"
 	"compisa/internal/workload"
 )
@@ -376,6 +377,94 @@ func BenchmarkProfilePass(b *testing.B) {
 			b.Fatal(err)
 		}
 		if _, _, err := cpu.CollectProfile(prog, m, 40_000_000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+var (
+	hotOnce sync.Once
+	hotProg *struct {
+		prog *cpu.Predecoded
+		prof *cpu.Profile
+	}
+	hotErr error
+)
+
+// hotPath compiles and profiles gobmk.0 once, for the hot-path
+// micro-benchmarks that measure one stage (predecode, scoring, codec) in
+// isolation rather than the whole pass.
+func hotPath(b *testing.B) (*cpu.Predecoded, *cpu.Profile) {
+	b.Helper()
+	hotOnce.Do(func() {
+		var reg workload.Region
+		for _, r := range workload.Regions() {
+			if r.Name == "gobmk.0" {
+				reg = r
+			}
+		}
+		f, m, err := reg.Build(64)
+		if err != nil {
+			hotErr = err
+			return
+		}
+		prog, err := compiler.Compile(f, isa.X8664, compiler.Options{})
+		if err != nil {
+			hotErr = err
+			return
+		}
+		prog.Name = reg.Name
+		prof, _, err := cpu.CollectProfile(prog, m, 40_000_000)
+		if err != nil {
+			hotErr = err
+			return
+		}
+		hotProg = &struct {
+			prog *cpu.Predecoded
+			prof *cpu.Profile
+		}{cpu.Predecode(prog), prof}
+	})
+	if hotErr != nil {
+		b.Fatal(hotErr)
+	}
+	return hotProg.prog, hotProg.prof
+}
+
+// BenchmarkPredecode measures building the predecoded program form — the
+// per-program cost amortized across every profiling and timing pass.
+func BenchmarkPredecode(b *testing.B) {
+	pd, _ := hotPath(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cpu.Predecode(pd.P)
+	}
+}
+
+// BenchmarkBatchScore measures scoring one profile across the full
+// exploration configuration grid through the batch Scorer.
+func BenchmarkBatchScore(b *testing.B) {
+	_, prof := hotPath(b)
+	cfgs := explore.Configs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := perfmodel.CyclesBatch(prof, cfgs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkProfileEncode measures one binary encode/decode roundtrip of a
+// profile — the unit cost of checkpointing a sweep's profile cache.
+func BenchmarkProfileEncode(b *testing.B) {
+	_, prof := hotPath(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data, err := prof.MarshalBinary()
+		if err != nil {
+			b.Fatal(err)
+		}
+		var back cpu.Profile
+		if err := back.UnmarshalBinary(data); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -17,6 +17,8 @@
 //	             the retry/quarantine machinery.
 //	-stats       print evaluation-pipeline statistics on exit: per-stage
 //	             counts and timings plus cache hit rates per tier.
+//	-cpuprofile  write a CPU profile for the whole run (pprof format).
+//	-memprofile  write a heap profile at normal exit (after a final GC).
 //
 // Failing (region, ISA) pairs are quarantined and scored at a documented
 // penalty; the run completes and the coverage summary reports them.
@@ -29,6 +31,8 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"syscall"
 	"time"
 
@@ -51,10 +55,20 @@ func main() {
 	injectTransient := flag.Float64("inject-transient", 0, "fraction of injected faults that clear on the first retry")
 	stats := flag.Bool("stats", false, "print evaluation pipeline statistics (stage counts, timings, cache hit rates) on exit")
 	verify := flag.Bool("verify", true, "statically verify every compiled region conforms to its feature set before execution")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file at normal exit")
 	flag.Parse()
 
 	log.SetFlags(0)
 	start := time.Now()
+
+	stopProfiles, err := startProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Profiles are finalized here, so they are only complete on a normal
+	// exit (log.Fatal paths skip deferred calls).
+	defer stopProfiles()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -67,11 +81,13 @@ func main() {
 	db := explore.NewDB()
 	db.Verify = *verify
 	db.Log = func(format string, args ...any) { log.Printf(format, args...) }
+	// Validate the kind list even when no rate is set, so a typoed
+	// -inject-kinds fails loudly instead of being silently ignored.
+	kinds, err := fault.ParseKinds(*injectKinds)
+	if err != nil {
+		log.Fatal(err)
+	}
 	if *injectRate > 0 {
-		kinds, err := fault.ParseKinds(*injectKinds)
-		if err != nil {
-			log.Fatal(err)
-		}
 		inj, err := fault.NewInjector(fault.Config{
 			Seed: *injectSeed, Rate: *injectRate,
 			Kinds: kinds, TransientFrac: *injectTransient,
@@ -361,4 +377,44 @@ func main() {
 	save()
 	report()
 	fmt.Fprintf(os.Stderr, "[total %v]\n", time.Since(start).Round(time.Millisecond))
+}
+
+// startProfiles enables CPU and/or heap profiling per the -cpuprofile and
+// -memprofile flags. The returned stop function flushes the CPU profile and
+// captures the heap profile (after a final GC, so the snapshot reflects live
+// objects rather than garbage awaiting collection).
+func startProfiles(cpuPath, memPath string) (stop func(), err error) {
+	var cpuF *os.File
+	if cpuPath != "" {
+		cpuF, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuF); err != nil {
+			cpuF.Close()
+			return nil, fmt.Errorf("cpuprofile: %w", err)
+		}
+	}
+	return func() {
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			if err := cpuF.Close(); err != nil {
+				log.Printf("cpuprofile: %v", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				log.Printf("memprofile: %v", err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Printf("memprofile: %v", err)
+			}
+			if err := f.Close(); err != nil {
+				log.Printf("memprofile: %v", err)
+			}
+		}
+	}, nil
 }

@@ -25,6 +25,9 @@
 //	-warm        compute the reference metrics in the background at boot,
 //	             so the first request doesn't pay for them.
 //	-regions     serve only the first N suite regions (CI smoke runs).
+//	-pprof       serve net/http/pprof on a second listener (e.g.
+//	             localhost:6060), kept off the API mux so profiling a
+//	             production server never exposes debug handlers to clients.
 //
 // SIGTERM/SIGINT drains gracefully: in-flight requests complete, new ones
 // get 503 + Retry-After, then the caches are checkpointed.
@@ -38,6 +41,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // debug handlers on the DefaultServeMux, served only via -pprof
 	"os"
 	"os/signal"
 	"syscall"
@@ -64,18 +68,35 @@ func main() {
 	verify := flag.Bool("verify", true, "statically verify compiled regions against their feature sets")
 	warm := flag.Bool("warm", false, "compute reference metrics in the background at startup")
 	stats := flag.Bool("stats", false, "print evaluation pipeline statistics on exit")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (empty = disabled); separate from the API listener")
 	flag.Parse()
 	log.SetFlags(0)
 
 	if err := run(*addr, *workers, *queue, *timeout, *drainTimeout, *checkpoint, *checkpointStrict,
-		*storePath, *storeSyncEvery, *regions, *verify, *warm, *stats); err != nil {
+		*storePath, *storeSyncEvery, *regions, *verify, *warm, *stats, *pprofAddr); err != nil {
 		log.Fatal(err)
 	}
 }
 
 func run(addr string, workers, queue int, timeout, drainTimeout time.Duration,
 	checkpoint string, checkpointStrict bool, storePath string, storeSyncEvery int,
-	regions int, verify, warm, stats bool) error {
+	regions int, verify, warm, stats bool, pprofAddr string) error {
+	if pprofAddr != "" {
+		// The API server builds its own mux (serve.Handler), so the
+		// net/http/pprof handlers registered on the DefaultServeMux are
+		// reachable only through this dedicated listener. Listen before
+		// logging so ":0" reports the bound port, not the requested one.
+		pln, err := net.Listen("tcp", pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof listener: %w", err)
+		}
+		log.Printf("[pprof listening on http://%s/debug/pprof/]", pln.Addr())
+		go func() {
+			if err := http.Serve(pln, nil); err != nil {
+				log.Printf("pprof listener: %v", err)
+			}
+		}()
+	}
 	db := explore.NewDB()
 	db.Verify = verify
 	db.Log = func(format string, args ...any) { log.Printf(format, args...) }

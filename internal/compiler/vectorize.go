@@ -67,6 +67,14 @@ func vectorizeLoop(f *ir.Func, body *ir.Block) bool {
 	defined := map[ir.VReg]bool{iv: true}
 	var widen []int // instruction indices to widen
 	splats := map[ir.VReg]bool{}
+	var splatOrder []ir.VReg // discovery order: splat insertion must not
+	// depend on map iteration, or recompiles emit different programs
+	addSplat := func(v ir.VReg) {
+		if !splats[v] {
+			splats[v] = true
+			splatOrder = append(splatOrder, v)
+		}
+	}
 	var stepConst *ir.Instr // the Const 1 feeding the induction update
 	vecType := func(t ir.Type) ir.Type {
 		if t == ir.F32 {
@@ -91,7 +99,7 @@ func vectorizeLoop(f *ir.Func, body *ir.Block) bool {
 				return false
 			}
 			if in.Op == ir.Store && !defined[in.A] && f.TypeOf(in.A) == ir.F32 {
-				splats[in.A] = true
+				addSplat(in.A)
 			}
 			if in.Op == ir.Load {
 				defined[in.Dst] = true
@@ -120,7 +128,7 @@ func vectorizeLoop(f *ir.Func, body *ir.Block) bool {
 					continue
 				}
 				if f.TypeOf(src) == ir.F32 {
-					splats[src] = true
+					addSplat(src)
 				} else {
 					return false // loop-invariant integers are not splattable
 				}
@@ -148,7 +156,7 @@ func vectorizeLoop(f *ir.Func, body *ir.Block) bool {
 	stepConst.Imm = int64(info.Lanes)
 	splatOf := map[ir.VReg]ir.VReg{}
 	// Insert splats at the end of the preheader, before its terminator.
-	for src := range splats {
+	for _, src := range splatOrder {
 		v := f.NewVReg(ir.V4F32)
 		sp := ir.Instr{Op: ir.Splat, Type: ir.V4F32, Dst: v, A: src,
 			B: ir.NoReg, C: ir.NoReg, Mem: ir.MemRef{Base: ir.NoReg, Index: ir.NoReg}}

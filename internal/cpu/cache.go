@@ -28,13 +28,19 @@ func (c CacheCfg) PerCoreKB() int {
 
 const cacheLineBytes = 64
 
-// Cache is a set-associative LRU cache model.
+// Cache is a set-associative LRU cache model. Reset invalidates it in O(1)
+// by bumping an epoch floor instead of clearing the (megabyte-scale, for the
+// L2 options) tag and stamp arrays, which is what makes pooling profiler
+// scratch across passes cheap: a line is live only while its use stamp is
+// above the floor.
 type Cache struct {
 	sets  int
 	assoc int
+	mask  uint64   // sets-1 when sets is a power of two, else 0
 	tags  []uint64 // sets*assoc, 0 = invalid (tag stored +1)
 	lru   []uint32 // per-line last-use stamp
 	stamp uint32
+	base  uint32 // epoch floor: entries with lru <= base are stale
 
 	Accesses int64
 	Misses   int64
@@ -47,12 +53,30 @@ func NewCache(cfg CacheCfg) *Cache {
 	if sets < 1 {
 		sets = 1
 	}
-	return &Cache{
+	c := &Cache{
 		sets:  sets,
 		assoc: cfg.Assoc,
 		tags:  make([]uint64, sets*cfg.Assoc),
 		lru:   make([]uint32, sets*cfg.Assoc),
 	}
+	if sets&(sets-1) == 0 {
+		c.mask = uint64(sets - 1)
+	}
+	return c
+}
+
+// Reset invalidates every line and zeroes the counters without touching the
+// backing arrays. Amortized O(1): only when the 32-bit stamp space is half
+// used does it fall back to a full clear.
+func (c *Cache) Reset() {
+	c.Accesses, c.Misses = 0, 0
+	if c.stamp >= 1<<31 {
+		clear(c.tags)
+		clear(c.lru)
+		c.stamp, c.base = 0, 0
+		return
+	}
+	c.base = c.stamp
 }
 
 // Access looks up addr, fills on miss, and reports whether it hit.
@@ -60,22 +84,43 @@ func (c *Cache) Access(addr uint64) bool {
 	c.Accesses++
 	c.stamp++
 	line := addr / cacheLineBytes
-	set := int(line % uint64(c.sets))
+	var set int
+	if c.mask != 0 {
+		set = int(line & c.mask)
+	} else {
+		set = int(line % uint64(c.sets))
+	}
 	tag := line + 1
 	base := set * c.assoc
-	victim := base
-	oldest := c.lru[base]
-	for w := 0; w < c.assoc; w++ {
-		i := base + w
-		if c.tags[i] == tag {
+	epoch := c.base
+	// Hit scan first: the common case touches only tags and use stamps.
+	// tag >= 1 always, so a tag match implies the slot is not empty.
+	for i := base; i < base+c.assoc; i++ {
+		if c.tags[i] == tag && c.lru[i] > epoch {
 			c.lru[i] = c.stamp
 			return true
 		}
-		if c.lru[i] < oldest || c.tags[i] == 0 {
-			if c.tags[i] == 0 {
+	}
+	// Miss: pick the victim exactly as the combined scan did — the last
+	// invalid way if any, else the first way with the strictly smallest
+	// use stamp.
+	victim := base
+	oldest := c.lru[base]
+	if c.tags[base] == 0 || c.lru[base] <= epoch {
+		oldest = 0
+	}
+	for w := 0; w < c.assoc; w++ {
+		i := base + w
+		valid := c.tags[i] != 0 && c.lru[i] > epoch
+		eff := uint32(0)
+		if valid {
+			eff = c.lru[i]
+		}
+		if eff < oldest || !valid {
+			if !valid {
 				victim, oldest = i, 0
 			} else {
-				victim, oldest = i, c.lru[i]
+				victim, oldest = i, eff
 			}
 		}
 	}
@@ -105,6 +150,15 @@ type Hierarchy struct {
 // NewHierarchy builds a single-core hierarchy.
 func NewHierarchy(l1i, l1d, l2 CacheCfg) *Hierarchy {
 	return &Hierarchy{L1I: NewCache(l1i), L1D: NewCache(l1d), L2: NewCache(l2)}
+}
+
+// Reset invalidates all three levels and the fetch-stream filter, returning
+// the hierarchy to its as-constructed state without reallocating.
+func (h *Hierarchy) Reset() {
+	h.L1I.Reset()
+	h.L1D.Reset()
+	h.L2.Reset()
+	h.lastFetchLine = 0
 }
 
 // Latencies of the memory system in cycles.
@@ -145,6 +199,16 @@ type UopCache struct {
 	tags                []uint64
 	lru                 []uint32
 	stamp               uint32
+	base                uint32 // epoch floor, as in Cache
+
+	// Last-window memo: instruction streams run sequentially within a
+	// 32-byte fetch window, so most accesses repeat the previous window.
+	// After a hit or a fill, the window's slot holds the newest stamp, so
+	// nothing can evict it before the next access — a repeat is always a
+	// hit at the same slot and can skip the scan. lastTag == 0 means no
+	// memo (tags are stored +1, so 0 never matches).
+	lastTag  uint64
+	lastSlot int
 
 	Accesses int64
 	Misses   int64
@@ -154,6 +218,20 @@ type UopCache struct {
 func NewUopCache() *UopCache {
 	return &UopCache{sets: 32, ways: 8, perLine: 6,
 		tags: make([]uint64, 32*8), lru: make([]uint32, 32*8)}
+}
+
+// Reset invalidates every window and zeroes the counters in O(1) by bumping
+// the epoch floor (see Cache.Reset).
+func (u *UopCache) Reset() {
+	u.Accesses, u.Misses = 0, 0
+	u.lastTag, u.lastSlot = 0, 0
+	if u.stamp >= 1<<31 {
+		clear(u.tags)
+		clear(u.lru)
+		u.stamp, u.base = 0, 0
+		return
+	}
+	u.base = u.stamp
 }
 
 const uopWindowBytes = 32
@@ -170,17 +248,31 @@ func (u *UopCache) Access(pc uint32, nuops int) bool {
 		return false
 	}
 	win := uint64(pc / uopWindowBytes)
-	set := int(win % uint64(u.sets))
 	tag := win + 1
+	if tag == u.lastTag {
+		u.lru[u.lastSlot] = u.stamp
+		return true
+	}
+	set := int(win % uint64(u.sets))
 	base := set * u.ways
-	victim, oldest := base, u.lru[base]
-	for w := 0; w < u.ways; w++ {
-		i := base + w
-		if u.tags[i] == tag {
+	epoch := u.base
+	// Hit scan first, as in Cache.Access; tag >= 1, so a match implies a
+	// live slot.
+	for i := base; i < base+u.ways; i++ {
+		if u.tags[i] == tag && u.lru[i] > epoch {
 			u.lru[i] = u.stamp
+			u.lastTag, u.lastSlot = tag, i
 			return true
 		}
-		if u.tags[i] == 0 {
+	}
+	victim, oldest := base, u.lru[base]
+	if u.tags[base] == 0 || u.lru[base] <= epoch {
+		oldest = 0
+	}
+	for w := 0; w < u.ways; w++ {
+		i := base + w
+		valid := u.tags[i] != 0 && u.lru[i] > epoch
+		if !valid {
 			victim, oldest = i, 0
 		} else if u.lru[i] < oldest {
 			victim, oldest = i, u.lru[i]
@@ -189,6 +281,7 @@ func (u *UopCache) Access(pc uint32, nuops int) bool {
 	u.Misses++
 	u.tags[victim] = tag
 	u.lru[victim] = u.stamp
+	u.lastTag, u.lastSlot = tag, victim
 	return false
 }
 

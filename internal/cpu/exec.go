@@ -113,8 +113,16 @@ func Run(p *code.Program, st *State, maxInstrs int64, consume func(*Event)) (Exe
 	return RunOpts(p, st, RunOptions{MaxInstrs: maxInstrs}, consume)
 }
 
-// RunOpts is Run with watchdog and interrupt control.
+// RunOpts is Run with watchdog and interrupt control. It predecodes the
+// program and runs the table-driven loop; callers executing the same program
+// repeatedly should Predecode once and use RunPredecoded directly.
 func RunOpts(p *code.Program, st *State, opts RunOptions, consume func(*Event)) (ExecResult, error) {
+	return RunPredecoded(Predecode(p), st, opts, consume)
+}
+
+// runLegacy is the original switch-dispatch run loop, kept verbatim as the
+// differential-test oracle for the table-driven executor.
+func runLegacy(p *code.Program, st *State, opts RunOptions, consume func(*Event)) (ExecResult, error) {
 	var res ExecResult
 	InstallPool(p, st.Mem)
 	width := p.FS.Width

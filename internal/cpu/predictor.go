@@ -62,6 +62,12 @@ func newCounterTable(n int) *counterTable {
 	return t
 }
 
+func (t *counterTable) reset() {
+	for i := range t.c {
+		t.c[i] = 1
+	}
+}
+
 func (t *counterTable) taken(idx uint32) bool { return t.c[idx&t.mask] >= 2 }
 
 func (t *counterTable) update(idx uint32, taken bool) {
@@ -84,6 +90,11 @@ type local struct {
 
 func newLocal() *local {
 	return &local{hist: make([]uint16, 1024), pht: newCounterTable(1024)}
+}
+
+func (p *local) reset() {
+	clear(p.hist)
+	p.pht.reset()
 }
 
 func (p *local) idx(pc uint32) (uint32, uint32) {
@@ -113,6 +124,11 @@ type gshare struct {
 
 func newGShare() *gshare { return &gshare{pht: newCounterTable(4096)} }
 
+func (p *gshare) reset() {
+	p.ghr = 0
+	p.pht.reset()
+}
+
 func (p *gshare) idx(pc uint32) uint32 { return (pc >> 2) ^ p.ghr }
 
 func (p *gshare) Predict(pc uint32) bool { return p.pht.taken(p.idx(pc)) }
@@ -133,6 +149,12 @@ type tournament struct {
 	choice *counterTable
 }
 
+func (p *tournament) reset() {
+	p.local.reset()
+	p.gshare.reset()
+	p.choice.reset()
+}
+
 func (p *tournament) Predict(pc uint32) bool {
 	if p.choice.taken(pc >> 2) {
 		return p.gshare.Predict(pc)
@@ -148,4 +170,16 @@ func (p *tournament) Update(pc uint32, taken bool) {
 	}
 	p.local.Update(pc, taken)
 	p.gshare.Update(pc, taken)
+}
+
+// resetPredictor returns a pooled predictor to its as-constructed state.
+func resetPredictor(p Predictor) {
+	switch t := p.(type) {
+	case *local:
+		t.reset()
+	case *gshare:
+		t.reset()
+	case *tournament:
+		t.reset()
+	}
 }

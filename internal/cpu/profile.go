@@ -1,9 +1,27 @@
 package cpu
 
 import (
+	"sync"
+
 	"compisa/internal/code"
 	"compisa/internal/isa"
 	"compisa/internal/mem"
+)
+
+// ILPWindows are the idealized window sizes profiled; perfmodel
+// interpolates between them. IPCWindow is indexed positionally: entry i
+// corresponds to ILPWindows[i].
+var ILPWindows = [NumILPWindows]int{16, 32, 64, 128, 256}
+
+const (
+	// NumILPWindows is the number of profiled window sizes.
+	NumILPWindows = 5
+	// NumPredictors is the number of predictor organizations (PredictorKind).
+	NumPredictors = 3
+
+	// ilpRefWindow is the index of the 128-uop reference window in
+	// ILPWindows, used by the memory-overlap measurement.
+	ilpRefWindow = 3
 )
 
 // Profile captures everything the mechanistic performance model
@@ -13,6 +31,11 @@ import (
 // every cache configuration, every branch predictor, the micro-op cache,
 // and dependence-limited ILP at every window size — the trick that makes the
 // paper's 4680-design-point sweep tractable on one machine.
+//
+// The layout is struct-of-arrays: the ILP curve and mispredict rates are
+// fixed-size arrays indexed positionally (ILPWindows / PredictorKind), not
+// maps, so batch scoring walks them without hashing and the binary codec
+// (profile_codec.go) serializes them deterministically.
 type Profile struct {
 	Name string
 
@@ -34,15 +57,16 @@ type Profile struct {
 	// applies) or microx86 (1:1, no fusion).
 	X86Complexity bool
 
-	// IPCWindow[w] is the dependence-limited micro-ops/cycle achievable
-	// with an idealized window of w in-flight micro-ops and unbounded
-	// width/units; IPCInOrder is the same with strict program-order issue.
-	IPCWindow  map[int]float64
+	// IPCWindow[i] is the dependence-limited micro-ops/cycle achievable
+	// with an idealized window of ILPWindows[i] in-flight micro-ops and
+	// unbounded width/units; IPCInOrder is the same with strict
+	// program-order issue.
+	IPCWindow  [NumILPWindows]float64
 	IPCInOrder float64
 
-	// MispredictRate[k] is the per-branch misprediction rate of each
-	// predictor organization.
-	MispredictRate map[PredictorKind]float64
+	// MispredictRate[k] is the per-branch misprediction rate of predictor
+	// organization PredictorKind(k).
+	MispredictRate [NumPredictors]float64
 
 	// Mem[i][d][l] profiles the hierarchy with L1I option i, L1D option d,
 	// L2 option l (options indexed by CacheOptions).
@@ -87,74 +111,142 @@ var (
 	L2Options  = [2]CacheCfg{L2Cfg4M, L2Cfg8M}
 )
 
-// ilpWindows are the window sizes profiled; perfmodel interpolates.
-var ilpWindows = []int{16, 32, 64, 128, 256}
+// Timestamp-lane layout of the flat profiler: one lane per ILP window, one
+// for the strict in-order chain, one for the real-latency chain. All lane
+// state (register ready times, granule store times) lives in flat arrays
+// indexed dep*numLanes+lane, replacing the per-window slices and the
+// map[uint64][]int64 of the legacy profiler.
+const (
+	numLanes  = NumILPWindows + 2
+	laneInOrd = NumILPWindows     // strict in-order chain
+	laneReal  = NumILPWindows + 1 // real-latency chain (reference hierarchy)
 
-// profiler accumulates the profile during one functional run.
+	ringRealLen = 128 // real chain models a 128-uop window
+	ringRealOff = 496 // 16+32+64+128+256
+	ringTotal   = ringRealOff + ringRealLen
+)
+
+// ringOff[i] is the offset of window i's completion ring inside the
+// concatenated ring array; the ring length is ILPWindows[i] (a power of
+// two, so position is seq & (len-1)).
+var ringOff = [NumILPWindows]int{0, 16, 48, 112, 240}
+
+// profiler accumulates the profile during one functional run. Instances are
+// pooled (see profilerPool): all scratch — eight cache hierarchies, three
+// predictors, the micro-op cache, the timestamp lanes, and the granule
+// table — is reset in place between runs instead of reallocated, which
+// removes the dominant allocation cost of a profiling pass.
 type profiler struct {
+	pd   *Predecoded
 	p    *code.Program
 	prof *Profile
 
-	preds   [3]Predictor
-	hier    [2][2][2]*Hierarchy
-	uc      *UopCache
-	missPos [2][2][2]int64 // last data-miss uop position per hierarchy
-	missGrp [2][2][2]int64 // miss groups per hierarchy
+	preds [3]Predictor
+	// Cache scratch. Hierarchies that share an L1 option see the identical
+	// access stream, so one L1I per i-option and one L1D per d-option stand
+	// for all eight (i, d, l) hierarchies bit-exactly; only the L2s — whose
+	// miss streams depend on both L1 options — stay per-hierarchy.
+	l1i           [2]*Cache
+	l1d           [2]*Cache
+	l2            [2][2][2]*Cache
+	uc            *UopCache
+	missPos       [2][2][2]int64 // last data-miss uop position per hierarchy
+	missGrp       [2][2][2]int64 // miss groups per hierarchy
+	lastFetchLine uint64         // shared fetch-stream filter: every
+	// hierarchy sees the identical fetch stream, so one filter decides the
+	// line transition for all eight
 
-	// ILP tracking.
-	regReady   [numDeps][]int64   // per window (+ in-order at index len-1)
-	ring       [][]int64          // completion ring per window
-	memDep     map[uint64][]int64 // store completion per granule, per window
+	// ILP tracking, one timestamp lane per window + in-order + real.
+	regReady [numDeps * numLanes]int64
+	rings    [ringTotal]int64
+	gran     *granTab // store completion per 8-byte granule, per lane
+
 	inorderT   int64
 	seq        int64
 	totalLen   int64
 	mispredict [3]int64
 	prevCmp    bool
 	prevIdx    int32
-
-	// Real-latency chain (reference hierarchy, 128-uop window) for the
-	// dependence-aware memory-overlap measurement.
-	regReadyReal [numDeps]int64
-	ringReal     []int64
-	memDepReal   map[uint64]int64
-	lastLat      int64 // data-access latency on the reference hierarchy
+	lastLat    int64 // data-access latency on the reference hierarchy
 }
 
-// newProfiler builds the profiling consumer for one program.
-func newProfiler(p *code.Program) *profiler {
-	pr := &profiler{p: p, prof: &Profile{
-		Name:           p.Name,
-		X86Complexity:  p.FS.Complexity == isa.FullX86,
-		IPCWindow:      map[int]float64{},
-		MispredictRate: map[PredictorKind]float64{},
-		Stats:          p.Stats,
-		StaticInstrs:   len(p.Instrs),
-		CodeBytes:      p.Size,
-	}}
-	for k := 0; k < 3; k++ {
-		pr.preds[k] = NewPredictor(PredictorKind(k))
+// profilerPool recycles profiler scratch across profiling passes — the
+// "profile pool" that lets par.Map workers in eval reuse buffers.
+var profilerPool = sync.Pool{}
+
+// newProfiler builds (or recycles) the profiling consumer for one
+// predecoded program. granHint is the expected number of distinct 8-byte
+// memory granules (region footprint / 8); it sizes the granule table on
+// first construction.
+func newProfiler(pd *Predecoded, granHint int) *profiler {
+	pr, _ := profilerPool.Get().(*profiler)
+	if pr == nil {
+		pr = &profiler{}
+		for k := 0; k < 3; k++ {
+			pr.preds[k] = NewPredictor(PredictorKind(k))
+		}
+		for i := 0; i < 2; i++ {
+			pr.l1i[i] = NewCache(L1IOptions[i])
+			pr.l1d[i] = NewCache(L1DOptions[i])
+		}
+		for i := 0; i < 2; i++ {
+			for d := 0; d < 2; d++ {
+				for l := 0; l < 2; l++ {
+					pr.l2[i][d][l] = NewCache(L2Options[l])
+				}
+			}
+		}
+		pr.uc = NewUopCache()
+		pr.gran = newGranTab(numLanes, granHint)
+	} else {
+		for k := 0; k < 3; k++ {
+			resetPredictor(pr.preds[k])
+		}
+		for i := 0; i < 2; i++ {
+			pr.l1i[i].Reset()
+			pr.l1d[i].Reset()
+		}
+		for i := 0; i < 2; i++ {
+			for d := 0; d < 2; d++ {
+				for l := 0; l < 2; l++ {
+					pr.l2[i][d][l].Reset()
+				}
+			}
+		}
+		pr.uc.Reset()
+		pr.gran.reset()
+		clear(pr.regReady[:])
+		clear(pr.rings[:])
+		pr.lastFetchLine = 0
+		pr.inorderT, pr.seq, pr.totalLen = 0, 0, 0
+		pr.mispredict = [3]int64{}
+		pr.prevCmp, pr.prevIdx, pr.lastLat = false, 0, 0
 	}
 	for i := 0; i < 2; i++ {
 		for d := 0; d < 2; d++ {
 			for l := 0; l < 2; l++ {
-				pr.hier[i][d][l] = NewHierarchy(L1IOptions[i], L1DOptions[d], L2Options[l])
 				pr.missPos[i][d][l] = -1 << 40
+				pr.missGrp[i][d][l] = 0
 			}
 		}
 	}
-	pr.uc = NewUopCache()
-	nw := len(ilpWindows)
-	for r := range pr.regReady {
-		pr.regReady[r] = make([]int64, nw+1)
+	pr.pd = pd
+	pr.p = pd.P
+	pr.prof = &Profile{
+		Name:          pd.P.Name,
+		X86Complexity: pd.P.FS.Complexity == isa.FullX86,
+		Stats:         pd.P.Stats,
+		StaticInstrs:  len(pd.P.Instrs),
+		CodeBytes:     pd.P.Size,
 	}
-	pr.ring = make([][]int64, nw)
-	for wi, w := range ilpWindows {
-		pr.ring[wi] = make([]int64, w)
-	}
-	pr.memDep = make(map[uint64][]int64)
-	pr.ringReal = make([]int64, 128)
-	pr.memDepReal = make(map[uint64]int64)
 	return pr
+}
+
+// release returns the profiler's scratch to the pool. The finished Profile
+// is independent of the scratch and stays valid.
+func (pr *profiler) release() {
+	pr.pd, pr.p, pr.prof = nil, nil, nil
+	profilerPool.Put(pr)
 }
 
 // Consume feeds one executed instruction.
@@ -174,42 +266,57 @@ func (pr *profiler) Consume(ev *Event) {
 		prof.MemALUOps++
 	}
 
-	// Caches: fetch side per line transition, data side per access.
+	// Caches: fetch side per line transition, data side per access. The
+	// fetch-line filter is hoisted out of the hierarchy loop — all eight
+	// hierarchies see the same stream, so the transition test is shared.
 	fetchLine := uint64(ev.PC) / cacheLineBytes
-	for i := 0; i < 2; i++ {
-		for d := 0; d < 2; d++ {
-			for l := 0; l < 2; l++ {
-				h := pr.hier[i][d][l]
-				if fetchLine != h.lastFetchLine {
-					h.lastFetchLine = fetchLine
-					if !h.L1I.Access(uint64(ev.PC)) {
-						pr.prof.Mem[i][d][l].L1IMisses++
-						h.L2.Access(uint64(ev.PC))
+	newLine := fetchLine != pr.lastFetchLine
+	pr.lastFetchLine = fetchLine
+	dataAccess := (ev.IsLoad || ev.IsStore) && !ev.PredOff
+	if newLine || dataAccess {
+		// One lookup per distinct L1 option decides the hit for every
+		// hierarchy sharing it; the L2s still see their own per-hierarchy
+		// streams (instruction access before data access, as before).
+		var hitI, hitD [2]bool
+		if newLine {
+			hitI[0] = pr.l1i[0].Access(uint64(ev.PC))
+			hitI[1] = pr.l1i[1].Access(uint64(ev.PC))
+		}
+		if dataAccess {
+			hitD[0] = pr.l1d[0].Access(ev.MemAddr)
+			hitD[1] = pr.l1d[1].Access(ev.MemAddr)
+		}
+		for i := 0; i < 2; i++ {
+			for d := 0; d < 2; d++ {
+				for l := 0; l < 2; l++ {
+					mp := &prof.Mem[i][d][l]
+					if newLine && !hitI[i] {
+						mp.L1IMisses++
+						pr.l2[i][d][l].Access(uint64(ev.PC))
 					}
-				}
-				if (ev.IsLoad || ev.IsStore) && !ev.PredOff {
-					if h.L1D.Access(ev.MemAddr) {
-						if i == 0 && d == 0 && l == 0 {
-							pr.lastLat = LatL1
-						}
-					} else {
-						mp := &pr.prof.Mem[i][d][l]
-						mp.L1DMisses++
-						if h.L2.Access(ev.MemAddr) {
+					if dataAccess {
+						if hitD[d] {
 							if i == 0 && d == 0 && l == 0 {
-								pr.lastLat = LatL2
+								pr.lastLat = LatL1
 							}
 						} else {
-							mp.L2Misses++
-							if i == 0 && d == 0 && l == 0 {
-								pr.lastLat = LatMem
+							mp.L1DMisses++
+							if pr.l2[i][d][l].Access(ev.MemAddr) {
+								if i == 0 && d == 0 && l == 0 {
+									pr.lastLat = LatL2
+								}
+							} else {
+								mp.L2Misses++
+								if i == 0 && d == 0 && l == 0 {
+									pr.lastLat = LatMem
+								}
 							}
+							// Miss clustering for MLP.
+							if prof.Uops-pr.missPos[i][d][l] > 64 {
+								pr.missGrp[i][d][l]++
+							}
+							pr.missPos[i][d][l] = prof.Uops
 						}
-						// Miss clustering for MLP.
-						if prof.Uops-pr.missPos[i][d][l] > 64 {
-							pr.missGrp[i][d][l]++
-						}
-						pr.missPos[i][d][l] = prof.Uops
 					}
 				}
 			}
@@ -241,8 +348,7 @@ func (pr *profiler) Consume(ev *Event) {
 
 	// Dependence-limited ILP at each window size.
 	var buf [3]uopSpec
-	uops := expand(in, ev, buf[:0])
-	nw := len(ilpWindows)
+	uops := pr.pd.expand(ev, buf[:0])
 	for ui := range uops {
 		u := &uops[ui]
 		prof.UopsByClass[u.class]++
@@ -253,74 +359,64 @@ func (pr *profiler) Consume(ev *Event) {
 		if u.isLoad {
 			lat = LatL1
 		}
-		// Memory dependences (store-to-load, e.g. spill traffic).
+		// Memory dependences (store-to-load, e.g. spill traffic). Granule
+		// chunks hold one timestamp per lane; ensure every granule before
+		// fetching any chunk, because an insert may grow the table and
+		// move previously fetched blocks.
 		memTracked := (u.isLoad || u.isStore) && !ev.PredOff
+		var grans [3]uint64
+		var chunks [3][]int64
+		ngran := 0
 		if memTracked {
 			forEachGranule(u.addr, u.msz, func(g uint64) {
-				if pr.memDep[g] == nil {
-					pr.memDep[g] = make([]int64, nw+1)
-				}
+				grans[ngran] = g
+				ngran++
+				pr.gran.ensure(g)
 			})
+			for gi := 0; gi < ngran; gi++ {
+				chunks[gi] = pr.gran.find(grans[gi])
+			}
 		}
-		for wi := 0; wi < nw; wi++ {
-			t := int64(0)
-			for i := 0; i < u.nsrcs; i++ {
-				if r := pr.regReady[u.srcs[i]][wi]; r > t {
-					t = r
+		memLoad := memTracked && u.isLoad
+		memStore := memTracked && u.isStore
+		// Operand-ready time per lane. A dep's lanes are contiguous in
+		// regReady, so one pass per source folds all seven lanes at once;
+		// lanes touch disjoint state, so reading them all before any lane
+		// writes is equivalent to the per-lane interleaving.
+		var tl, comp [numLanes]int64
+		tl[laneInOrd] = pr.inorderT // in-order chain starts at program order
+		for i := 0; i < u.nsrcs; i++ {
+			b := int(u.srcs[i]) * numLanes
+			for ln := 0; ln < numLanes; ln++ {
+				if r := pr.regReady[b+ln]; r > tl[ln] {
+					tl[ln] = r
 				}
 			}
-			if memTracked && u.isLoad {
-				forEachGranule(u.addr, u.msz, func(g uint64) {
-					if r := pr.memDep[g][wi]; r > t {
-						t = r
+		}
+		if memLoad {
+			for gi := 0; gi < ngran; gi++ {
+				ch := chunks[gi]
+				for ln := 0; ln < numLanes; ln++ {
+					if r := ch[ln]; r > tl[ln] {
+						tl[ln] = r
 					}
-				})
+				}
 			}
+		}
+		for wi := 0; wi < NumILPWindows; wi++ {
+			t := tl[wi]
 			// Window constraint: the uop W back must have completed.
-			if old := pr.ring[wi][pr.seq%int64(len(pr.ring[wi]))]; old > t {
+			slot := ringOff[wi] + int(pr.seq&int64(ILPWindows[wi]-1))
+			if old := pr.rings[slot]; old > t {
 				t = old
 			}
-			comp := t + lat
-			pr.ring[wi][pr.seq%int64(len(pr.ring[wi]))] = comp
-			if u.dst >= 0 {
-				pr.regReady[u.dst][wi] = comp
-			}
-			if u.dstFlag {
-				pr.regReady[depFlags][wi] = comp
-			}
-			if memTracked && u.isStore {
-				forEachGranule(u.addr, u.msz, func(g uint64) {
-					pr.memDep[g][wi] = comp
-				})
-			}
+			c := t + lat
+			pr.rings[slot] = c
+			comp[wi] = c
 		}
 		// Strict in-order issue (scoreboard): ready ∩ program order.
-		t := pr.inorderT
-		for i := 0; i < u.nsrcs; i++ {
-			if r := pr.regReady[u.srcs[i]][nw]; r > t {
-				t = r
-			}
-		}
-		if memTracked && u.isLoad {
-			forEachGranule(u.addr, u.msz, func(g uint64) {
-				if r := pr.memDep[g][nw]; r > t {
-					t = r
-				}
-			})
-		}
-		comp := t + lat
-		pr.inorderT = t // next uop may issue same cycle (width modeled later)
-		if u.dst >= 0 {
-			pr.regReady[u.dst][nw] = comp
-		}
-		if u.dstFlag {
-			pr.regReady[depFlags][nw] = comp
-		}
-		if memTracked && u.isStore {
-			forEachGranule(u.addr, u.msz, func(g uint64) {
-				pr.memDep[g][nw] = comp
-			})
-		}
+		comp[laneInOrd] = tl[laneInOrd] + lat
+		pr.inorderT = tl[laneInOrd] // next uop may issue same cycle (width modeled later)
 		// Real-latency chain at a 128-uop window on the reference
 		// hierarchy, for the dependence-aware memory-overlap measure.
 		{
@@ -328,34 +424,25 @@ func (pr *profiler) Consume(ev *Event) {
 			if u.isLoad && !ev.PredOff {
 				rlat = pr.lastLat
 			}
-			t := int64(0)
-			for i := 0; i < u.nsrcs; i++ {
-				if r := pr.regReadyReal[u.srcs[i]]; r > t {
-					t = r
-				}
-			}
-			if memTracked && u.isLoad {
-				forEachGranule(u.addr, u.msz, func(g uint64) {
-					if r := pr.memDepReal[g]; r > t {
-						t = r
-					}
-				})
-			}
-			if old := pr.ringReal[pr.seq%int64(len(pr.ringReal))]; old > t {
+			t := tl[laneReal]
+			slot := ringRealOff + int(pr.seq&(ringRealLen-1))
+			if old := pr.rings[slot]; old > t {
 				t = old
 			}
 			rcomp := t + rlat
-			pr.ringReal[pr.seq%int64(len(pr.ringReal))] = rcomp
-			if u.dst >= 0 {
-				pr.regReadyReal[u.dst] = rcomp
-			}
-			if u.dstFlag {
-				pr.regReadyReal[depFlags] = rcomp
-			}
-			if memTracked && u.isStore {
-				forEachGranule(u.addr, u.msz, func(g uint64) {
-					pr.memDepReal[g] = rcomp
-				})
+			pr.rings[slot] = rcomp
+			comp[laneReal] = rcomp
+		}
+		if u.dst >= 0 {
+			b := int(u.dst) * numLanes
+			copy(pr.regReady[b:b+numLanes], comp[:])
+		}
+		if u.dstFlag {
+			copy(pr.regReady[depFlags*numLanes:(depFlags+1)*numLanes], comp[:])
+		}
+		if memStore {
+			for gi := 0; gi < ngran; gi++ {
+				copy(chunks[gi], comp[:])
 			}
 		}
 		pr.seq++
@@ -373,22 +460,22 @@ func (pr *profiler) Finish() *Profile {
 		if prof.Branches > 0 {
 			rate = float64(pr.mispredict[k]) / float64(prof.Branches)
 		}
-		prof.MispredictRate[PredictorKind(k)] = rate
+		prof.MispredictRate[k] = rate
 	}
-	for wi, w := range ilpWindows {
+	for wi := range ILPWindows {
 		// Completion horizon = max entry in the ring.
 		maxT := int64(1)
-		for _, t := range pr.ring[wi] {
+		for _, t := range pr.rings[ringOff[wi] : ringOff[wi]+ILPWindows[wi]] {
 			if t > maxT {
 				maxT = t
 			}
 		}
-		prof.IPCWindow[w] = float64(prof.Uops) / float64(maxT)
+		prof.IPCWindow[wi] = float64(prof.Uops) / float64(maxT)
 	}
-	// In-order horizon: max regReady at the in-order index.
+	// In-order horizon: max regReady on the in-order lane.
 	maxT := pr.inorderT + 1
-	for r := range pr.regReady {
-		if t := pr.regReady[r][len(ilpWindows)]; t > maxT {
+	for r := 0; r < numDeps; r++ {
+		if t := pr.regReady[r*numLanes+laneInOrd]; t > maxT {
 			maxT = t
 		}
 	}
@@ -399,12 +486,12 @@ func (pr *profiler) Finish() *Profile {
 	// Memory-overlap measurement: real-latency horizon minus the fixed-L1
 	// horizon of the same (128-uop) window.
 	realMax := int64(1)
-	for _, t := range pr.ringReal {
+	for _, t := range pr.rings[ringRealOff : ringRealOff+ringRealLen] {
 		if t > realMax {
 			realMax = t
 		}
 	}
-	l1Horizon := float64(prof.Uops) / prof.IPCWindow[128]
+	l1Horizon := float64(prof.Uops) / prof.IPCWindow[ilpRefWindow]
 	exposed := float64(realMax) - l1Horizon
 	if exposed < 0 {
 		exposed = 0
@@ -439,9 +526,12 @@ func CollectProfile(p *code.Program, m *mem.Memory, maxInstrs int64) (*Profile, 
 // CollectProfileOpts is CollectProfile with watchdog and interrupt control,
 // so profile collection honors deadlines and cancellation mid-execution.
 func CollectProfileOpts(p *code.Program, m *mem.Memory, opts RunOptions) (*Profile, ExecResult, error) {
-	pr := newProfiler(p)
+	pd := Predecode(p)
+	granHint := m.Pages() * mem.PageSize / 8
+	pr := newProfiler(pd, granHint)
+	defer pr.release()
 	st := NewState(m)
-	res, err := RunOpts(p, st, opts, pr.Consume)
+	res, err := RunPredecoded(pd, st, opts, pr.Consume)
 	if err != nil {
 		return nil, res, err
 	}

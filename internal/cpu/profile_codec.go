@@ -1,0 +1,210 @@
+package cpu
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Binary profile encoding: a compact, deterministic, little-endian layout
+// (no maps, no reflection) so identical profiles encode to identical bytes
+// on any host — the property sharded exploration needs to content-address
+// and exchange profiles. The field order is fixed; bump profileCodecVersion
+// on any Profile shape change (TestProfileCodecFieldCount pins the count).
+const (
+	profileCodecMagic   = "cpf1"
+	profileCodecVersion = 1
+)
+
+// ErrProfileCodec reports an undecodable profile blob.
+var ErrProfileCodec = errors.New("cpu: bad profile encoding")
+
+type profEnc struct{ b []byte }
+
+func (e *profEnc) u64(v uint64)  { e.b = binary.LittleEndian.AppendUint64(e.b, v) }
+func (e *profEnc) i64(v int64)   { e.u64(uint64(v)) }
+func (e *profEnc) f64(v float64) { e.u64(math.Float64bits(v)) }
+func (e *profEnc) boolean(v bool) {
+	if v {
+		e.b = append(e.b, 1)
+	} else {
+		e.b = append(e.b, 0)
+	}
+}
+func (e *profEnc) str(s string) {
+	e.b = binary.LittleEndian.AppendUint32(e.b, uint32(len(s)))
+	e.b = append(e.b, s...)
+}
+
+type profDec struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *profDec) u64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.off+8 > len(d.b) {
+		d.err = fmt.Errorf("%w: truncated at %d", ErrProfileCodec, d.off)
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.b[d.off:])
+	d.off += 8
+	return v
+}
+func (d *profDec) i64() int64   { return int64(d.u64()) }
+func (d *profDec) f64() float64 { return math.Float64frombits(d.u64()) }
+func (d *profDec) boolean() bool {
+	if d.err != nil {
+		return false
+	}
+	if d.off+1 > len(d.b) {
+		d.err = fmt.Errorf("%w: truncated at %d", ErrProfileCodec, d.off)
+		return false
+	}
+	v := d.b[d.off] != 0
+	d.off++
+	return v
+}
+func (d *profDec) str() string {
+	if d.err != nil {
+		return ""
+	}
+	if d.off+4 > len(d.b) {
+		d.err = fmt.Errorf("%w: truncated at %d", ErrProfileCodec, d.off)
+		return ""
+	}
+	n := int(binary.LittleEndian.Uint32(d.b[d.off:]))
+	d.off += 4
+	if d.off+n > len(d.b) {
+		d.err = fmt.Errorf("%w: truncated string at %d", ErrProfileCodec, d.off)
+		return ""
+	}
+	s := string(d.b[d.off : d.off+n])
+	d.off += n
+	return s
+}
+
+// MarshalBinary encodes the profile deterministically.
+func (p *Profile) MarshalBinary() ([]byte, error) {
+	e := &profEnc{b: make([]byte, 0, 512+len(p.Name))}
+	e.b = append(e.b, profileCodecMagic...)
+	e.b = append(e.b, profileCodecVersion)
+	e.str(p.Name)
+	e.i64(p.Instrs)
+	e.i64(p.Uops)
+	e.i64(p.Loads)
+	e.i64(p.Stores)
+	e.i64(p.Branches)
+	e.i64(p.Taken)
+	e.i64(p.PredOffUops)
+	e.i64(p.MemALUOps)
+	for _, v := range p.UopsByClass {
+		e.i64(v)
+	}
+	e.i64(int64(p.StaticInstrs))
+	e.i64(int64(p.CodeBytes))
+	e.f64(p.AvgInstrLen)
+	e.i64(p.FusedBranches)
+	e.boolean(p.X86Complexity)
+	for _, v := range p.IPCWindow {
+		e.f64(v)
+	}
+	e.f64(p.IPCInOrder)
+	for _, v := range p.MispredictRate {
+		e.f64(v)
+	}
+	for i := 0; i < 2; i++ {
+		for d := 0; d < 2; d++ {
+			for l := 0; l < 2; l++ {
+				mp := &p.Mem[i][d][l]
+				e.i64(mp.L1IMisses)
+				e.i64(mp.L1DMisses)
+				e.i64(mp.L2Misses)
+				e.f64(mp.DataMLP)
+			}
+		}
+	}
+	e.f64(p.UopCacheHitRate)
+	e.f64(p.MemExposedCycles)
+	e.f64(p.NaiveStallRef)
+	e.i64(int64(p.Stats.SpillStores))
+	e.i64(int64(p.Stats.RefillLoads))
+	e.i64(int64(p.Stats.Remats))
+	e.i64(int64(p.Stats.IfConversions))
+	e.i64(int64(p.Stats.VectorLoops))
+	e.i64(int64(p.Stats.ScalarLoops))
+	e.i64(int64(p.Stats.FoldedLoads))
+	e.i64(int64(p.Stats.StaticInstrs))
+	e.i64(int64(p.Stats.CodeBytes))
+	return e.b, nil
+}
+
+// UnmarshalBinary decodes a blob produced by MarshalBinary, verifying full
+// consumption.
+func (p *Profile) UnmarshalBinary(b []byte) error {
+	if len(b) < len(profileCodecMagic)+1 || string(b[:4]) != profileCodecMagic {
+		return fmt.Errorf("%w: bad magic", ErrProfileCodec)
+	}
+	if b[4] != profileCodecVersion {
+		return fmt.Errorf("%w: version %d", ErrProfileCodec, b[4])
+	}
+	d := &profDec{b: b, off: 5}
+	p.Name = d.str()
+	p.Instrs = d.i64()
+	p.Uops = d.i64()
+	p.Loads = d.i64()
+	p.Stores = d.i64()
+	p.Branches = d.i64()
+	p.Taken = d.i64()
+	p.PredOffUops = d.i64()
+	p.MemALUOps = d.i64()
+	for i := range p.UopsByClass {
+		p.UopsByClass[i] = d.i64()
+	}
+	p.StaticInstrs = int(d.i64())
+	p.CodeBytes = int(d.i64())
+	p.AvgInstrLen = d.f64()
+	p.FusedBranches = d.i64()
+	p.X86Complexity = d.boolean()
+	for i := range p.IPCWindow {
+		p.IPCWindow[i] = d.f64()
+	}
+	p.IPCInOrder = d.f64()
+	for i := range p.MispredictRate {
+		p.MispredictRate[i] = d.f64()
+	}
+	for i := 0; i < 2; i++ {
+		for dd := 0; dd < 2; dd++ {
+			for l := 0; l < 2; l++ {
+				mp := &p.Mem[i][dd][l]
+				mp.L1IMisses = d.i64()
+				mp.L1DMisses = d.i64()
+				mp.L2Misses = d.i64()
+				mp.DataMLP = d.f64()
+			}
+		}
+	}
+	p.UopCacheHitRate = d.f64()
+	p.MemExposedCycles = d.f64()
+	p.NaiveStallRef = d.f64()
+	p.Stats.SpillStores = int(d.i64())
+	p.Stats.RefillLoads = int(d.i64())
+	p.Stats.Remats = int(d.i64())
+	p.Stats.IfConversions = int(d.i64())
+	p.Stats.VectorLoops = int(d.i64())
+	p.Stats.ScalarLoops = int(d.i64())
+	p.Stats.FoldedLoads = int(d.i64())
+	p.Stats.StaticInstrs = int(d.i64())
+	p.Stats.CodeBytes = int(d.i64())
+	if d.err != nil {
+		return d.err
+	}
+	if d.off != len(b) {
+		return fmt.Errorf("%w: %d trailing bytes", ErrProfileCodec, len(b)-d.off)
+	}
+	return nil
+}

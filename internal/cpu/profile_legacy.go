@@ -1,0 +1,362 @@
+package cpu
+
+import (
+	"compisa/internal/code"
+	"compisa/internal/isa"
+	"compisa/internal/mem"
+)
+
+// legacyProfiler is the pre-refactor map-and-slice profiler, kept verbatim
+// (modulo the Profile struct-of-arrays change in Finish) as the differential
+// oracle for the pooled flat-table profiler in profile.go. It allocates
+// fresh hierarchies, predictors, and per-granule map entries every run.
+type legacyProfiler struct {
+	p    *code.Program
+	prof *Profile
+
+	preds   [3]Predictor
+	hier    [2][2][2]*Hierarchy
+	uc      *UopCache
+	missPos [2][2][2]int64 // last data-miss uop position per hierarchy
+	missGrp [2][2][2]int64 // miss groups per hierarchy
+
+	// ILP tracking.
+	regReady   [numDeps][]int64   // per window (+ in-order at index len-1)
+	ring       [][]int64          // completion ring per window
+	memDep     map[uint64][]int64 // store completion per granule, per window
+	inorderT   int64
+	seq        int64
+	totalLen   int64
+	mispredict [3]int64
+	prevCmp    bool
+	prevIdx    int32
+
+	// Real-latency chain (reference hierarchy, 128-uop window) for the
+	// dependence-aware memory-overlap measurement.
+	regReadyReal [numDeps]int64
+	ringReal     []int64
+	memDepReal   map[uint64]int64
+	lastLat      int64 // data-access latency on the reference hierarchy
+}
+
+// newLegacyProfiler builds the oracle profiling consumer for one program.
+func newLegacyProfiler(p *code.Program) *legacyProfiler {
+	pr := &legacyProfiler{p: p, prof: &Profile{
+		Name:          p.Name,
+		X86Complexity: p.FS.Complexity == isa.FullX86,
+		Stats:         p.Stats,
+		StaticInstrs:  len(p.Instrs),
+		CodeBytes:     p.Size,
+	}}
+	for k := 0; k < 3; k++ {
+		pr.preds[k] = NewPredictor(PredictorKind(k))
+	}
+	for i := 0; i < 2; i++ {
+		for d := 0; d < 2; d++ {
+			for l := 0; l < 2; l++ {
+				pr.hier[i][d][l] = NewHierarchy(L1IOptions[i], L1DOptions[d], L2Options[l])
+				pr.missPos[i][d][l] = -1 << 40
+			}
+		}
+	}
+	pr.uc = NewUopCache()
+	nw := NumILPWindows
+	for r := range pr.regReady {
+		pr.regReady[r] = make([]int64, nw+1)
+	}
+	pr.ring = make([][]int64, nw)
+	for wi, w := range ILPWindows {
+		pr.ring[wi] = make([]int64, w)
+	}
+	pr.memDep = make(map[uint64][]int64)
+	pr.ringReal = make([]int64, 128)
+	pr.memDepReal = make(map[uint64]int64)
+	return pr
+}
+
+// Consume feeds one executed instruction.
+func (pr *legacyProfiler) Consume(ev *Event) {
+	in := &pr.p.Instrs[ev.Idx]
+	prof := pr.prof
+	prof.Instrs++
+	prof.Uops += int64(ev.Uops)
+	pr.totalLen += int64(ev.Len)
+	if ev.IsLoad {
+		prof.Loads++
+	}
+	if ev.IsStore {
+		prof.Stores++
+	}
+	if in.MemSrcALU() {
+		prof.MemALUOps++
+	}
+
+	// Caches: fetch side per line transition, data side per access.
+	fetchLine := uint64(ev.PC) / cacheLineBytes
+	for i := 0; i < 2; i++ {
+		for d := 0; d < 2; d++ {
+			for l := 0; l < 2; l++ {
+				h := pr.hier[i][d][l]
+				if fetchLine != h.lastFetchLine {
+					h.lastFetchLine = fetchLine
+					if !h.L1I.Access(uint64(ev.PC)) {
+						pr.prof.Mem[i][d][l].L1IMisses++
+						h.L2.Access(uint64(ev.PC))
+					}
+				}
+				if (ev.IsLoad || ev.IsStore) && !ev.PredOff {
+					if h.L1D.Access(ev.MemAddr) {
+						if i == 0 && d == 0 && l == 0 {
+							pr.lastLat = LatL1
+						}
+					} else {
+						mp := &pr.prof.Mem[i][d][l]
+						mp.L1DMisses++
+						if h.L2.Access(ev.MemAddr) {
+							if i == 0 && d == 0 && l == 0 {
+								pr.lastLat = LatL2
+							}
+						} else {
+							mp.L2Misses++
+							if i == 0 && d == 0 && l == 0 {
+								pr.lastLat = LatMem
+							}
+						}
+						// Miss clustering for MLP.
+						if prof.Uops-pr.missPos[i][d][l] > 64 {
+							pr.missGrp[i][d][l]++
+						}
+						pr.missPos[i][d][l] = prof.Uops
+					}
+				}
+			}
+		}
+	}
+
+	// Micro-op cache (hit/miss accounting lives in the cache itself).
+	pr.uc.Access(ev.PC, int(ev.Uops))
+
+	// Branch predictors (and macro-fusion pairing).
+	if in.Op == code.JCC {
+		if pr.prevCmp && ev.Idx == pr.prevIdx+1 {
+			prof.FusedBranches++
+		}
+		prof.Branches++
+		if ev.Taken {
+			prof.Taken++
+		}
+		for k := 0; k < 3; k++ {
+			if pr.preds[k].Predict(ev.PC) != ev.Taken {
+				pr.mispredict[k]++
+			}
+			pr.preds[k].Update(ev.PC, ev.Taken)
+		}
+	}
+
+	pr.prevCmp = in.Op == code.CMP || in.Op == code.TEST
+	pr.prevIdx = ev.Idx
+
+	// Dependence-limited ILP at each window size.
+	var buf [3]uopSpec
+	uops := expand(in, ev, buf[:0])
+	nw := NumILPWindows
+	for ui := range uops {
+		u := &uops[ui]
+		prof.UopsByClass[u.class]++
+		if ev.PredOff {
+			prof.PredOffUops++
+		}
+		lat := int64(latOf(u.class))
+		if u.isLoad {
+			lat = LatL1
+		}
+		// Memory dependences (store-to-load, e.g. spill traffic).
+		memTracked := (u.isLoad || u.isStore) && !ev.PredOff
+		if memTracked {
+			forEachGranule(u.addr, u.msz, func(g uint64) {
+				if pr.memDep[g] == nil {
+					pr.memDep[g] = make([]int64, nw+1)
+				}
+			})
+		}
+		for wi := 0; wi < nw; wi++ {
+			t := int64(0)
+			for i := 0; i < u.nsrcs; i++ {
+				if r := pr.regReady[u.srcs[i]][wi]; r > t {
+					t = r
+				}
+			}
+			if memTracked && u.isLoad {
+				forEachGranule(u.addr, u.msz, func(g uint64) {
+					if r := pr.memDep[g][wi]; r > t {
+						t = r
+					}
+				})
+			}
+			// Window constraint: the uop W back must have completed.
+			if old := pr.ring[wi][pr.seq%int64(len(pr.ring[wi]))]; old > t {
+				t = old
+			}
+			comp := t + lat
+			pr.ring[wi][pr.seq%int64(len(pr.ring[wi]))] = comp
+			if u.dst >= 0 {
+				pr.regReady[u.dst][wi] = comp
+			}
+			if u.dstFlag {
+				pr.regReady[depFlags][wi] = comp
+			}
+			if memTracked && u.isStore {
+				forEachGranule(u.addr, u.msz, func(g uint64) {
+					pr.memDep[g][wi] = comp
+				})
+			}
+		}
+		// Strict in-order issue (scoreboard): ready ∩ program order.
+		t := pr.inorderT
+		for i := 0; i < u.nsrcs; i++ {
+			if r := pr.regReady[u.srcs[i]][nw]; r > t {
+				t = r
+			}
+		}
+		if memTracked && u.isLoad {
+			forEachGranule(u.addr, u.msz, func(g uint64) {
+				if r := pr.memDep[g][nw]; r > t {
+					t = r
+				}
+			})
+		}
+		comp := t + lat
+		pr.inorderT = t // next uop may issue same cycle (width modeled later)
+		if u.dst >= 0 {
+			pr.regReady[u.dst][nw] = comp
+		}
+		if u.dstFlag {
+			pr.regReady[depFlags][nw] = comp
+		}
+		if memTracked && u.isStore {
+			forEachGranule(u.addr, u.msz, func(g uint64) {
+				pr.memDep[g][nw] = comp
+			})
+		}
+		// Real-latency chain at a 128-uop window on the reference
+		// hierarchy, for the dependence-aware memory-overlap measure.
+		{
+			rlat := lat
+			if u.isLoad && !ev.PredOff {
+				rlat = pr.lastLat
+			}
+			t := int64(0)
+			for i := 0; i < u.nsrcs; i++ {
+				if r := pr.regReadyReal[u.srcs[i]]; r > t {
+					t = r
+				}
+			}
+			if memTracked && u.isLoad {
+				forEachGranule(u.addr, u.msz, func(g uint64) {
+					if r := pr.memDepReal[g]; r > t {
+						t = r
+					}
+				})
+			}
+			if old := pr.ringReal[pr.seq%int64(len(pr.ringReal))]; old > t {
+				t = old
+			}
+			rcomp := t + rlat
+			pr.ringReal[pr.seq%int64(len(pr.ringReal))] = rcomp
+			if u.dst >= 0 {
+				pr.regReadyReal[u.dst] = rcomp
+			}
+			if u.dstFlag {
+				pr.regReadyReal[depFlags] = rcomp
+			}
+			if memTracked && u.isStore {
+				forEachGranule(u.addr, u.msz, func(g uint64) {
+					pr.memDepReal[g] = rcomp
+				})
+			}
+		}
+		pr.seq++
+	}
+}
+
+// Finish finalizes the profile.
+func (pr *legacyProfiler) Finish() *Profile {
+	prof := pr.prof
+	if prof.Instrs > 0 {
+		prof.AvgInstrLen = float64(pr.totalLen) / float64(prof.Instrs)
+	}
+	for k := 0; k < 3; k++ {
+		rate := 0.0
+		if prof.Branches > 0 {
+			rate = float64(pr.mispredict[k]) / float64(prof.Branches)
+		}
+		prof.MispredictRate[k] = rate
+	}
+	for wi := range ILPWindows {
+		// Completion horizon = max entry in the ring.
+		maxT := int64(1)
+		for _, t := range pr.ring[wi] {
+			if t > maxT {
+				maxT = t
+			}
+		}
+		prof.IPCWindow[wi] = float64(prof.Uops) / float64(maxT)
+	}
+	// In-order horizon: max regReady at the in-order index.
+	maxT := pr.inorderT + 1
+	for r := range pr.regReady {
+		if t := pr.regReady[r][NumILPWindows]; t > maxT {
+			maxT = t
+		}
+	}
+	prof.IPCInOrder = float64(prof.Uops) / float64(maxT)
+	if pr.uc.Accesses > 0 {
+		prof.UopCacheHitRate = pr.uc.HitRate()
+	}
+	// Memory-overlap measurement: real-latency horizon minus the fixed-L1
+	// horizon of the same (128-uop) window.
+	realMax := int64(1)
+	for _, t := range pr.ringReal {
+		if t > realMax {
+			realMax = t
+		}
+	}
+	l1Horizon := float64(prof.Uops) / prof.IPCWindow[ilpRefWindow]
+	exposed := float64(realMax) - l1Horizon
+	if exposed < 0 {
+		exposed = 0
+	}
+	prof.MemExposedCycles = exposed
+	ref := prof.Mem[0][0][0]
+	prof.NaiveStallRef = float64(ref.L1DMisses-ref.L2Misses)*float64(LatL2-LatL1) +
+		float64(ref.L2Misses)*float64(LatMem-LatL1)
+	for i := 0; i < 2; i++ {
+		for d := 0; d < 2; d++ {
+			for l := 0; l < 2; l++ {
+				mp := &prof.Mem[i][d][l]
+				if pr.missGrp[i][d][l] > 0 {
+					mp.DataMLP = float64(mp.L1DMisses) / float64(pr.missGrp[i][d][l])
+					if mp.DataMLP < 1 {
+						mp.DataMLP = 1
+					}
+				} else {
+					mp.DataMLP = 1
+				}
+			}
+		}
+	}
+	return prof
+}
+
+// collectProfileLegacy runs the switch-dispatch executor over the oracle
+// profiler — the frozen pre-refactor path differential tests compare
+// against.
+func collectProfileLegacy(p *code.Program, m *mem.Memory, opts RunOptions) (*Profile, ExecResult, error) {
+	pr := newLegacyProfiler(p)
+	st := NewState(m)
+	res, err := runLegacy(p, st, opts, pr.Consume)
+	if err != nil {
+		return nil, res, err
+	}
+	return pr.Finish(), res, nil
+}

@@ -58,11 +58,16 @@ const (
 // cores.
 type Timing struct {
 	p    *code.Program
+	pd   *Predecoded
 	cfg  CoreConfig
 	pred Predictor
 	hier *Hierarchy
 	uc   *UopCache
 	res  TimingResult
+
+	// legacyExpand switches micro-op decomposition to the oracle expand()
+	// instead of the predecoded templates (differential tests only).
+	legacyExpand bool
 
 	// front-end state
 	fetchCycle int64 // cycle the next uop can be delivered
@@ -81,7 +86,7 @@ type Timing struct {
 	lastRetire int64
 	// memDep tracks store completion per 8-byte granule so dependent
 	// loads (e.g. spill refills of a just-stored value) serialize.
-	memDep map[uint64]int64
+	memDep *granTab
 }
 
 type ringEnt struct {
@@ -91,8 +96,15 @@ type ringEnt struct {
 
 // NewTiming builds a timing simulator for the program on the given core.
 func NewTiming(p *code.Program, cfg CoreConfig) *Timing {
+	return newTimingPre(Predecode(p), cfg)
+}
+
+// newTimingPre builds a timing simulator over an existing predecode, so
+// RunTimed shares one Predecoded between executor and timing walk.
+func newTimingPre(pd *Predecoded, cfg CoreConfig) *Timing {
 	t := &Timing{
-		p:    p,
+		p:    pd.P,
+		pd:   pd,
 		cfg:  cfg,
 		pred: NewPredictor(cfg.Predictor),
 		hier: NewHierarchy(cfg.L1I, cfg.L1D, cfg.L2),
@@ -109,7 +121,7 @@ func NewTiming(p *code.Program, cfg CoreConfig) *Timing {
 	t.fu[UcStore] = make([]int64, 1)
 	t.fu[UcBranch] = make([]int64, 1)
 	t.memRing = make([]int64, cfg.LSQ)
-	t.memDep = make(map[uint64]int64)
+	t.memDep = newGranTab(1, 0)
 	return t
 }
 
@@ -332,7 +344,12 @@ func (t *Timing) Consume(ev *Event) {
 
 	// ---- Back end. ----
 	var buf [3]uopSpec
-	uops := expand(in, ev, buf[:0])
+	var uops []uopSpec
+	if t.legacyExpand {
+		uops = expand(in, ev, buf[:0])
+	} else {
+		uops = t.pd.expand(ev, buf[:0])
+	}
 	var lastComp int64
 	for ui := range uops {
 		u := &uops[ui]
@@ -414,7 +431,7 @@ func (t *Timing) oooIssue(u *uopSpec, deliver int64) (issue, comp int64) {
 	}
 	if u.isLoad {
 		forEachGranule(u.addr, u.msz, func(g uint64) {
-			if r := t.memDep[g]; r > issue {
+			if r := t.memDep.get(g); r > issue {
 				issue = r
 			}
 		})
@@ -454,7 +471,7 @@ func (t *Timing) oooIssue(u *uopSpec, deliver int64) (issue, comp int64) {
 	comp = issue + lat
 	if u.isStore {
 		c := comp
-		forEachGranule(u.addr, u.msz, func(g uint64) { t.memDep[g] = c })
+		forEachGranule(u.addr, u.msz, func(g uint64) { t.memDep.put(g, c) })
 	}
 	return issue, comp
 }
@@ -480,7 +497,7 @@ func (t *Timing) inorderIssue(u *uopSpec, deliver int64) (issue, comp int64) {
 	}
 	if u.isLoad {
 		forEachGranule(u.addr, u.msz, func(g uint64) {
-			if r := t.memDep[g]; r > issue {
+			if r := t.memDep.get(g); r > issue {
 				issue = r
 			}
 		})
@@ -519,7 +536,7 @@ func (t *Timing) inorderIssue(u *uopSpec, deliver int64) (issue, comp int64) {
 	comp = issue + lat
 	if u.isStore {
 		c := comp
-		forEachGranule(u.addr, u.msz, func(g uint64) { t.memDep[g] = c })
+		forEachGranule(u.addr, u.msz, func(g uint64) { t.memDep.put(g, c) })
 	}
 	return issue, comp
 }
@@ -533,9 +550,11 @@ func (t *Timing) Result() TimingResult {
 }
 
 // RunTimed executes the program functionally while driving the timing model.
+// Executor and timing walk share one predecode of the program.
 func RunTimed(p *code.Program, st *State, cfg CoreConfig, maxInstrs int64) (ExecResult, TimingResult, error) {
-	t := NewTiming(p, cfg)
-	res, err := Run(p, st, maxInstrs, t.Consume)
+	pd := Predecode(p)
+	t := newTimingPre(pd, cfg)
+	res, err := RunPredecoded(pd, st, RunOptions{MaxInstrs: maxInstrs}, t.Consume)
 	if err != nil {
 		return res, TimingResult{}, err
 	}

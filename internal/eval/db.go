@@ -85,12 +85,15 @@ type inflightProfiles struct {
 // NewDB builds an evaluation database over the full 49-region suite.
 func NewDB() *DB {
 	return &DB{
-		Regions:    workload.Regions(),
-		Verify:     true,
-		profiles:   map[string][]*cpu.Profile{},
-		inflight:   map[string]*inflightProfiles{},
-		quarantine: map[string]string{},
-		cands:      map[string]*Candidate{},
+		Regions:  workload.Regions(),
+		Verify:   true,
+		profiles: make(map[string][]*cpu.Profile, 32),
+		inflight: make(map[string]*inflightProfiles, 32),
+		// quarantine is keyed per (region, ISA) pair; size for a handful of
+		// bad pairs, not the cross product.
+		quarantine: make(map[string]string, 8),
+		// cands holds the full sweep: ~26 choices x ~180 configurations.
+		cands: make(map[string]*Candidate, 4096),
 	}
 }
 

@@ -95,45 +95,153 @@ func (db *DB) isOwnRef(ref []Metric) bool {
 // the reference) instead of failing; with a nil ref (the reference
 // evaluation itself) any failure is an error.
 func (db *DB) Evaluate(ctx context.Context, dp DesignPoint, ref []Metric) (*Candidate, error) {
-	cacheable := db.isOwnRef(ref)
-	var key string
-	if cacheable {
-		key = dp.CacheKey()
-		db.mu.Lock()
-		c, ok := db.cands[key]
-		db.mu.Unlock()
-		if ok {
-			db.Stats.CandidateHits.Inc()
-			return c, nil
-		}
-		db.Stats.CandidateMisses.Inc()
-	}
-	c, err := db.evaluate(ctx, dp, ref)
+	cs, err := db.EvaluateBatch(ctx, dp.ISA, []cpu.CoreConfig{dp.Cfg}, ref)
 	if err != nil {
 		return nil, err
 	}
-	if cacheable {
-		db.mu.Lock()
-		// Existing entries win so concurrent evaluations of one design
-		// point converge on a single shared candidate.
-		won := false
-		if prev, ok := db.cands[key]; ok {
-			c = prev
-		} else {
-			db.cands[key] = c
-			won = true
-		}
-		db.mu.Unlock()
-		// Write-through the winning entry only: the durable log gets each
-		// evaluated point once, as soon as it exists.
-		if won {
-			db.persist(key, c)
-		}
-	}
-	return c, nil
+	return cs[0], nil
 }
 
-// evaluate is the uncached scoring stage.
+// EvaluateBatch evaluates every configuration of one ISA choice in a single
+// pass: one profile fetch and one perfmodel.Scorer per region are shared
+// across the whole configuration set, so the configuration-independent terms
+// of the interval model (micro-op mix fractions, mispredict volumes, naive
+// stall sums) are computed once instead of ~180 times per profile. It is the
+// batch counterpart of Evaluate — same candidate cache tier, same degradation
+// policy, same stats — and bit-identical to the per-configuration path (see
+// the evaluate oracle below and TestEvaluateBatchMatchesOracle). The returned
+// slice is indexed like cfgs.
+func (db *DB) EvaluateBatch(ctx context.Context, choice ISAChoice, cfgs []cpu.CoreConfig, ref []Metric) ([]*Candidate, error) {
+	out := make([]*Candidate, len(cfgs))
+	cacheable := db.isOwnRef(ref)
+	var keys []string
+	missing := make([]int, 0, len(cfgs))
+	if cacheable {
+		keys = make([]string, len(cfgs))
+		db.mu.Lock()
+		for i := range cfgs {
+			keys[i] = DesignPoint{ISA: choice, Cfg: cfgs[i]}.CacheKey()
+			if c, ok := db.cands[keys[i]]; ok {
+				out[i] = c
+			} else {
+				missing = append(missing, i)
+			}
+		}
+		db.mu.Unlock()
+		db.Stats.CandidateHits.Add(int64(len(cfgs) - len(missing)))
+		db.Stats.CandidateMisses.Add(int64(len(missing)))
+		if len(missing) == 0 {
+			return out, nil
+		}
+	} else {
+		for i := range cfgs {
+			missing = append(missing, i)
+		}
+	}
+
+	ps, err := db.Profiles(ctx, choice)
+	if err != nil {
+		return nil, err
+	}
+	pol := db.Policy.WithDefaults()
+	n := len(db.Regions)
+	tr := choice.Traits()
+
+	// One scorer per region, built once for the whole configuration set. A
+	// construction error (empty profile) is a model error for every
+	// configuration and is surfaced per region below, exactly where the
+	// per-configuration path would hit it.
+	scorers := make([]*perfmodel.Scorer, n)
+	scorerErrs := make([]error, n)
+	for r := 0; r < n; r++ {
+		if ps[r] == nil {
+			continue
+		}
+		scorers[r], scorerErrs[r] = perfmodel.NewScorer(ps[r])
+	}
+
+	modelStart := time.Now()
+	for _, i := range missing {
+		dp := DesignPoint{ISA: choice, Cfg: cfgs[i]}
+		c := &Candidate{
+			DP:       dp,
+			AreaMM2:  dp.Area(),
+			PeakW:    dp.Peak(),
+			M:        make([]Metric, n),
+			Speedup:  make([]float64, n),
+			NormEDP:  make([]float64, n),
+			Degraded: make([]bool, n),
+		}
+		degrade := func(r int) {
+			db.Stats.DegradedRegions.Inc()
+			c.Degraded[r] = true
+			c.Speedup[r] = pol.SpeedupPenalty
+			c.NormEDP[r] = pol.EDPPenalty
+			// Back-derive placeholder metrics consistent with the penalties:
+			// D = refD/SpeedupPenalty and E*D = EDPPenalty*refE*refD.
+			c.M[r] = Metric{
+				Cycles: ref[r].Cycles / pol.SpeedupPenalty,
+				Energy: ref[r].Energy * pol.EDPPenalty * pol.SpeedupPenalty,
+			}
+		}
+		for r := 0; r < n; r++ {
+			if ps[r] == nil {
+				if ref == nil {
+					return nil, fmt.Errorf("eval: reference region %s unavailable", db.Regions[r].Name)
+				}
+				degrade(r)
+				continue
+			}
+			db.Stats.ModelEvals.Inc()
+			var perf perfmodel.Result
+			perr := scorerErrs[r]
+			if perr == nil {
+				perf, perr = scorers[r].Cycles(dp.Cfg)
+			}
+			if perr != nil {
+				merr := fault.Wrap(fault.StageModel, db.Regions[r].Name, dp.ISA.Key(), perr)
+				if ref == nil {
+					return nil, merr
+				}
+				db.logf("eval: degrading %s on %s: %v", db.Regions[r].Name, dp, merr)
+				degrade(r)
+				continue
+			}
+			en := power.Energy(tr, dp.Cfg, ps[r], perf)
+			c.M[r] = Metric{Cycles: perf.Cycles, Energy: en.Total, Perf: perf}
+			if ref != nil {
+				c.Speedup[r] = ref[r].Cycles / perf.Cycles
+				c.NormEDP[r] = (en.Total * perf.Cycles) / (ref[r].Energy * ref[r].Cycles)
+			}
+		}
+		if cacheable {
+			db.mu.Lock()
+			// Existing entries win so concurrent evaluations of one design
+			// point converge on a single shared candidate.
+			won := false
+			if prev, ok := db.cands[keys[i]]; ok {
+				c = prev
+			} else {
+				db.cands[keys[i]] = c
+				won = true
+			}
+			db.mu.Unlock()
+			// Write-through the winning entry only: the durable log gets each
+			// evaluated point once, as soon as it exists.
+			if won {
+				db.persist(keys[i], c)
+			}
+		}
+		out[i] = c
+	}
+	db.Stats.ModelTime.Since(modelStart)
+	return out, nil
+}
+
+// evaluate is the per-configuration scoring stage the batch path replaced.
+// It is kept verbatim as the differential oracle: it calls perfmodel.Cycles
+// directly (no precomputed Scorer terms) and skips the candidate cache, so
+// tests can prove the batch path bit-identical against it.
 func (db *DB) evaluate(ctx context.Context, dp DesignPoint, ref []Metric) (*Candidate, error) {
 	ps, err := db.Profiles(ctx, dp.ISA)
 	if err != nil {
@@ -195,23 +303,21 @@ func (db *DB) evaluate(ctx context.Context, dp DesignPoint, ref []Metric) (*Cand
 }
 
 // Candidates evaluates every (ISA choice, configuration) pair on the par
-// pool. Profile warming for the choices also runs in parallel — the
-// singleflight cache dedupes concurrent interest in one ISA, so multi-ISA
-// experiments overlap their profiling instead of serializing it.
+// pool, one EvaluateBatch per choice: profiling parallelizes across choices
+// (the singleflight cache dedupes concurrent interest in one ISA) while each
+// choice's full configuration set is scored in a single batch pass. The
+// result is choice-major, configuration-minor — the same order the per-point
+// version produced.
 func (db *DB) Candidates(ctx context.Context, choices []ISAChoice, cfgs []cpu.CoreConfig, ref []Metric) ([]*Candidate, error) {
-	if err := par.ForEach(ctx, len(choices), 0, func(i int) error {
-		_, err := db.Profiles(ctx, choices[i])
-		return err
-	}); err != nil {
+	perChoice, err := par.Map(ctx, len(choices), 0, func(i int) ([]*Candidate, error) {
+		return db.EvaluateBatch(ctx, choices[i], cfgs, ref)
+	})
+	if err != nil {
 		return nil, err
 	}
-	jobs := make([]DesignPoint, 0, len(choices)*len(cfgs))
-	for _, ch := range choices {
-		for _, cfg := range cfgs {
-			jobs = append(jobs, DesignPoint{ISA: ch, Cfg: cfg})
-		}
+	out := make([]*Candidate, 0, len(choices)*len(cfgs))
+	for _, cs := range perChoice {
+		out = append(out, cs...)
 	}
-	return par.Map(ctx, len(jobs), 0, func(i int) (*Candidate, error) {
-		return db.Evaluate(ctx, jobs[i], ref)
-	})
+	return out, nil
 }

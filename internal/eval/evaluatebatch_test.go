@@ -1,0 +1,109 @@
+package eval
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"compisa/internal/cpu"
+	"compisa/internal/fault"
+)
+
+// batchCfgs returns a configuration spread that exercises every term the
+// Scorer precomputes: both issue disciplines, all predictor organizations,
+// both fusion/uop-cache settings, and every profiled cache option.
+func batchCfgs() []cpu.CoreConfig {
+	base := ReferenceConfig()
+	narrow := base
+	narrow.Width, narrow.IntALU, narrow.Predictor = 2, 3, cpu.PredGShare
+	inord := base
+	inord.OoO, inord.Width, inord.Predictor = false, 2, cpu.PredLocal
+	inord.UopCache, inord.Fusion = false, false
+	bigmem := base
+	bigmem.L1I, bigmem.L1D, bigmem.L2 = cpu.L1Cfg64k, cpu.L1Cfg64k, cpu.L2Cfg8M
+	tiny := inord
+	tiny.Width, tiny.IntALU, tiny.FPALU = 1, 1, 1
+	return []cpu.CoreConfig{base, narrow, inord, bigmem, tiny}
+}
+
+// TestEvaluateBatchMatchesOracle: EvaluateBatch must be bit-identical to the
+// retained per-configuration oracle (evaluate) for every (choice, config)
+// pair — same metrics, speedups, EDPs, and degradation flags, down to the
+// float bit pattern.
+func TestEvaluateBatchMatchesOracle(t *testing.T) {
+	db := smallDB(3, nil)
+	ctx := context.Background()
+	ref, err := db.ReferenceMetrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := batchCfgs()
+	for _, choice := range []ISAChoice{X8664Choice(), injectable(t)} {
+		batch, err := db.EvaluateBatch(ctx, choice, cfgs, ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, cfg := range cfgs {
+			dp := DesignPoint{ISA: choice, Cfg: cfg}
+			oracle, err := db.evaluate(ctx, dp, ref)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := batch[i]
+			if got.AreaMM2 != oracle.AreaMM2 || got.PeakW != oracle.PeakW {
+				t.Errorf("%s cfg %d: area/peak %v/%v, oracle %v/%v",
+					choice.Key(), i, got.AreaMM2, got.PeakW, oracle.AreaMM2, oracle.PeakW)
+			}
+			if !reflect.DeepEqual(got.M, oracle.M) {
+				t.Errorf("%s cfg %d: metrics diverge from oracle:\nbatch  %+v\noracle %+v",
+					choice.Key(), i, got.M, oracle.M)
+			}
+			if !reflect.DeepEqual(got.Speedup, oracle.Speedup) ||
+				!reflect.DeepEqual(got.NormEDP, oracle.NormEDP) ||
+				!reflect.DeepEqual(got.Degraded, oracle.Degraded) {
+				t.Errorf("%s cfg %d: speedup/EDP/degraded diverge from oracle",
+					choice.Key(), i)
+			}
+		}
+	}
+}
+
+// TestEvaluateBatchMatchesOracleDegraded: with every non-reference compile
+// quarantined, the batch path must degrade exactly like the oracle —
+// penalties, placeholder metrics, and Degraded flags all identical.
+func TestEvaluateBatchMatchesOracleDegraded(t *testing.T) {
+	in := injector(t, fault.Config{Seed: 11, Rate: 1, Kinds: []fault.Kind{fault.KindCompile}})
+	db := smallDB(2, in)
+	ctx := context.Background()
+	ref, err := db.ReferenceMetrics(ctx) // reference ISA is injection-exempt
+	if err != nil {
+		t.Fatal(err)
+	}
+	choice := injectable(t)
+	cfgs := batchCfgs()[:2]
+	batch, err := db.EvaluateBatch(ctx, choice, cfgs, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawDegraded := false
+	for i, cfg := range cfgs {
+		oracle, err := db.evaluate(ctx, DesignPoint{ISA: choice, Cfg: cfg}, ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := batch[i]
+		if !reflect.DeepEqual(got.M, oracle.M) ||
+			!reflect.DeepEqual(got.Speedup, oracle.Speedup) ||
+			!reflect.DeepEqual(got.NormEDP, oracle.NormEDP) ||
+			!reflect.DeepEqual(got.Degraded, oracle.Degraded) {
+			t.Errorf("cfg %d: degraded batch diverges from oracle:\nbatch  %+v\noracle %+v",
+				i, got, oracle)
+		}
+		for _, d := range got.Degraded {
+			sawDegraded = sawDegraded || d
+		}
+	}
+	if !sawDegraded {
+		t.Fatal("injector quarantined nothing; degraded path not exercised")
+	}
+}

@@ -29,13 +29,12 @@ import (
 var ErrCheckpointCorrupt = errors.New("checkpoint corrupt")
 
 // checkpointVersion gates restores: bump it whenever the profile or design
-// point schema changes incompatibly. Version 1 (profiles + quarantine +
-// frontier, no candidate tier or stats) is still accepted as a legacy
-// format; version 2 added Candidates and Stats.
-const (
-	checkpointVersion       = 2
-	checkpointVersionLegacy = 1
-)
+// point schema changes incompatibly. Version 3 switched the profile's ILP
+// and mispredict curves from JSON maps to fixed arrays (the struct-of-arrays
+// profile layout); earlier versions serialized those fields as objects and
+// cannot be decoded into the current schema, so they are rejected as corrupt
+// and quarantined by RecoverCheckpoint rather than silently misread.
+const checkpointVersion = 3
 
 // SavedSearch records one completed multicore search as its four design
 // points; resume re-evaluates the points against the restored caches,
@@ -101,8 +100,9 @@ func (st *CheckpointState) RestoreSearcher(s *Searcher) {
 }
 
 // LoadCheckpoint reads a checkpoint file; a missing file yields (nil, nil).
-// Both the current format and the legacy v1 format (which lacks the
-// candidate tier and stats) load; v1 files simply restore fewer caches.
+// Only the current version loads: older files predate the struct-of-arrays
+// profile schema and decode incorrectly, so they are reported as
+// ErrCheckpointCorrupt (RecoverCheckpoint quarantines them and starts cold).
 func LoadCheckpoint(path string) (*CheckpointState, error) {
 	data, err := os.ReadFile(path)
 	if errors.Is(err, fs.ErrNotExist) {
@@ -115,9 +115,9 @@ func LoadCheckpoint(path string) (*CheckpointState, error) {
 	if err := json.Unmarshal(data, &st); err != nil {
 		return nil, fmt.Errorf("explore: checkpoint %s: %w: %w", path, ErrCheckpointCorrupt, err)
 	}
-	if st.Version != checkpointVersion && st.Version != checkpointVersionLegacy {
-		return nil, fmt.Errorf("explore: checkpoint %s: %w: version %d, want %d (or legacy %d)",
-			path, ErrCheckpointCorrupt, st.Version, checkpointVersion, checkpointVersionLegacy)
+	if st.Version != checkpointVersion {
+		return nil, fmt.Errorf("explore: checkpoint %s: %w: version %d, want %d",
+			path, ErrCheckpointCorrupt, st.Version, checkpointVersion)
 	}
 	return &st, nil
 }

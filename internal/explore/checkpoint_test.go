@@ -44,6 +44,10 @@ func TestLoadCheckpointCorruptTyped(t *testing.T) {
 		{"garbage", []byte("\x00\xffnot json at all")},
 		{"empty", nil},
 		{"future-version", []byte(`{"version":99,"profiles":{}}`)},
+		// v2 predates the struct-of-arrays profile schema (its ILP and
+		// mispredict curves were JSON objects, not arrays) and must be
+		// quarantined, not silently misread.
+		{"stale-version", []byte(`{"version":2,"profiles":{}}`)},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -88,14 +88,14 @@ func TestFaultCheckpointRoundtrip(t *testing.T) {
 	if st == nil {
 		t.Fatal("saved checkpoint reported missing")
 	}
-	if st.Version != 2 {
-		t.Fatalf("checkpoint version %d, want 2", st.Version)
+	if st.Version != checkpointVersion {
+		t.Fatalf("checkpoint version %d, want %d", st.Version, checkpointVersion)
 	}
 	if len(st.Candidates) == 0 {
-		t.Fatal("v2 checkpoint should carry the candidate cache tier")
+		t.Fatal("checkpoint should carry the candidate cache tier")
 	}
 	if st.Stats.IsZero() {
-		t.Fatal("v2 checkpoint should carry pipeline stats")
+		t.Fatal("checkpoint should carry pipeline stats")
 	}
 	// The resumed run injects nothing: only the restored state can reproduce
 	// the faulty run's quarantines and scores.

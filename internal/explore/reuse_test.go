@@ -5,6 +5,7 @@ package explore
 
 import (
 	"context"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -46,58 +47,34 @@ func TestCandidateReuseAcrossSearchers(t *testing.T) {
 	}
 }
 
-// TestCheckpointLegacyV1: a version-1 checkpoint (profiles + quarantine +
-// frontier, no candidate tier or stats) still loads and restores; an unknown
-// future version is rejected.
+// TestCheckpointStaleVersions: pre-v3 checkpoints carry the old map-shaped
+// profile schema, which the SoA profile arrays made incompatible — they are
+// rejected as corrupt (and so quarantined by RecoverCheckpoint, starting the
+// run cold) rather than half-migrated. Unknown future versions are rejected
+// the same way.
 func TestCheckpointLegacyV1(t *testing.T) {
-	db1 := smallDB(3, nil)
-	ctx := context.Background()
-	s1, err := NewSearcher(ctx, db1)
-	if err != nil {
-		t.Fatal(err)
-	}
-	budget := Budget{AreaMM2: 64}
-	cmp1, err := s1.Search(ctx, OrgCompositeFixed, ObjMPThroughput, budget)
-	if err != nil {
-		t.Fatal(err)
-	}
-	full := Snapshot(db1, s1)
-	// Strip the checkpoint down to what a v1 writer produced.
-	legacy := &CheckpointState{
-		Version:    1,
-		Profiles:   full.Profiles,
-		Quarantine: full.Quarantine,
-		Frontier:   full.Frontier,
-	}
-	path := filepath.Join(t.TempDir(), "legacy.ckpt")
-	if err := SaveCheckpoint(path, legacy); err != nil {
-		t.Fatal(err)
-	}
-
-	st, err := LoadCheckpoint(path)
-	if err != nil {
-		t.Fatalf("legacy v1 checkpoint must load: %v", err)
-	}
-	db2 := smallDB(3, nil)
-	st.RestoreDB(db2)
-	s2, err := NewSearcher(ctx, db2)
-	if err != nil {
-		t.Fatal(err)
-	}
-	st.RestoreSearcher(s2)
-	cmp2, err := s2.Search(ctx, OrgCompositeFixed, ObjMPThroughput, budget)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if cmp1.Score != cmp2.Score {
-		t.Errorf("legacy resume score %v != original %v", cmp2.Score, cmp1.Score)
-	}
-
-	future := filepath.Join(t.TempDir(), "future.ckpt")
-	if err := os.WriteFile(future, []byte(`{"version":3,"profiles":{}}`), 0o644); err != nil {
-		t.Fatal(err)
-	}
-	if _, err := LoadCheckpoint(future); err == nil || !strings.Contains(err.Error(), "version") {
-		t.Fatalf("future version must be rejected with a version error, got %v", err)
+	for _, tc := range []struct {
+		name string
+		data string
+	}{
+		{"v1", `{"version":1,"profiles":{}}`},
+		{"v2", `{"version":2,"profiles":{}}`},
+		{"future", `{"version":4,"profiles":{}}`},
+	} {
+		path := filepath.Join(t.TempDir(), tc.name+".ckpt")
+		if err := os.WriteFile(path, []byte(tc.data), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadCheckpoint(path); err == nil ||
+			!strings.Contains(err.Error(), "version") || !errors.Is(err, ErrCheckpointCorrupt) {
+			t.Fatalf("%s checkpoint must be rejected as corrupt with a version error, got %v", tc.name, err)
+		}
+		st, quarantined, err := RecoverCheckpoint(path)
+		if err != nil || st != nil {
+			t.Fatalf("%s: recover = (%v, %v), want cold start", tc.name, st, err)
+		}
+		if quarantined != path+".corrupt" {
+			t.Fatalf("%s: quarantined to %q, want %q", tc.name, quarantined, path+".corrupt")
+		}
 	}
 }

@@ -1,0 +1,106 @@
+package perfmodel_test
+
+import (
+	"testing"
+
+	"compisa/internal/compiler"
+	"compisa/internal/cpu"
+	"compisa/internal/explore"
+	"compisa/internal/isa"
+	"compisa/internal/perfmodel"
+	"compisa/internal/workload"
+)
+
+// batchProfile compiles and profiles one region under one feature set, with
+// a truncated budget to keep the full-config-sweep comparison fast.
+func batchProfile(t *testing.T, name string, fs isa.FeatureSet) *cpu.Profile {
+	t.Helper()
+	var reg workload.Region
+	for _, r := range workload.Regions() {
+		if r.Name == name {
+			reg = r
+		}
+	}
+	if reg.Build == nil {
+		t.Fatalf("unknown region %s", name)
+	}
+	f, m, err := reg.Build(fs.Width)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := compiler.Compile(f, fs, compiler.Options{Verify: compiler.VerifyOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog.Name = reg.Name
+	prof, _, err := cpu.CollectProfile(prog, m, 2_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prof
+}
+
+// TestScorerMatchesCycles: for real profiles across both complexity modes,
+// Scorer.Cycles and CyclesBatch must return bit-identical Results to the
+// per-call Cycles path over the entire exploration configuration grid.
+func TestScorerMatchesCycles(t *testing.T) {
+	cfgs := explore.Configs()
+	if len(cfgs) < 100 {
+		t.Fatalf("configuration grid unexpectedly small: %d", len(cfgs))
+	}
+	for _, tc := range []struct {
+		region string
+		fs     isa.FeatureSet
+	}{
+		{"gobmk.0", isa.X8664},
+		{"milc.0", isa.X8664},
+		{"mcf.0", isa.MicroX86Min},
+	} {
+		prof := batchProfile(t, tc.region, tc.fs)
+		s, err := perfmodel.NewScorer(prof)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs, err := perfmodel.CyclesBatch(prof, cfgs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, cfg := range cfgs {
+			want, werr := perfmodel.Cycles(prof, cfg)
+			got, gerr := s.Cycles(cfg)
+			if (werr == nil) != (gerr == nil) {
+				t.Fatalf("%s cfg %d: error mismatch: %v vs %v", tc.region, i, werr, gerr)
+			}
+			if werr != nil {
+				if werr.Error() != gerr.Error() {
+					t.Fatalf("%s cfg %d: error text mismatch: %v vs %v", tc.region, i, werr, gerr)
+				}
+				continue
+			}
+			if got != want {
+				t.Fatalf("%s cfg %d: Scorer.Cycles diverges:\nscorer %+v\ncycles %+v", tc.region, i, got, want)
+			}
+			if rs[i] != want {
+				t.Fatalf("%s cfg %d: CyclesBatch diverges:\nbatch  %+v\ncycles %+v", tc.region, i, rs[i], want)
+			}
+		}
+	}
+}
+
+// TestScorerEmptyProfile: Scorer construction rejects an empty profile with
+// the same error the per-call path reports.
+func TestScorerEmptyProfile(t *testing.T) {
+	empty := &cpu.Profile{}
+	_, serr := perfmodel.NewScorer(empty)
+	_, cerr := perfmodel.Cycles(empty, explore.Configs()[0])
+	if serr == nil || cerr == nil {
+		t.Fatalf("empty profile accepted: scorer err %v, cycles err %v", serr, cerr)
+	}
+	if serr.Error() != cerr.Error() {
+		t.Fatalf("error text mismatch: %q vs %q", serr, cerr)
+	}
+	if _, err := perfmodel.CyclesBatch(empty, explore.Configs()[:3]); err == nil ||
+		err.Error() != cerr.Error() {
+		t.Fatalf("CyclesBatch error %v, want %v", err, cerr)
+	}
+}

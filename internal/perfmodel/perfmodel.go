@@ -56,10 +56,14 @@ func cacheOptIdx(c cpu.CacheCfg, opts [2]cpu.CacheCfg) (int, error) {
 }
 
 // ilpAt interpolates the dependence-limited IPC curve at a window size.
+// The curve is a fixed-size array indexed by cpu.ILPWindows, walked in
+// order — no map iteration, so the bracketing points are found
+// deterministically.
 func ilpAt(p *cpu.Profile, window int) float64 {
 	lo, hi := 0, 0
 	loV, hiV := 0.0, 0.0
-	for w, v := range p.IPCWindow {
+	for i, w := range cpu.ILPWindows {
+		v := p.IPCWindow[i]
 		if w <= window && w > lo {
 			lo, loV = w, v
 		}

@@ -16,6 +16,12 @@
 // the median ratio across all benchmarks, so a uniform machine-speed shift
 // cancels out and only benchmarks that moved relative to the rest of the
 // suite can trip the threshold. -calibrate=false compares absolutes.
+//
+// Runs recorded with -benchmem also gate allocs/op. Allocation counts are
+// machine-independent (no calibration applies): a benchmark fails when its
+// count grows past the threshold fraction AND by more than two allocations,
+// so tiny fixed counts don't flap on a single extra allocation. A run
+// without -benchmem skips the allocation gate with a warning.
 package main
 
 import (
@@ -32,10 +38,13 @@ import (
 	"strings"
 )
 
-// Baseline is the committed artifact: benchmark name -> ns/op.
+// Baseline is the committed artifact: benchmark name -> ns/op, plus
+// (for runs recorded with -benchmem) benchmark name -> allocs/op. Allocs is
+// omitted from older baselines; decoding either shape works.
 type Baseline struct {
 	Note       string             `json:"note,omitempty"`
 	Benchmarks map[string]float64 `json:"benchmarks"`
+	Allocs     map[string]float64 `json:"allocs,omitempty"`
 }
 
 // timingRE matches the measurement part of a benchmark line: iteration
@@ -44,14 +53,20 @@ type Baseline struct {
 // the name line; both forms parse.
 var timingRE = regexp.MustCompile(`^\s*\d+\s+([0-9.]+) ns/op`)
 
+// allocsRE matches the -benchmem allocation count, which follows ns/op (and
+// any custom ReportMetric fields) on the same measurement line.
+var allocsRE = regexp.MustCompile(`\s([0-9]+) allocs/op`)
+
 // nameRE matches a benchmark name at line start, with the optional
 // -GOMAXPROCS suffix Go appends on parallel runs.
 var nameRE = regexp.MustCompile(`^(Benchmark[\w/]+?)(?:-\d+)?(\s|$)`)
 
-// parseBench extracts name -> ns/op pairs from `go test -bench` output,
-// associating each timing line with the most recent benchmark name.
-func parseBench(r io.Reader) (map[string]float64, error) {
-	out := map[string]float64{}
+// parseBench extracts name -> ns/op (and, when the run used -benchmem,
+// name -> allocs/op) from `go test -bench` output, associating each timing
+// line with the most recent benchmark name.
+func parseBench(r io.Reader) (ns, allocs map[string]float64, err error) {
+	ns = map[string]float64{}
+	allocs = map[string]float64{}
 	var current string
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
@@ -75,13 +90,20 @@ func parseBench(r io.Reader) (map[string]float64, error) {
 		if m := timingRE.FindStringSubmatch(strings.TrimLeft(line, " \t")); m != nil {
 			v, err := strconv.ParseFloat(m[1], 64)
 			if err != nil {
-				return nil, fmt.Errorf("benchdiff: bad ns/op on %q: %w", line, err)
+				return nil, nil, fmt.Errorf("benchdiff: bad ns/op on %q: %w", line, err)
 			}
-			out[current] = v
+			ns[current] = v
+			if am := allocsRE.FindStringSubmatch(line); am != nil {
+				a, err := strconv.ParseFloat(am[1], 64)
+				if err != nil {
+					return nil, nil, fmt.Errorf("benchdiff: bad allocs/op on %q: %w", line, err)
+				}
+				allocs[current] = a
+			}
 			current = ""
 		}
 	}
-	return out, sc.Err()
+	return ns, allocs, sc.Err()
 }
 
 // median of a non-empty slice (sorted copy; even length averages the pair).
@@ -114,7 +136,7 @@ func main() {
 		defer f.Close()
 		in = f
 	}
-	run, err := parseBench(in)
+	run, runAllocs, err := parseBench(in)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -123,7 +145,7 @@ func main() {
 	}
 
 	if *out != "" || *write {
-		data, err := json.MarshalIndent(Baseline{Note: *note, Benchmarks: run}, "", "  ")
+		data, err := json.MarshalIndent(Baseline{Note: *note, Benchmarks: run, Allocs: runAllocs}, "", "  ")
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -155,6 +177,7 @@ func main() {
 		log.Fatalf("benchdiff: %s: %v", *baselinePath, err)
 	}
 	failures := compare(os.Stdout, base.Benchmarks, run, *threshold, *calibrate)
+	failures += compareAllocs(os.Stdout, base.Allocs, runAllocs, *threshold)
 	if failures > 0 {
 		fmt.Printf("\nFAIL: %d benchmark(s) regressed beyond %.0f%% (or went missing)\n", failures, *threshold*100)
 		os.Exit(1)
@@ -209,6 +232,49 @@ func compare(w io.Writer, base, run map[string]float64, threshold float64, calib
 	sort.Strings(extra)
 	for _, name := range extra {
 		fmt.Fprintf(w, "%-42s %14s %14.0f %9s  (new, not gated)\n", name, "-", run[name], "-")
+	}
+	return failures
+}
+
+// compareAllocs gates allocs/op. Counts are machine-independent, so no
+// calibration applies; a benchmark fails when its count both exceeds the
+// threshold fraction and grows by more than two allocations (absolute slack
+// keeps tiny fixed counts from flapping). An empty run side means the run
+// was not collected with -benchmem: the gate is skipped with a warning
+// rather than failed, so local runs without -benchmem still compare timings.
+func compareAllocs(w io.Writer, base, run map[string]float64, threshold float64) int {
+	if len(base) == 0 {
+		return 0
+	}
+	if len(run) == 0 {
+		fmt.Fprintf(w, "\nallocs: baseline has allocation counts but the run has none (no -benchmem?); allocation gate skipped\n")
+		return 0
+	}
+	names := make([]string, 0, len(base))
+	for name := range base {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	failures := 0
+	fmt.Fprintf(w, "\n%-42s %14s %14s %9s\n", "benchmark", "old allocs/op", "new allocs/op", "delta")
+	for _, name := range names {
+		old := base[name]
+		v, ok := run[name]
+		if !ok {
+			fmt.Fprintf(w, "%-42s %14.0f %14s %9s  MISSING\n", name, old, "-", "-")
+			failures++
+			continue
+		}
+		delta := 0.0
+		if old > 0 {
+			delta = v/old - 1
+		}
+		mark := ""
+		if v > old*(1+threshold) && v-old > 2 {
+			mark = "  REGRESSION"
+			failures++
+		}
+		fmt.Fprintf(w, "%-42s %14.0f %14.0f %+8.1f%%%s\n", name, old, v, delta*100, mark)
 	}
 	return failures
 }

@@ -18,14 +18,14 @@ BenchmarkFig2InstructionMix            	Figure 2: dynamic micro-op mix
 astar       2.07    5.03    1.17    1.00    0.00    1.37
 
        3	     56182 ns/op
-BenchmarkProfilePass                   	       3	  20039359 ns/op
-BenchmarkDetailedSim-8                 	       3	   5054703 ns/op	   9324335 instrs/s
+BenchmarkProfilePass                   	       3	  20039359 ns/op	 3456784 B/op	   12345 allocs/op
+BenchmarkDetailedSim-8                 	       3	   5054703 ns/op	   9324335 instrs/s	  262144 B/op	     987 allocs/op
 PASS
 ok  	compisa	264.289s
 `
 
 func TestParseBench(t *testing.T) {
-	got, err := parseBench(strings.NewReader(sample))
+	got, gotAllocs, err := parseBench(strings.NewReader(sample))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,6 +41,20 @@ func TestParseBench(t *testing.T) {
 	for name, v := range want {
 		if got[name] != v {
 			t.Errorf("%s = %v, want %v", name, got[name], v)
+		}
+	}
+	// allocs/op parses only from -benchmem lines, including lines carrying
+	// custom ReportMetric fields between ns/op and the memory columns.
+	wantAllocs := map[string]float64{
+		"BenchmarkProfilePass": 12345,
+		"BenchmarkDetailedSim": 987,
+	}
+	if len(gotAllocs) != len(wantAllocs) {
+		t.Fatalf("parsed %d alloc counts, want %d: %v", len(gotAllocs), len(wantAllocs), gotAllocs)
+	}
+	for name, v := range wantAllocs {
+		if gotAllocs[name] != v {
+			t.Errorf("allocs %s = %v, want %v", name, gotAllocs[name], v)
 		}
 	}
 }
@@ -68,5 +82,30 @@ func TestCompareMissingAndNew(t *testing.T) {
 	run := map[string]float64{"A": 1000, "New": 5}
 	if f := compare(io.Discard, base, run, 0.15, false); f != 1 {
 		t.Errorf("missing benchmark flagged %d failures, want 1", f)
+	}
+}
+
+func TestCompareAllocs(t *testing.T) {
+	base := map[string]float64{"Big": 10000, "Tiny": 3, "Zero": 0}
+	// Big regressed 20% (2000 extra allocations): fails. Tiny grew 67% but
+	// only by 2 allocations: absolute slack keeps it passing. Zero gained
+	// one allocation: passes on slack too.
+	run := map[string]float64{"Big": 12000, "Tiny": 5, "Zero": 1}
+	if f := compareAllocs(io.Discard, base, run, 0.15); f != 1 {
+		t.Errorf("alloc compare flagged %d failures, want 1 (only Big)", f)
+	}
+	// A baseline benchmark missing from the run fails, matching the timing
+	// gate's MISSING behavior.
+	delete(run, "Big")
+	if f := compareAllocs(io.Discard, base, run, 0.15); f != 1 {
+		t.Errorf("missing alloc count flagged %d failures, want 1", f)
+	}
+	// A run without -benchmem (no counts at all) skips the gate.
+	if f := compareAllocs(io.Discard, base, map[string]float64{}, 0.15); f != 0 {
+		t.Errorf("benchmem-less run flagged %d failures, want 0", f)
+	}
+	// No baseline counts (old baseline): nothing to gate.
+	if f := compareAllocs(io.Discard, nil, run, 0.15); f != 0 {
+		t.Errorf("alloc-less baseline flagged %d failures, want 0", f)
 	}
 }
