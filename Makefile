@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build vet lint test race fault-smoke chaos conformance bench bench-smoke \
+.PHONY: check build vet vettool lint test race fault-smoke chaos conformance bench bench-smoke \
 	bench-baseline bench-diff serve-smoke fuzz cover
 
 build:
@@ -9,16 +9,24 @@ build:
 vet:
 	$(GO) vet ./...
 
-# Static analysis beyond go vet: the repo-local faultwrap pass (error-chain
-# preservation at the internal/fault boundary) always runs; staticcheck runs
-# when installed (CI installs it; containers without network skip it).
+# Static analysis beyond go vet: the repo-local multichecker (faultwrap
+# error-chain preservation + mapdeterminism map-order leaks) always runs;
+# staticcheck runs when installed (CI installs it; containers without
+# network skip it). CI additionally drives the same multichecker through
+# `go vet -vettool` (see vettool target) for build-graph-accurate file sets.
 lint: vet
-	$(GO) run ./tools/analyzers/faultwrap ./...
+	$(GO) run ./tools/analyzers/cmd/vet ./...
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./...; \
 	else \
 		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
 	fi
+
+# Run the repo-local analyzers the way CI does: as a go vet tool, so the
+# analyzed file set is exactly what the build graph compiles.
+vettool:
+	$(GO) build -o /tmp/compisa-bin/compisa-vet ./tools/analyzers/cmd/vet
+	$(GO) vet -vettool=/tmp/compisa-bin/compisa-vet ./...
 
 test:
 	$(GO) test ./...

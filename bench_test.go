@@ -11,6 +11,7 @@ import (
 	"sync"
 	"testing"
 
+	"compisa/internal/check"
 	"compisa/internal/compiler"
 	"compisa/internal/cpu"
 	"compisa/internal/explore"
@@ -377,6 +378,37 @@ func BenchmarkProfilePass(b *testing.B) {
 			b.Fatal(err)
 		}
 		if _, _, err := cpu.CollectProfile(prog, m, 40_000_000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAnalyzeRegion measures the analysis engine (CFG recovery,
+// dominators, natural loops, both abstract interpretations, Facts
+// derivation) over one compiled region — the cost eval pays per (region,
+// ISA) pair when Facts collection or verification is enabled.
+func BenchmarkAnalyzeRegion(b *testing.B) {
+	var reg workload.Region
+	for _, r := range workload.Regions() {
+		if r.Name == "gobmk.0" {
+			reg = r
+		}
+	}
+	f, _, err := reg.Build(64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := compiler.Compile(f, isa.X8664, compiler.Options{Verify: compiler.VerifyOff})
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog.Name = reg.Name
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rep := check.Analyze(prog); len(rep.Findings) != 0 {
+			b.Fatalf("clean region produced findings: %v", rep.Findings)
+		}
+		if _, err := check.ComputeFacts(prog); err != nil {
 			b.Fatal(err)
 		}
 	}

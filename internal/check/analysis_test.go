@@ -1,0 +1,254 @@
+package check
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"compisa/internal/code"
+)
+
+// Adversarial CFG shapes for the analysis engine: irreducible two-entry
+// cycles, self-loops, empty programs, RET-shadowed blocks, and a kilo-block
+// chain as a linearity canary.
+
+func TestDominatorsDiamond(t *testing.T) {
+	g := recoverCFG(diamond(t))
+	if len(g.Blocks) != 3 {
+		t.Fatalf("diamond recovered %d blocks, want 3", len(g.Blocks))
+	}
+	d := g.Dominators()
+	if d.Idom[0] != 0 || d.Idom[1] != 0 || d.Idom[2] != 0 {
+		t.Errorf("idoms = %v, want entry dominating both arms and the join", d.Idom)
+	}
+	if d.Depth[0] != 0 || d.Depth[1] != 1 || d.Depth[2] != 1 {
+		t.Errorf("dom depths = %v, want [0 1 1]", d.Depth)
+	}
+	// The taken arm's frontier is the join; the join has none.
+	if len(d.Frontier[1]) != 1 || d.Frontier[1][0] != 2 {
+		t.Errorf("frontier of arm = %v, want [2]", d.Frontier[1])
+	}
+	if len(d.Frontier[2]) != 0 {
+		t.Errorf("frontier of join = %v, want empty", d.Frontier[2])
+	}
+	if !d.Dominates(0, 2) || d.Dominates(1, 2) || !d.Dominates(1, 1) {
+		t.Error("Dominates: want entry ≫ join, arm not ≫ join, arm ≫ itself")
+	}
+	if li := g.Loops(d); len(li.Loops) != 0 || li.Irreducible {
+		t.Errorf("diamond has no loops, got %+v", li)
+	}
+}
+
+// twoEntryCycle builds the canonical irreducible region: the entry branches
+// into the middle of a cycle A⇄B, so neither cycle block dominates the
+// other and no natural loop exists.
+func twoEntryCycle(t *testing.T) *code.Program {
+	return build(t, permissive,
+		ldData(1),
+		ins(code.CMP, func(in *code.Instr) { in.Src1 = 1; in.HasImm = true; in.Imm = 0 }),
+		ins(code.JCC, func(in *code.Instr) { in.CC = code.CCEQ; in.Target = 5 }),
+		// A:
+		ins(code.ADD, func(in *code.Instr) { in.Dst = 2; in.Src1 = 2; in.HasImm = true; in.Imm = 1 }),
+		ins(code.JMP, func(in *code.Instr) { in.Target = 5 }),
+		// B:
+		ins(code.ADD, func(in *code.Instr) { in.Dst = 3; in.Src1 = 3; in.HasImm = true; in.Imm = 1 }),
+		ins(code.CMP, func(in *code.Instr) { in.Src1 = 1; in.HasImm = true; in.Imm = 1 }),
+		ins(code.JCC, func(in *code.Instr) { in.CC = code.CCNE; in.Target = 3 }),
+		ins(code.RET, func(in *code.Instr) { in.Src1 = 1 }),
+	)
+}
+
+func TestIrreducibleTwoEntryCycle(t *testing.T) {
+	p := twoEntryCycle(t)
+	g := recoverCFG(p)
+	d := g.Dominators()
+	li := g.Loops(d)
+	if !li.Irreducible {
+		t.Fatal("two-entry cycle not flagged irreducible")
+	}
+	if len(li.Loops) != 0 {
+		t.Errorf("irreducible cycle produced %d natural loops, want 0", len(li.Loops))
+	}
+	if len(li.IrreducibleEdges) == 0 {
+		t.Fatal("no irreducible edges recorded")
+	}
+	for _, e := range li.IrreducibleEdges {
+		if d.Dominates(e[1], e[0]) {
+			t.Errorf("edge %v recorded irreducible but head dominates tail", e)
+		}
+	}
+	f, err := ComputeFacts(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Irreducible || len(f.Loops) != 0 {
+		t.Errorf("Facts: Irreducible=%v Loops=%d, want true/0", f.Irreducible, len(f.Loops))
+	}
+}
+
+// selfLoop is the canonical counted loop collapsed to one block:
+// r1 = 0; L: r1++; CMP r1,$10; JL L; RET — exactly 10 trips.
+func selfLoop(t *testing.T) *code.Program {
+	return build(t, permissive,
+		movImm(1, 0),
+		ins(code.ADD, func(in *code.Instr) { in.Dst = 1; in.Src1 = 1; in.HasImm = true; in.Imm = 1 }),
+		ins(code.CMP, func(in *code.Instr) { in.Src1 = 1; in.HasImm = true; in.Imm = 10 }),
+		ins(code.JCC, func(in *code.Instr) { in.CC = code.CCLT; in.Target = 1 }),
+		ins(code.RET, func(in *code.Instr) { in.Src1 = 1 }),
+	)
+}
+
+func TestSelfLoopTripCount(t *testing.T) {
+	p := selfLoop(t)
+	g := recoverCFG(p)
+	d := g.Dominators()
+	li := g.Loops(d)
+	if li.Irreducible {
+		t.Fatal("self-loop flagged irreducible")
+	}
+	if len(li.Loops) != 1 {
+		t.Fatalf("got %d loops, want 1", len(li.Loops))
+	}
+	l := li.Loops[0]
+	if len(l.Blocks) != 1 || l.Header != l.Latches[0] || l.Depth != 1 {
+		t.Errorf("self-loop shape = %+v, want single block == header == latch at depth 1", l)
+	}
+	f, err := ComputeFacts(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Loops) != 1 || f.Loops[0].TripCount != 10 {
+		t.Fatalf("Facts loops = %+v, want one loop with TripCount 10", f.Loops)
+	}
+	if rep := Analyze(p); len(rep.Findings) != 0 {
+		t.Errorf("clean counted loop produced findings: %v", rep.Findings)
+	}
+}
+
+func TestEmptyProgram(t *testing.T) {
+	p := &code.Program{Name: "empty", FS: permissive}
+	if _, err := ComputeFacts(p); err == nil {
+		t.Error("ComputeFacts on empty program: want error, got nil")
+	}
+	rep := Analyze(p) // must classify, not panic
+	if len(rep.Findings) == 0 {
+		t.Error("Analyze on empty program: want structural finding")
+	}
+}
+
+// TestRETShadowedBlock: code shadowed by an unconditional RET is reported
+// by the dead-block rule and ONLY the dead-block rule — the shadowed
+// block's illegal memory access must not leak through any value- or
+// join-point analysis (it is pruned from their domains).
+func TestRETShadowedBlock(t *testing.T) {
+	p := build(t, permissive,
+		ldData(1),
+		ins(code.RET, func(in *code.Instr) { in.Src1 = 1 }),
+		// Shadowed: an out-of-window load that memrange would reject.
+		ins(code.LD, func(in *code.Instr) { in.Dst = 2; in.HasMem = true; in.Mem.Disp = 0x10 }),
+		ins(code.RET, func(in *code.Instr) { in.Src1 = 2 }),
+	)
+	rep := Analyze(p)
+	if len(rep.Findings) == 0 {
+		t.Fatal("RET-shadowed block produced no findings, want deadblock")
+	}
+	for _, f := range rep.Findings {
+		if f.Rule != RuleDeadBlock {
+			t.Errorf("unexpected rule %q fired on shadowed code: %s", f.Rule, f.Detail)
+		}
+	}
+	fx, err := ComputeFacts(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shadowed := false
+	for _, b := range fx.Blocks {
+		if b.Start == 2 {
+			shadowed = true
+			if b.Reachable || b.Idom != -1 {
+				t.Errorf("shadowed block facts = %+v, want unreachable with Idom -1", b)
+			}
+		}
+	}
+	if !shadowed {
+		t.Error("no block starting at the shadowed instruction")
+	}
+}
+
+// chain builds n-1 single-JMP blocks ending in RET: the linearity canary.
+func chain(t *testing.T, n int) *code.Program {
+	t.Helper()
+	instrs := make([]code.Instr, 0, n)
+	for i := 0; i < n-1; i++ {
+		tgt := int32(i + 1)
+		instrs = append(instrs, ins(code.JMP, func(in *code.Instr) { in.Target = tgt }))
+	}
+	instrs = append(instrs, ins(code.RET, nil))
+	return build(t, permissive, instrs...)
+}
+
+func TestKiloBlockChain(t *testing.T) {
+	const n = 1000
+	start := time.Now()
+	g := recoverCFG(chain(t, n))
+	d := g.Dominators()
+	li := g.Loops(d)
+	elapsed := time.Since(start)
+	if len(g.Blocks) != n {
+		t.Fatalf("chain recovered %d blocks, want %d", len(g.Blocks), n)
+	}
+	for i := 1; i < n; i++ {
+		if d.Idom[i] != i-1 || d.Depth[i] != i {
+			t.Fatalf("block %d: idom=%d depth=%d, want %d/%d", i, d.Idom[i], d.Depth[i], i-1, i)
+		}
+	}
+	if len(li.Loops) != 0 || li.Irreducible {
+		t.Errorf("chain loop info = %+v, want none", li)
+	}
+	// A linear pass clears 1000 blocks in well under a millisecond; this
+	// bound only trips if someone regresses to a quadratic-or-worse
+	// algorithm (the CHK iteration converging per-block, say).
+	if elapsed > 3*time.Second {
+		t.Errorf("1000-block chain took %v — analysis is no longer linear-ish", elapsed)
+	}
+	if testing.Short() {
+		return
+	}
+	// Long mode: 20x the blocks with the same generous budget, so even a
+	// mildly super-linear implementation surfaces before users feel it.
+	start = time.Now()
+	g = recoverCFG(chain(t, 20*n))
+	g.Loops(g.Dominators())
+	if elapsed = time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("20k-block chain took %v — analysis is super-linear", elapsed)
+	}
+}
+
+// TestFactsJSONDeterminismUnit: two independent analyses of the same
+// program must marshal to identical bytes (the eval-layer test covers
+// compiled regions; this pins the hand-built corner shapes too).
+func TestFactsJSONDeterminismUnit(t *testing.T) {
+	for _, mk := range []func(*testing.T) *code.Program{diamond, twoEntryCycle, selfLoop} {
+		p1, p2 := mk(t), mk(t)
+		f1, err := ComputeFacts(p1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f2, err := ComputeFacts(p2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		j1, err := json.Marshal(f1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		j2, err := json.Marshal(f2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(j1, j2) {
+			t.Errorf("%s: Facts JSON differs across runs:\n%s\n%s", p1.Name, j1, j2)
+		}
+	}
+}

@@ -24,6 +24,17 @@ func movImm(dst code.Reg, imm int64) code.Instr {
 	return ins(code.MOV, func(in *code.Instr) { in.Dst = dst; in.HasImm = true; in.Imm = imm })
 }
 
+// ldData loads dst from the data window: a defined but statically unknown
+// value, so branches fed by it stay genuinely two-way under the constant-
+// propagation rules.
+func ldData(dst code.Reg) code.Instr {
+	return ins(code.LD, func(in *code.Instr) {
+		in.Dst = dst
+		in.HasMem = true
+		in.Mem.Disp = code.DataBase
+	})
+}
+
 func build(t *testing.T, fs isa.FeatureSet, instrs ...code.Instr) *code.Program {
 	t.Helper()
 	p := &code.Program{Name: "hand", FS: fs, Instrs: instrs}
@@ -40,7 +51,7 @@ var permissive = isa.MustNew(isa.FullX86, 64, 64, isa.FullPredication)
 // at the join: legal code that a must-analysis would falsely reject.
 func diamond(t *testing.T) *code.Program {
 	return build(t, permissive,
-		movImm(1, 1),
+		ldData(1),
 		ins(code.CMP, func(in *code.Instr) { in.Src1 = 1; in.HasImm = true; in.Imm = 0 }),
 		ins(code.JCC, func(in *code.Instr) { in.CC = code.CCEQ; in.Target = 5 }),
 		movImm(2, 7),
@@ -157,7 +168,7 @@ func TestUDefDiamondAccepted(t *testing.T) {
 func TestUDefNoWriteOnAnyPath(t *testing.T) {
 	// Same diamond but the one def of r2 is gone: no path writes r2.
 	p := build(t, permissive,
-		movImm(1, 1),
+		ldData(1),
 		ins(code.CMP, func(in *code.Instr) { in.Src1 = 1; in.HasImm = true; in.Imm = 0 }),
 		ins(code.JCC, func(in *code.Instr) { in.CC = code.CCEQ; in.Target = 5 }),
 		ins(code.NOP, nil),
@@ -217,8 +228,9 @@ func TestCFGRuleFindings(t *testing.T) {
 			movImm(1, 1), // dead
 			ins(code.RET, func(in *code.Instr) { in.Src1 = 0 }),
 		)
-		// r0 is never written, so silence udef by restricting to the cfg rule.
-		rep := AnalyzeOpts(p, Options{Rules: []string{RuleCFG}})
+		// r0 is never written, so silence udef by restricting to the
+		// deadblock rule, which owns unreachable-code findings.
+		rep := AnalyzeOpts(p, Options{Rules: []string{RuleDeadBlock}})
 		found := false
 		for _, f := range rep.Findings {
 			if strings.Contains(f.Detail, "unreachable") && f.Index == 1 {

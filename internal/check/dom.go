@@ -1,0 +1,338 @@
+package check
+
+// This file is the control-flow half of the analysis engine: dominator
+// trees (Cooper–Harvey–Kennedy iterative algorithm), dominance frontiers,
+// and natural-loop detection with nesting depth. Everything operates on the
+// reachable subgraph only — unreachable blocks (BB.Reachable == false) get
+// Idom -1, depth 0, and never contribute edges, so dead code cannot perturb
+// join-point facts (see the dead-block rule, which owns reporting them).
+
+import "sort"
+
+// DomTree is the dominator tree of a CFG's reachable subgraph.
+type DomTree struct {
+	// Idom maps a block to its immediate dominator. The entry block is its
+	// own idom; unreachable blocks have Idom -1.
+	Idom []int
+	// Depth is the dominator-tree depth (entry = 0; unreachable = -1).
+	Depth []int
+	// Frontier is the dominance frontier of each block, ascending.
+	Frontier [][]int
+
+	// rpo lists reachable blocks in reverse postorder; rpoNum is the
+	// inverse (-1 for unreachable blocks).
+	rpo    []int
+	rpoNum []int
+}
+
+// Dominates reports whether block a dominates block b (every block
+// dominates itself). Unreachable blocks dominate nothing and are dominated
+// by nothing.
+func (d *DomTree) Dominates(a, b int) bool {
+	if a < 0 || b < 0 || d.Idom[a] < 0 || d.Idom[b] < 0 {
+		return false
+	}
+	for d.Depth[b] > d.Depth[a] {
+		b = d.Idom[b]
+	}
+	return a == b
+}
+
+// postorder computes a postorder numbering of the reachable subgraph with
+// an iterative DFS (explicit stack: no recursion, so kilo-block chains are
+// fine).
+func (g *CFG) postorder() []int {
+	if len(g.Blocks) == 0 {
+		return nil
+	}
+	type frame struct {
+		b    int
+		next int // next successor index to visit
+	}
+	seen := make([]bool, len(g.Blocks))
+	order := make([]int, 0, len(g.Blocks))
+	stack := []frame{{b: 0}}
+	seen[0] = true
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if f.next < len(g.Blocks[f.b].Succs) {
+			s := g.Blocks[f.b].Succs[f.next]
+			f.next++
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, frame{b: s})
+			}
+			continue
+		}
+		order = append(order, f.b)
+		stack = stack[:len(stack)-1]
+	}
+	return order
+}
+
+// Dominators builds the dominator tree with the Cooper–Harvey–Kennedy
+// iterative algorithm: process blocks in reverse postorder, intersecting
+// the idoms of already-processed predecessors, until a fixed point. On
+// reducible graphs this converges in two passes; each intersection walks
+// idom chains by finger comparison on postorder numbers.
+func (g *CFG) Dominators() *DomTree {
+	nb := len(g.Blocks)
+	d := &DomTree{
+		Idom:   make([]int, nb),
+		Depth:  make([]int, nb),
+		rpoNum: make([]int, nb),
+	}
+	for i := range d.Idom {
+		d.Idom[i] = -1
+		d.Depth[i] = -1
+		d.rpoNum[i] = -1
+	}
+	if nb == 0 {
+		d.Frontier = [][]int{}
+		return d
+	}
+	post := g.postorder()
+	poNum := make([]int, nb)
+	for i := range poNum {
+		poNum[i] = -1
+	}
+	for i, b := range post {
+		poNum[b] = i
+	}
+	d.rpo = make([]int, 0, len(post))
+	for i := len(post) - 1; i >= 0; i-- {
+		d.rpoNum[post[i]] = len(d.rpo)
+		d.rpo = append(d.rpo, post[i])
+	}
+
+	intersect := func(idom []int, a, b int) int {
+		for a != b {
+			for poNum[a] < poNum[b] {
+				a = idom[a]
+			}
+			for poNum[b] < poNum[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+
+	d.Idom[0] = 0
+	for changed := true; changed; {
+		changed = false
+		for _, b := range d.rpo {
+			if b == 0 {
+				continue
+			}
+			newIdom := -1
+			for _, p := range g.Blocks[b].Preds {
+				if d.Idom[p] < 0 {
+					continue // unprocessed or unreachable predecessor
+				}
+				if newIdom < 0 {
+					newIdom = p
+				} else {
+					newIdom = intersect(d.Idom, newIdom, p)
+				}
+			}
+			if newIdom >= 0 && d.Idom[b] != newIdom {
+				d.Idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+
+	// Depths, in reverse postorder so parents are ready first.
+	d.Depth[0] = 0
+	for _, b := range d.rpo {
+		if b != 0 && d.Idom[b] >= 0 {
+			d.Depth[b] = d.Depth[d.Idom[b]] + 1
+		}
+	}
+
+	// Dominance frontiers (the standard CHK formulation: for each join
+	// block, walk each predecessor's idom chain up to the join's idom).
+	fr := make([]map[int]struct{}, nb)
+	for _, b := range d.rpo {
+		if len(g.Blocks[b].Preds) < 2 {
+			continue
+		}
+		for _, p := range g.Blocks[b].Preds {
+			if d.Idom[p] < 0 {
+				continue
+			}
+			for runner := p; runner != d.Idom[b]; runner = d.Idom[runner] {
+				if fr[runner] == nil {
+					fr[runner] = map[int]struct{}{}
+				}
+				fr[runner][b] = struct{}{}
+			}
+		}
+	}
+	d.Frontier = make([][]int, nb)
+	for b, m := range fr {
+		if len(m) == 0 {
+			continue
+		}
+		for x := range m {
+			d.Frontier[b] = append(d.Frontier[b], x)
+		}
+		sort.Ints(d.Frontier[b])
+	}
+	return d
+}
+
+// Loop is one natural loop (back edges merged per header).
+type Loop struct {
+	// Header is the loop-header block index.
+	Header int
+	// Blocks lists the loop's member blocks, ascending (includes Header).
+	Blocks []int
+	// Latches lists the back-edge source blocks, ascending.
+	Latches []int
+	// Depth is the nesting depth: 1 for an outermost loop.
+	Depth int
+	// Parent indexes the innermost enclosing loop in LoopInfo.Loops, -1
+	// when outermost.
+	Parent int
+}
+
+// Contains reports whether block b belongs to the loop.
+func (l *Loop) Contains(b int) bool {
+	i := sort.SearchInts(l.Blocks, b)
+	return i < len(l.Blocks) && l.Blocks[i] == b
+}
+
+// LoopInfo is the natural-loop decomposition of a CFG.
+type LoopInfo struct {
+	// Loops is sorted by (nesting depth, header), so enclosing loops come
+	// before the loops they contain.
+	Loops []Loop
+	// Depth is the per-block loop-nesting depth (0 = not in any loop).
+	Depth []int
+	// LoopOf indexes the innermost loop containing each block (-1 = none).
+	LoopOf []int
+	// Irreducible reports that some retreating edge is not a back edge:
+	// the graph has a multi-entry cycle that natural-loop analysis cannot
+	// name. IrreducibleEdges lists the offending (tail, head) edges.
+	Irreducible      bool
+	IrreducibleEdges [][2]int
+}
+
+// Loops detects natural loops: a back edge t→h (h dominates t) defines the
+// loop of all blocks that reach t without passing through h. Back edges
+// sharing a header are merged into one loop. Retreating edges whose head
+// does not dominate their tail mark the region irreducible and define no
+// loop.
+func (g *CFG) Loops(d *DomTree) *LoopInfo {
+	nb := len(g.Blocks)
+	li := &LoopInfo{Depth: make([]int, nb), LoopOf: make([]int, nb)}
+	for i := range li.LoopOf {
+		li.LoopOf[i] = -1
+	}
+	// Classify edges: a retreating edge goes against reverse postorder.
+	backEdges := map[int][]int{} // header -> latches
+	var headers []int
+	for _, t := range d.rpo {
+		for _, h := range g.Blocks[t].Succs {
+			if d.rpoNum[h] < 0 || d.rpoNum[h] > d.rpoNum[t] {
+				continue // forward/cross edge or unreachable head
+			}
+			// Retreating. A true back edge requires h to dominate t
+			// (self-loops satisfy this trivially).
+			if !d.Dominates(h, t) {
+				li.Irreducible = true
+				li.IrreducibleEdges = append(li.IrreducibleEdges, [2]int{t, h})
+				continue
+			}
+			if _, ok := backEdges[h]; !ok {
+				headers = append(headers, h)
+			}
+			backEdges[h] = append(backEdges[h], t)
+		}
+	}
+	sort.Ints(headers)
+	sort.Slice(li.IrreducibleEdges, func(i, j int) bool {
+		a, b := li.IrreducibleEdges[i], li.IrreducibleEdges[j]
+		if a[0] != b[0] {
+			return a[0] < b[0]
+		}
+		return a[1] < b[1]
+	})
+
+	// Collect each loop's body: reverse reachability from the latches,
+	// stopping at the header.
+	inLoop := make([]bool, nb)
+	for _, h := range headers {
+		for i := range inLoop {
+			inLoop[i] = false
+		}
+		inLoop[h] = true
+		stack := []int{}
+		latches := backEdges[h]
+		sort.Ints(latches)
+		for _, t := range latches {
+			if !inLoop[t] {
+				inLoop[t] = true
+				stack = append(stack, t)
+			}
+		}
+		for len(stack) > 0 {
+			b := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, p := range g.Blocks[b].Preds {
+				if d.Idom[p] < 0 || inLoop[p] {
+					continue // unreachable preds never join a loop body
+				}
+				inLoop[p] = true
+				stack = append(stack, p)
+			}
+		}
+		l := Loop{Header: h, Latches: latches, Parent: -1}
+		for b := 0; b < nb; b++ {
+			if inLoop[b] {
+				l.Blocks = append(l.Blocks, b)
+			}
+		}
+		li.Loops = append(li.Loops, l)
+	}
+
+	// Nesting: loop A encloses loop B when A contains B's header (and they
+	// differ). Depth = number of enclosing loops + 1.
+	for i := range li.Loops {
+		for j := range li.Loops {
+			if i == j {
+				continue
+			}
+			if li.Loops[j].Contains(li.Loops[i].Header) {
+				li.Loops[i].Depth++
+			}
+		}
+		li.Loops[i].Depth++
+	}
+	// Order loops outermost-first so parent resolution and facts output
+	// are deterministic.
+	sort.Slice(li.Loops, func(i, j int) bool {
+		if li.Loops[i].Depth != li.Loops[j].Depth {
+			return li.Loops[i].Depth < li.Loops[j].Depth
+		}
+		return li.Loops[i].Header < li.Loops[j].Header
+	})
+	for i := range li.Loops {
+		// Parent = the deepest loop (before i in the sorted order) that
+		// contains this header.
+		for j := i - 1; j >= 0; j-- {
+			if li.Loops[j].Contains(li.Loops[i].Header) {
+				li.Loops[i].Parent = j
+				break
+			}
+		}
+		for _, b := range li.Loops[i].Blocks {
+			if li.Loops[i].Depth > li.Depth[b] {
+				li.Depth[b] = li.Loops[i].Depth
+				li.LoopOf[b] = i
+			}
+		}
+	}
+	return li
+}

@@ -35,6 +35,11 @@ func MutationClasses() []MutationClass {
 		{RuleUDef, "insert a read of a register no write reaches"},
 		{RuleImm, "grow an immediate past the sign-extended imm32 form"},
 		{RuleEncode, "shift the layout PCs off the encoded bytes"},
+		{RuleDeadBlock, "append an unreachable block after the final control transfer"},
+		{RuleBranch, "insert a conditional branch whose flags are provably constant"},
+		{RuleMemRange, "insert a load from a provably out-of-range address"},
+		{RuleSpillPair, "reload a just-stored spill slot back into its source register"},
+		{RuleStackJoin, "branch around a spill store so a refill joins half-initialized"},
 	}
 }
 
@@ -64,6 +69,16 @@ func Mutate(p *code.Program, class string, seed uint64) (string, bool) {
 		return mutateImm(p, rng)
 	case RuleEncode:
 		return mutateEncode(p, rng)
+	case RuleDeadBlock:
+		return mutateDeadBlock(p)
+	case RuleBranch:
+		return mutateBranch(p)
+	case RuleMemRange:
+		return mutateMemRange(p)
+	case RuleSpillPair:
+		return mutateSpillPair(p, rng)
+	case RuleStackJoin:
+		return mutateStackJoin(p)
 	}
 	return "", false
 }
@@ -153,17 +168,30 @@ func mutatePred(p *code.Program, rng *rand.Rand) (string, bool) {
 	return fmt.Sprintf("instr %d predicated on r0 under partial predication", i), true
 }
 
-// insertAt0 prepends an instruction, fixing up branch targets and layout.
-func insertAt0(p *code.Program, in code.Instr) {
-	p.Instrs = append([]code.Instr{in}, p.Instrs...)
+// insertAt splices instructions in at index k, retargeting the original
+// branches that pointed at or past k so the original control structure is
+// preserved (inserted branch targets are given in post-insertion indices
+// and left alone).
+func insertAt(p *code.Program, k int, instrs ...code.Instr) {
+	n := int32(len(instrs))
 	for i := range p.Instrs {
 		switch p.Instrs[i].Op {
 		case code.JCC, code.JMP:
-			p.Instrs[i].Target++
+			if int(p.Instrs[i].Target) >= k {
+				p.Instrs[i].Target += n
+			}
 		}
 	}
+	out := make([]code.Instr, 0, len(p.Instrs)+len(instrs))
+	out = append(out, p.Instrs[:k]...)
+	out = append(out, instrs...)
+	out = append(out, p.Instrs[k:]...)
+	p.Instrs = out
 	relayout(p)
 }
+
+// insertAt0 prepends an instruction, fixing up branch targets and layout.
+func insertAt0(p *code.Program, in code.Instr) { insertAt(p, 0, in) }
 
 func mutateSIMD(p *code.Program) (string, bool) {
 	if p.FS.HasSIMD() {
@@ -277,6 +305,94 @@ func mutateEncode(p *code.Program, rng *rand.Rand) (string, bool) {
 	}
 	p.Size++
 	return fmt.Sprintf("layout PCs shifted by one byte from instr %d", i), true
+}
+
+// noMem is the absent memory operand of inserted instructions.
+func noMem() code.Mem { return code.Mem{Base: code.NoReg, Index: code.NoReg, Scale: 1} }
+
+func mutateDeadBlock(p *code.Program) (string, bool) {
+	if len(p.Instrs) == 0 {
+		return "", false
+	}
+	p.Instrs = append(p.Instrs, code.Instr{Op: code.JMP, Sz: 4, Dst: code.NoReg,
+		Src1: code.NoReg, Src2: code.NoReg, Target: 0, Pred: code.NoReg, Mem: noMem()})
+	relayout(p)
+	return "unreachable jmp appended after the final control transfer", true
+}
+
+func mutateBranch(p *code.Program) (string, bool) {
+	insertAt(p, 0,
+		code.Instr{Op: code.MOV, Sz: 4, Dst: 0, Src1: code.NoReg, Src2: code.NoReg,
+			Imm: 1, HasImm: true, Pred: code.NoReg, Mem: noMem()},
+		code.Instr{Op: code.CMP, Sz: 4, Dst: code.NoReg, Src1: 0, Src2: code.NoReg,
+			Imm: 1, HasImm: true, Pred: code.NoReg, Mem: noMem()},
+		// Both edges land on the original entry, so the branch is provably
+		// always taken without creating a dead block.
+		code.Instr{Op: code.JCC, Sz: 4, CC: code.CCEQ, Target: 3, Dst: code.NoReg,
+			Src1: code.NoReg, Src2: code.NoReg, Pred: code.NoReg, Mem: noMem()})
+	return "always-taken jcc (r0=1; cmp r0,1; jcc.e) inserted at entry", true
+}
+
+func mutateMemRange(p *code.Program) (string, bool) {
+	m := noMem()
+	m.Disp = 0x100 // below DataBase and every other legal window
+	insertAt(p, 0, code.Instr{Op: code.LD, Sz: 4, Dst: 0, Src1: code.NoReg,
+		Src2: code.NoReg, HasMem: true, Mem: m, Pred: code.NoReg})
+	return "load from absolute address 0x100 (outside every data window) inserted at entry", true
+}
+
+func mutateSpillPair(p *code.Program, rng *rand.Rand) (string, bool) {
+	loadOf := map[code.Op]code.Op{code.ST: code.LD, code.FST: code.FLD, code.VST: code.VLD}
+	var cands []int
+	for i := range p.Instrs {
+		in := &p.Instrs[i]
+		if _, ok := loadOf[in.Op]; !ok || in.Predicated() {
+			continue
+		}
+		if !in.HasMem || in.Mem.Base != code.NoReg || in.Mem.Index != code.NoReg {
+			continue
+		}
+		if in.Mem.Disp >= code.SpillBase && int64(in.Mem.Disp) < int64(code.ContextBase) {
+			cands = append(cands, i)
+		}
+	}
+	if len(cands) == 0 {
+		return "", false // the region spills nothing under this feature set
+	}
+	i := pick(rng, cands)
+	st := p.Instrs[i]
+	insertAt(p, i+1, code.Instr{Op: loadOf[st.Op], Sz: st.Sz, Dst: st.Src1,
+		Src1: code.NoReg, Src2: code.NoReg, HasMem: true, Mem: st.Mem, Pred: code.NoReg})
+	return fmt.Sprintf("redundant reload of spill slot %#x inserted right after its store at instr %d", st.Mem.Disp, i), true
+}
+
+func mutateStackJoin(p *code.Program) (string, bool) {
+	if len(p.Instrs) == 0 {
+		return "", false
+	}
+	// A fresh slot past every slot the program touches, stored on only one
+	// side of a fresh diamond and reloaded after the join.
+	slot := int32(code.SpillBase)
+	for i := range p.Instrs {
+		in := &p.Instrs[i]
+		if in.HasMem && in.Mem.Base == code.NoReg && in.Mem.Index == code.NoReg &&
+			in.Mem.Disp >= code.SpillBase && int64(in.Mem.Disp) < int64(code.ContextBase) &&
+			in.Mem.Disp+16 > slot {
+			slot = in.Mem.Disp + 16
+		}
+	}
+	m := noMem()
+	m.Disp = slot
+	insertAt(p, 0,
+		code.Instr{Op: code.CMP, Sz: 4, Dst: code.NoReg, Src1: 0, Src2: code.NoReg,
+			Imm: 0, HasImm: true, Pred: code.NoReg, Mem: noMem()},
+		code.Instr{Op: code.JCC, Sz: 4, CC: code.CCEQ, Target: 3, Dst: code.NoReg,
+			Src1: code.NoReg, Src2: code.NoReg, Pred: code.NoReg, Mem: noMem()},
+		code.Instr{Op: code.ST, Sz: 4, Dst: code.NoReg, Src1: 0, Src2: code.NoReg,
+			HasMem: true, Mem: m, Pred: code.NoReg},
+		code.Instr{Op: code.LD, Sz: 4, Dst: 0, Src1: code.NoReg, Src2: code.NoReg,
+			HasMem: true, Mem: m, Pred: code.NoReg})
+	return fmt.Sprintf("spill slot %#x stored on only one path into the refill at instr 3", slot), true
 }
 
 // Detection is the outcome of one mutation class on one program.

@@ -20,6 +20,14 @@ const (
 	RuleStack      = "stack"      // spill-slot discipline (stores balance refills)
 	RuleUDef       = "udef"       // use of a never-written machine resource
 	RuleEncode     = "encode"     // encode → ILD-decode round-trip agreement
+
+	// Rules powered by the analysis engine (dominators + abstract
+	// interpretation; see dom.go and absint.go).
+	RuleDeadBlock = "deadblock" // unreachable or provably-dead blocks
+	RuleBranch    = "branch"    // provably always- or never-taken conditional branches
+	RuleMemRange  = "memrange"  // statically out-of-range memory accesses
+	RuleSpillPair = "spillpair" // redundant spill/reload pairs
+	RuleStackJoin = "stackjoin" // spill slots initialized on only some paths to a refill
 )
 
 // Rule is one registered conformance check.
@@ -63,6 +71,11 @@ var ruleRegistry = []Rule{
 	{ID: RuleStack, Desc: "spill refills dominated by spill stores", NeedsCFG: true, Check: checkStack},
 	{ID: RuleUDef, Desc: "no use of a never-written register or flag", NeedsCFG: true, Check: checkUDef},
 	{ID: RuleEncode, Desc: "encode → ILD-decode round trip agrees with layout", Check: checkEncode},
+	{ID: RuleDeadBlock, Desc: "no unreachable or provably dead blocks", NeedsCFG: true, Check: checkDeadBlock},
+	{ID: RuleBranch, Desc: "no provably constant conditional branches", NeedsCFG: true, Check: checkBranch},
+	{ID: RuleMemRange, Desc: "memory accesses stay inside the legal address windows", NeedsCFG: true, Check: checkMemRange},
+	{ID: RuleSpillPair, Desc: "no redundant spill store/reload pairs", NeedsCFG: true, Check: checkSpillPair},
+	{ID: RuleStackJoin, Desc: "spill refills initialized on every path, not just some", NeedsCFG: true, Check: checkStackJoin},
 }
 
 // analysis carries the program plus lazily computed artifacts shared by the
@@ -74,6 +87,116 @@ type analysis struct {
 
 	defsIn     []BitSet
 	liveInSets []BitSet
+
+	dom   *DomTree
+	loops *LoopInfo
+
+	constDom *constDomain
+	constIn  []*constState
+	// branchKind caches the per-block constant-branch verdict (see
+	// branchFacts).
+	branchKind []int8
+
+	// slotIDs numbers the distinct spill addresses in first-appearance
+	// order; slotsReady distinguishes "not computed" from "no slots".
+	slotIDs    map[int32]int
+	slotsReady bool
+	spillMayIn []BitSet
+	mustIn     []*spillMustState
+}
+
+// domTree lazily builds the dominator tree (CFG recovery must have
+// succeeded; callers are NeedsCFG rules or facts).
+func (a *analysis) domTree() *DomTree {
+	if a.dom == nil {
+		a.dom = a.cfg.Dominators()
+	}
+	return a.dom
+}
+
+// loopInfo lazily builds the natural-loop decomposition.
+func (a *analysis) loopInfo() *LoopInfo {
+	if a.loops == nil {
+		a.loops = a.cfg.Loops(a.domTree())
+	}
+	return a.loops
+}
+
+// constStates lazily runs the constant/value-range interpretation and
+// returns per-block entry states (nil for unreachable blocks).
+func (a *analysis) constStates() []*constState {
+	if a.constDom == nil {
+		a.constDom = newConstDomain(a.p)
+		a.constIn, _ = interpret(a.p, a.cfg, a.domTree(), a.constDom)
+	}
+	return a.constIn
+}
+
+// spillSlotRef reports whether the instruction addresses the register
+// allocator's spill area (absolute addressing inside [SpillBase,
+// ContextBase)) and at which address.
+func spillSlotRef(in *code.Instr) (int32, bool) {
+	if !in.HasMem || in.Mem.Base != code.NoReg || in.Mem.Index != code.NoReg {
+		return 0, false
+	}
+	if in.Mem.Disp < code.SpillBase || int64(in.Mem.Disp) >= int64(code.ContextBase) {
+		return 0, false
+	}
+	return in.Mem.Disp, true
+}
+
+func isSpillStore(op code.Op) bool { return op == code.ST || op == code.FST || op == code.VST }
+func isSpillLoad(op code.Op) bool  { return op == code.LD || op == code.FLD || op == code.VLD }
+
+// spillSlots numbers the distinct spill addresses the program touches, in
+// first-appearance order (deterministic).
+func (a *analysis) spillSlots() map[int32]int {
+	if !a.slotsReady {
+		a.slotIDs = map[int32]int{}
+		for i := range a.p.Instrs {
+			if addr, ok := spillSlotRef(&a.p.Instrs[i]); ok {
+				if _, seen := a.slotIDs[addr]; !seen {
+					a.slotIDs[addr] = len(a.slotIDs)
+				}
+			}
+		}
+		a.slotsReady = true
+	}
+	return a.slotIDs
+}
+
+// spillMayStoredIn lazily runs the forward may-reaching spill-store
+// analysis (union meet) and returns per-block entry facts.
+func (a *analysis) spillMayStoredIn() []BitSet {
+	if a.spillMayIn != nil {
+		return a.spillMayIn
+	}
+	slots := a.spillSlots()
+	g := a.cfg
+	tf := make([]GenKill, len(g.Blocks))
+	for bi := range g.Blocks {
+		gen := NewBitSet(len(slots))
+		for i := g.Blocks[bi].Start; i < g.Blocks[bi].End; i++ {
+			in := &a.p.Instrs[i]
+			if addr, ok := spillSlotRef(in); ok && isSpillStore(in.Op) {
+				gen.Set(slots[addr])
+			}
+		}
+		tf[bi] = GenKill{Gen: gen, Kill: NewBitSet(len(slots))}
+	}
+	a.spillMayIn, _ = Solve(g, len(slots), Forward, tf)
+	return a.spillMayIn
+}
+
+// spillMustStoredIn lazily runs the must-reaching spill-store abstract
+// interpretation (intersection meet) and returns per-block entry states
+// (nil for unreachable blocks).
+func (a *analysis) spillMustStoredIn() []*spillMustState {
+	if a.mustIn == nil {
+		dom := &spillMustDomain{slots: a.spillSlots()}
+		a.mustIn, _ = interpret(a.p, a.cfg, a.domTree(), dom)
+	}
+	return a.mustIn
 }
 
 func newAnalysis(p *code.Program) *analysis {
@@ -141,15 +264,8 @@ func checkCFGRule(a *analysis) []Finding {
 		out = append(out, a.finding(RuleCFG, len(p.Instrs)-1,
 			fmt.Sprintf("execution can fall off the end (last op %v)", last)))
 	}
-	if a.cfg != nil {
-		for bi := range a.cfg.Blocks {
-			b := &a.cfg.Blocks[bi]
-			if !b.Reachable {
-				out = append(out, a.finding(RuleCFG, b.Start,
-					fmt.Sprintf("unreachable code (block of %d instruction(s))", b.End-b.Start)))
-			}
-		}
-	}
+	// Unreachable blocks are the deadblock rule's findings now that
+	// reachability feeds the analysis engine.
 	return out
 }
 
@@ -346,42 +462,12 @@ func checkStruct(a *analysis) []Finding {
 // recovered CFG with one bit per distinct spill address.
 func checkStack(a *analysis) []Finding {
 	p := a.p
-	// Collect the distinct spill addresses.
-	slots := map[int32]int{}
-	spillRef := func(in *code.Instr) (int32, bool) {
-		if !in.HasMem || in.Mem.Base != code.NoReg || in.Mem.Index != code.NoReg {
-			return 0, false
-		}
-		if in.Mem.Disp < code.SpillBase || int64(in.Mem.Disp) >= int64(code.ContextBase) {
-			return 0, false
-		}
-		return in.Mem.Disp, true
-	}
-	isStore := func(op code.Op) bool { return op == code.ST || op == code.FST || op == code.VST }
-	isLoad := func(op code.Op) bool { return op == code.LD || op == code.FLD || op == code.VLD }
-	for i := range p.Instrs {
-		if addr, ok := spillRef(&p.Instrs[i]); ok {
-			if _, seen := slots[addr]; !seen {
-				slots[addr] = len(slots)
-			}
-		}
-	}
+	slots := a.spillSlots()
 	if len(slots) == 0 {
 		return nil
 	}
 	g := a.cfg
-	tf := make([]GenKill, len(g.Blocks))
-	for bi := range g.Blocks {
-		gen := NewBitSet(len(slots))
-		for i := g.Blocks[bi].Start; i < g.Blocks[bi].End; i++ {
-			in := &p.Instrs[i]
-			if addr, ok := spillRef(in); ok && isStore(in.Op) {
-				gen.Set(slots[addr])
-			}
-		}
-		tf[bi] = GenKill{Gen: gen, Kill: NewBitSet(len(slots))}
-	}
-	storedIn, _ := Solve(g, len(slots), Forward, tf)
+	storedIn := a.spillMayStoredIn()
 	var out []Finding
 	for bi := range g.Blocks {
 		if !g.Blocks[bi].Reachable {
@@ -390,15 +476,15 @@ func checkStack(a *analysis) []Finding {
 		stored := storedIn[bi].Copy()
 		for i := g.Blocks[bi].Start; i < g.Blocks[bi].End; i++ {
 			in := &p.Instrs[i]
-			addr, ok := spillRef(in)
+			addr, ok := spillSlotRef(in)
 			if !ok {
 				continue
 			}
-			if isLoad(in.Op) && !stored.Has(slots[addr]) {
+			if isSpillLoad(in.Op) && !stored.Has(slots[addr]) {
 				out = append(out, a.finding(RuleStack, i,
 					fmt.Sprintf("refill from spill slot %#x with no reaching spill store", addr)))
 			}
-			if isStore(in.Op) {
+			if isSpillStore(in.Op) {
 				stored.Set(slots[addr])
 			}
 		}

@@ -13,6 +13,7 @@ import (
 type CompileStats struct {
 	SpillStores   int // stores inserted by the register allocator
 	RefillLoads   int // reloads inserted by the register allocator
+	ElidedReloads int // redundant reloads removed by the emit peephole
 	Remats        int // rematerialized constants instead of reloads
 	IfConversions int // branches removed by if-conversion
 	VectorLoops   int // loops vectorized to SSE

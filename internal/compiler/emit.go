@@ -3,6 +3,7 @@ package compiler
 import (
 	"fmt"
 
+	"compisa/internal/check"
 	"compisa/internal/code"
 	"compisa/internal/encoding"
 	"compisa/internal/isa"
@@ -404,6 +405,13 @@ func emitProgram(f *mFunc, fs isa.FeatureSet, alloc *allocation, name string, co
 	}
 	p := &code.Program{Name: name, FS: fs, Instrs: e.out, Pool: f.pool,
 		CompactEncoding: compact, Stats: f.stats}
+	// Peephole: the per-instruction spill discipline emits `st s -> slot`
+	// after every spilled def and `ld s <- slot` before every spilled use,
+	// so back-to-back def/use of one vreg leaves a same-register
+	// store/reload pair behind. The scanner is the verifier's own, so the
+	// peephole removes exactly what the spillpair rule would flag and
+	// clean output stays finding-free by construction.
+	p.Stats.ElidedReloads = check.ElideRedundantReloads(p)
 	if err := encoding.Layout(p, code.CodeBase); err != nil {
 		return nil, err
 	}

@@ -335,8 +335,8 @@ func TestProfileCodecFieldCount(t *testing.T) {
 	if n := reflect.TypeOf(Profile{}).NumField(); n != 23 {
 		t.Fatalf("Profile has %d fields, codec encodes 23: update profile_codec.go (and bump profileCodecVersion on layout changes), then this count", n)
 	}
-	if n := reflect.TypeOf(Profile{}).FieldByIndex([]int{22}).Type.NumField(); n != 9 {
-		t.Fatalf("CompileStats has %d fields, codec encodes 9: update profile_codec.go, then this count", n)
+	if n := reflect.TypeOf(Profile{}).FieldByIndex([]int{22}).Type.NumField(); n != 10 {
+		t.Fatalf("CompileStats has %d fields, codec encodes 10: update profile_codec.go, then this count", n)
 	}
 }
 

@@ -14,7 +14,7 @@ import (
 // on any Profile shape change (TestProfileCodecFieldCount pins the count).
 const (
 	profileCodecMagic   = "cpf1"
-	profileCodecVersion = 1
+	profileCodecVersion = 2
 )
 
 // ErrProfileCodec reports an undecodable profile blob.
@@ -133,6 +133,7 @@ func (p *Profile) MarshalBinary() ([]byte, error) {
 	e.f64(p.NaiveStallRef)
 	e.i64(int64(p.Stats.SpillStores))
 	e.i64(int64(p.Stats.RefillLoads))
+	e.i64(int64(p.Stats.ElidedReloads))
 	e.i64(int64(p.Stats.Remats))
 	e.i64(int64(p.Stats.IfConversions))
 	e.i64(int64(p.Stats.VectorLoops))
@@ -193,6 +194,7 @@ func (p *Profile) UnmarshalBinary(b []byte) error {
 	p.NaiveStallRef = d.f64()
 	p.Stats.SpillStores = int(d.i64())
 	p.Stats.RefillLoads = int(d.i64())
+	p.Stats.ElidedReloads = int(d.i64())
 	p.Stats.Remats = int(d.i64())
 	p.Stats.IfConversions = int(d.i64())
 	p.Stats.VectorLoops = int(d.i64())

@@ -1,0 +1,84 @@
+package eval
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+)
+
+// factsDB builds a small DB with Facts collection on and profiles one
+// composite choice, returning the DB and the choice.
+func factsDB(t *testing.T, n int) (*DB, ISAChoice) {
+	t.Helper()
+	db := NewDB()
+	db.Regions = db.Regions[:n]
+	db.Facts = true
+	c := CompositeChoices()[0]
+	if _, err := db.Profiles(context.Background(), c); err != nil {
+		t.Fatal(err)
+	}
+	return db, c
+}
+
+// TestFactsStoredAlongsideProfiles: with DB.Facts enabled, every profiled
+// (region, ISA) pair records a Facts artifact retrievable via RegionFacts,
+// and the FactsComputed counter matches.
+func TestFactsStoredAlongsideProfiles(t *testing.T) {
+	const n = 3
+	db, c := factsDB(t, n)
+	for _, r := range db.Regions {
+		f := db.RegionFacts(r.Name, c.Key())
+		if f == nil {
+			t.Fatalf("RegionFacts(%q, %q) = nil, want Facts", r.Name, c.Key())
+		}
+		if f.Program != r.Name {
+			t.Errorf("Facts.Program = %q, want %q", f.Program, r.Name)
+		}
+		if len(f.Blocks) == 0 {
+			t.Errorf("%s: Facts has no blocks", r.Name)
+		}
+	}
+	if got := db.Stats.FactsComputed.Load(); got != n {
+		t.Errorf("Stats.FactsComputed = %d, want %d", got, n)
+	}
+	if f := db.RegionFacts("nosuch.0", c.Key()); f != nil {
+		t.Errorf("RegionFacts for unknown region = %+v, want nil", f)
+	}
+}
+
+// TestFactsDisabledByDefault: a DB without Facts opted in records nothing.
+func TestFactsDisabledByDefault(t *testing.T) {
+	db := NewDB()
+	db.Regions = db.Regions[:1]
+	c := CompositeChoices()[0]
+	if _, err := db.Profiles(context.Background(), c); err != nil {
+		t.Fatal(err)
+	}
+	if f := db.RegionFacts(db.Regions[0].Name, c.Key()); f != nil {
+		t.Fatalf("Facts recorded without opt-in: %+v", f)
+	}
+	if got := db.Stats.FactsComputed.Load(); got != 0 {
+		t.Errorf("Stats.FactsComputed = %d, want 0", got)
+	}
+}
+
+// TestFactsDeterministic: two fresh DBs profiling the same choice produce
+// byte-identical Facts JSON — the artifact is safe to content-address.
+func TestFactsDeterministic(t *testing.T) {
+	db1, c := factsDB(t, 2)
+	db2, _ := factsDB(t, 2)
+	for _, r := range db1.Regions {
+		j1, err := json.Marshal(db1.RegionFacts(r.Name, c.Key()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		j2, err := json.Marshal(db2.RegionFacts(r.Name, c.Key()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(j1, j2) {
+			t.Errorf("%s: Facts JSON differs across fresh DBs:\n%s\n%s", r.Name, j1, j2)
+		}
+	}
+}

@@ -20,6 +20,9 @@ type Stats struct {
 	// found (every one turns the evaluation into a StageVerify fault, so a
 	// non-zero count on a clean compiler is a codegen bug).
 	VerifyFindings metrics.Counter
+	// FactsComputed counts analysis-engine Facts artifacts recorded (only
+	// when DB.Facts is enabled).
+	FactsComputed metrics.Counter
 	// Scoring stage.
 	ModelEvals metrics.Counter // perfmodel evaluations (one per live region per design point)
 	// Cache tiers.
@@ -45,6 +48,7 @@ type StatsSnapshot struct {
 	Compiles        int64 `json:"compiles"`
 	Verifies        int64 `json:"verifies,omitempty"`
 	VerifyFindings  int64 `json:"verify_findings,omitempty"`
+	FactsComputed   int64 `json:"facts_computed,omitempty"`
 	Execs           int64 `json:"execs"`
 	ModelEvals      int64 `json:"model_evals"`
 	ProfileHits     int64 `json:"profile_hits"`
@@ -69,6 +73,7 @@ func (s *Stats) Snapshot() StatsSnapshot {
 		Compiles:        s.Compiles.Load(),
 		Verifies:        s.Verifies.Load(),
 		VerifyFindings:  s.VerifyFindings.Load(),
+		FactsComputed:   s.FactsComputed.Load(),
 		Execs:           s.Execs.Load(),
 		ModelEvals:      s.ModelEvals.Load(),
 		ProfileHits:     s.ProfileHits.Load(),
@@ -92,6 +97,7 @@ func (s *Stats) Merge(sn StatsSnapshot) {
 	s.Compiles.Add(sn.Compiles)
 	s.Verifies.Add(sn.Verifies)
 	s.VerifyFindings.Add(sn.VerifyFindings)
+	s.FactsComputed.Add(sn.FactsComputed)
 	s.Execs.Add(sn.Execs)
 	s.ModelEvals.Add(sn.ModelEvals)
 	s.ProfileHits.Add(sn.ProfileHits)
@@ -113,6 +119,7 @@ func (s *Stats) Merge(sn StatsSnapshot) {
 // keep empty stats out of checkpoint files).
 func (sn StatsSnapshot) IsZero() bool {
 	return sn.Compiles == 0 && sn.Verifies == 0 && sn.VerifyFindings == 0 &&
+		sn.FactsComputed == 0 &&
 		sn.Execs == 0 && sn.ModelEvals == 0 &&
 		sn.ProfileHits == 0 && sn.ProfileMisses == 0 &&
 		sn.CandidateHits == 0 && sn.CandidateMisses == 0 &&

@@ -1,4 +1,4 @@
-// Command faultwrap is a repository-local vet pass enforcing error-chain
+// Package faultwrap is a repository-local vet pass enforcing error-chain
 // preservation at the internal/fault boundary: every fmt.Errorf that
 // formats an error value must use %w, not %v/%s/%q.
 //
@@ -12,109 +12,25 @@
 // The pass is intentionally syntactic (stdlib go/parser only, no type
 // information): an argument is treated as an error when its terminal name
 // is "err" or ends in "err"/"Err" — matching this repository's naming
-// convention — which keeps the analyzer dependency-free in containers
-// without golang.org/x/tools. Deliberate stringification via err.Error()
-// is not flagged.
+// convention — or when it is a call to errors.Join (resolving a renamed
+// errors import). Deliberate stringification via err.Error() is not
+// flagged.
 //
-// Usage:
+// The pass runs under the tools/analyzers/cmd/vet multichecker:
 //
-//	go run ./tools/analyzers/faultwrap ./...
-//
-// Exit status 1 if any finding is reported, 0 when clean.
-package main
+//	go run ./tools/analyzers/cmd/vet ./...
+package faultwrap
 
 import (
 	"fmt"
 	"go/ast"
-	"go/parser"
 	"go/token"
-	"io/fs"
-	"os"
-	"path/filepath"
 	"strconv"
 	"strings"
 )
 
-func main() {
-	args := os.Args[1:]
-	if len(args) == 0 {
-		args = []string{"./..."}
-	}
-	fset := token.NewFileSet()
-	var findings []Finding
-	for _, arg := range args {
-		fs, err := checkPath(fset, arg)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "faultwrap: %v\n", err)
-			os.Exit(2)
-		}
-		findings = append(findings, fs...)
-	}
-	for _, f := range findings {
-		fmt.Printf("%s: %s\n", fset.Position(f.Pos), f.Msg)
-	}
-	if len(findings) > 0 {
-		fmt.Fprintf(os.Stderr, "faultwrap: %d finding(s)\n", len(findings))
-		os.Exit(1)
-	}
-}
-
-// checkPath analyzes one argument: a file, a directory, or a recursive
-// dir/... pattern.
-func checkPath(fset *token.FileSet, arg string) ([]Finding, error) {
-	recursive := false
-	if strings.HasSuffix(arg, "/...") {
-		recursive = true
-		arg = strings.TrimSuffix(arg, "/...")
-		if arg == "" {
-			arg = "."
-		}
-	}
-	info, err := os.Stat(arg)
-	if err != nil {
-		return nil, err
-	}
-	if !info.IsDir() {
-		return checkFile(fset, arg)
-	}
-	var findings []Finding
-	walk := func(path string, d fs.DirEntry, err error) error {
-		if err != nil {
-			return err
-		}
-		if d.IsDir() {
-			name := d.Name()
-			if path != arg && (strings.HasPrefix(name, ".") || name == "testdata" || name == "vendor") {
-				return filepath.SkipDir
-			}
-			if path != arg && !recursive {
-				return filepath.SkipDir
-			}
-			return nil
-		}
-		if !strings.HasSuffix(path, ".go") {
-			return nil
-		}
-		fs, ferr := checkFile(fset, path)
-		if ferr != nil {
-			return ferr
-		}
-		findings = append(findings, fs...)
-		return nil
-	}
-	if err := filepath.WalkDir(arg, walk); err != nil {
-		return nil, err
-	}
-	return findings, nil
-}
-
-func checkFile(fset *token.FileSet, path string) ([]Finding, error) {
-	f, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
-	if err != nil {
-		return nil, err
-	}
-	return CheckFile(f), nil
-}
+// Name is the analyzer's diagnostic prefix.
+const Name = "faultwrap"
 
 // Finding is one %v/%s/%q-formats-an-error diagnostic.
 type Finding struct {
@@ -125,14 +41,25 @@ type Finding struct {
 // CheckFile reports every fmt.Errorf call in the file that formats an
 // error-named argument with a stringifying verb instead of %w.
 func CheckFile(f *ast.File) []Finding {
-	// Resolve the local name bound to the real fmt package, so renamed
-	// imports are followed and a foreign package named "fmt" is ignored.
-	fmtName := ""
+	// Resolve the local names bound to the real fmt and errors packages,
+	// so renamed imports are followed and foreign packages that happen to
+	// share the name are ignored.
+	fmtName, errorsName := "", ""
 	for _, imp := range f.Imports {
-		if imp.Path.Value == `"fmt"` {
+		local := ""
+		if imp.Name != nil {
+			local = imp.Name.Name
+		}
+		switch imp.Path.Value {
+		case `"fmt"`:
 			fmtName = "fmt"
-			if imp.Name != nil {
-				fmtName = imp.Name.Name
+			if local != "" {
+				fmtName = local
+			}
+		case `"errors"`:
+			errorsName = "errors"
+			if local != "" {
+				errorsName = local
 			}
 		}
 	}
@@ -153,12 +80,8 @@ func CheckFile(f *ast.File) []Finding {
 		if !ok || pkg.Name != fmtName || len(call.Args) < 2 {
 			return true
 		}
-		lit, ok := call.Args[0].(*ast.BasicLit)
-		if !ok || lit.Kind != token.STRING {
-			return true
-		}
-		format, err := strconv.Unquote(lit.Value)
-		if err != nil {
+		format, ok := constantString(call.Args[0])
+		if !ok {
 			return true
 		}
 		verbs := formatVerbs(format)
@@ -167,7 +90,7 @@ func CheckFile(f *ast.File) []Finding {
 				break // malformed call; go vet reports arity
 			}
 			arg := call.Args[i+1]
-			if (verb == 'v' || verb == 's' || verb == 'q') && isErrorExpr(arg) {
+			if (verb == 'v' || verb == 's' || verb == 'q') && isErrorExpr(arg, errorsName) {
 				findings = append(findings, Finding{
 					Pos: arg.Pos(),
 					Msg: fmt.Sprintf("fmt.Errorf formats error %q with %%%c; use %%w so the fault classifier can walk the chain",
@@ -178,6 +101,36 @@ func CheckFile(f *ast.File) []Finding {
 		return true
 	})
 	return findings
+}
+
+// constantString evaluates a string literal or a (possibly multi-line)
+// concatenation of string literals; multi-line fmt.Errorf calls routinely
+// split long format strings with +.
+func constantString(e ast.Expr) (string, bool) {
+	switch e := e.(type) {
+	case *ast.BasicLit:
+		if e.Kind != token.STRING {
+			return "", false
+		}
+		s, err := strconv.Unquote(e.Value)
+		return s, err == nil
+	case *ast.ParenExpr:
+		return constantString(e.X)
+	case *ast.BinaryExpr:
+		if e.Op != token.ADD {
+			return "", false
+		}
+		l, ok := constantString(e.X)
+		if !ok {
+			return "", false
+		}
+		r, ok := constantString(e.Y)
+		if !ok {
+			return "", false
+		}
+		return l + r, true
+	}
+	return "", false
 }
 
 // formatVerbs extracts the verb letter for each argument-consuming
@@ -214,10 +167,19 @@ func formatVerbs(format string) []byte {
 }
 
 // isErrorExpr reports whether an expression syntactically names an error:
-// its terminal identifier is "err" or ends in "err"/"Err". Calls like
-// ctx.Err() qualify through their method name; err.Error() does not —
-// stringifying through Error() is the explicit opt-out.
-func isErrorExpr(e ast.Expr) bool {
+// its terminal identifier is "err" or ends in "err"/"Err", or it is a call
+// to errors.Join (errorsName is the file-local name of the errors import;
+// "" when errors is not imported). Calls like ctx.Err() qualify through
+// their method name; err.Error() does not — stringifying through Error()
+// is the explicit opt-out.
+func isErrorExpr(e ast.Expr, errorsName string) bool {
+	if call, ok := e.(*ast.CallExpr); ok && errorsName != "" {
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Join" {
+			if pkg, ok := sel.X.(*ast.Ident); ok && pkg.Name == errorsName {
+				return true
+			}
+		}
+	}
 	name := exprName(e)
 	return name == "err" || strings.HasSuffix(name, "err") || strings.HasSuffix(name, "Err")
 }

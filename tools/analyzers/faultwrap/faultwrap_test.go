@@ -1,4 +1,4 @@
-package main
+package faultwrap
 
 import (
 	"go/parser"
@@ -47,6 +47,86 @@ func TestAcceptsWrappedAndNonErrors(t *testing.T) {
 		if got := check(t, src); len(got) != 0 {
 			t.Errorf("want 0 findings, got %d for %s", len(got), src)
 		}
+	}
+}
+
+// TestMultiLineErrorf: calls whose arguments span lines, and calls whose
+// format string is assembled from concatenated literals across lines, are
+// analyzed like single-line ones.
+func TestMultiLineErrorf(t *testing.T) {
+	const flagged = `package p
+
+import "fmt"
+
+func f(compileErr error, region string, attempt int) error {
+	return fmt.Errorf(
+		"profile %s (attempt %d): "+
+			"compile stage: %v",
+		region,
+		attempt,
+		compileErr,
+	)
+}
+`
+	got := check(t, flagged)
+	if len(got) != 1 {
+		t.Fatalf("multi-line concatenated format: want 1 finding, got %d", len(got))
+	}
+	if !strings.Contains(got[0].Msg, "compileErr") {
+		t.Errorf("finding should name the flagged argument: %s", got[0].Msg)
+	}
+
+	const clean = `package p
+
+import "fmt"
+
+func f(compileErr error, region string) error {
+	return fmt.Errorf(
+		"profile %s: "+
+			"compile stage: %w",
+		region,
+		compileErr,
+	)
+}
+`
+	if got := check(t, clean); len(got) != 0 {
+		t.Errorf("multi-line %%w wrap: want 0 findings, got %d", len(got))
+	}
+
+	// A format built from a non-constant piece cannot be analyzed; stay
+	// silent rather than guess.
+	const dynamic = `package p
+import "fmt"
+func f(prefix string, err error) error { return fmt.Errorf(prefix+": %v", err) }
+`
+	if got := check(t, dynamic); len(got) != 0 {
+		t.Errorf("dynamic format: want 0 findings, got %d", len(got))
+	}
+}
+
+// TestErrorsJoin: an errors.Join(...) argument is an error chain even
+// though its name matches neither err nor *Err, and a renamed errors
+// import is resolved; a foreign package named errors is not.
+func TestErrorsJoin(t *testing.T) {
+	src := `package p; import "errors"; import "fmt"; func f(a, b error) error { return fmt.Errorf("x: %v", errors.Join(a, b)) }`
+	if got := check(t, src); len(got) != 1 {
+		t.Fatalf("errors.Join via %%v: want 1 finding, got %d", len(got))
+	}
+	src = `package p; import "errors"; import "fmt"; func f(a, b error) error { return fmt.Errorf("x: %w", errors.Join(a, b)) }`
+	if got := check(t, src); len(got) != 0 {
+		t.Errorf("errors.Join via %%w: want 0 findings, got %d", len(got))
+	}
+	src = `package p; import stderrors "errors"; import "fmt"; func f(a, b error) error { return fmt.Errorf("x: %v", stderrors.Join(a, b)) }`
+	if got := check(t, src); len(got) != 1 {
+		t.Errorf("renamed errors import: want 1 finding, got %d", len(got))
+	}
+	src = `package p; import errors "example.com/noterrors"; import "fmt"; func f(a, b error) error { return fmt.Errorf("x: %v", errors.Join(a, b)) }`
+	if got := check(t, src); len(got) != 0 {
+		t.Errorf("foreign errors package: want 0 findings, got %d", len(got))
+	}
+	src = `package p; import "fmt"; type j struct{}; func (j) Join(e ...error) error { return nil }; func f(x j, a error) error { return fmt.Errorf("x: %v", x.Join(a)) }`
+	if got := check(t, src); len(got) != 0 {
+		t.Errorf("non-errors Join method without errors import: want 0 findings, got %d", len(got))
 	}
 }
 

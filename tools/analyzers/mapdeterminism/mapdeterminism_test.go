@@ -1,0 +1,198 @@
+package mapdeterminism
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func check(t *testing.T, src string) []Finding {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "test.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return CheckFile(f)
+}
+
+func TestFlagsOrderedSinks(t *testing.T) {
+	for _, tc := range []struct {
+		name, src string
+	}{
+		{"append", `package p
+func f(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}`},
+		{"append-key-value", `package p
+func f(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}`},
+		{"builder", `package p
+import "strings"
+func f(m map[string]int) string {
+	var sb strings.Builder
+	for k := range m {
+		sb.WriteString(k)
+	}
+	return sb.String()
+}`},
+		{"string-concat", `package p
+func f(m map[string]int) string {
+	s := ""
+	for k := range m {
+		s += k + ","
+	}
+	return s
+}`},
+		{"print", `package p
+import "fmt"
+func f(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}`},
+		{"make-map", `package p
+func f(keys []string) []string {
+	m := make(map[string]bool)
+	for _, k := range keys {
+		m[k] = true
+	}
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}`},
+		{"var-decl-map", `package p
+func f() []int {
+	var m map[int]int
+	var out []int
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}`},
+	} {
+		if got := check(t, tc.src); len(got) != 1 {
+			t.Errorf("%s: want 1 finding, got %d", tc.name, len(got))
+		}
+	}
+}
+
+func TestAcceptsUnorderedAndSorted(t *testing.T) {
+	for _, tc := range []struct {
+		name, src string
+	}{
+		{"collect-then-sort", `package p
+import "sort"
+func f(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}`},
+		{"sort-slice", `package p
+import "sort"
+func f(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}`},
+		{"slices-sortfunc", `package p
+import "slices"
+func f(m map[int]int) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.SortFunc(keys, func(a, b int) int { return a - b })
+	return keys
+}`},
+		{"commutative-sum", `package p
+func f(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}`},
+		{"map-to-map", `package p
+func f(m map[string]int) map[int]string {
+	inv := map[int]string{}
+	for k, v := range m {
+		inv[v] = k
+	}
+	return inv
+}`},
+		{"range-slice", `package p
+func f(xs []string) []string {
+	var out []string
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}`},
+		{"delete-only", `package p
+func f(m map[string]int) {
+	for k := range m {
+		if len(k) == 0 {
+			delete(m, k)
+		}
+	}
+}`},
+	} {
+		if got := check(t, tc.src); len(got) != 0 {
+			t.Errorf("%s: want 0 findings, got %d: %+v", tc.name, len(got), got)
+		}
+	}
+}
+
+// TestCatchesRevertedVectorizerBug parses the seeded reverted copy of the
+// PR 6 vectorizer splat-insertion bug and asserts the analyzer reports the
+// `for src := range splats` loop at its exact line.
+func TestCatchesRevertedVectorizerBug(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "testdata/vectorize_regressed.go", nil,
+		parser.SkipObjectResolution|parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Locate the marker comment so the assertion survives edits above it.
+	wantLine := 0
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if strings.Contains(c.Text, "want: iteration over map") {
+				wantLine = fset.Position(c.Pos()).Line
+			}
+		}
+	}
+	if wantLine == 0 {
+		t.Fatal("testdata marker comment not found")
+	}
+	got := CheckFile(f)
+	if len(got) != 1 {
+		t.Fatalf("want exactly 1 finding in reverted vectorizer, got %d: %+v", len(got), got)
+	}
+	pos := fset.Position(got[0].Pos)
+	if pos.Line != wantLine {
+		t.Errorf("finding at line %d, want line %d (the range statement)", pos.Line, wantLine)
+	}
+	if !strings.Contains(got[0].Msg, `"splats"`) || !strings.Contains(got[0].Msg, "preheader.Instrs") {
+		t.Errorf("finding should name the map and the sink: %s", got[0].Msg)
+	}
+}

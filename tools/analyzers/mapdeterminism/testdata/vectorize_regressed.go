@@ -1,0 +1,43 @@
+// Package testdata holds a reverted copy of the PR 6 vectorizer
+// map-iteration bug: splat instructions are inserted into the loop
+// preheader by ranging over the `splats` map directly, so recompiles of
+// the same function emit the preheader instructions in a different order.
+// The shipped fix records discovery order in a `splatOrder []ir.VReg`
+// slice and ranges over that. The mapdeterminism test asserts the
+// analyzer reports the `for src := range splats` loop at its exact line.
+//
+// The file only needs to parse, not compile; the stub declarations below
+// stand in for internal/compiler's ir package.
+package testdata
+
+type vreg int
+
+type instr struct {
+	Op  int
+	Dst vreg
+	A   vreg
+}
+
+type block struct {
+	Instrs []instr
+}
+
+const opSplat = 42
+
+func newVReg() vreg { return 0 }
+
+// insertSplats is the reverted hunk of vectorizeLoop's commit phase.
+func insertSplats(preheader *block, splats map[vreg]bool) map[vreg]vreg {
+	splatOf := map[vreg]vreg{}
+	// Insert splats at the end of the preheader, before its terminator.
+	for src := range splats { // want: iteration over map "splats" feeds ordered output
+		v := newVReg()
+		sp := instr{Op: opSplat, Dst: v, A: src}
+		pos := len(preheader.Instrs) - 1
+		preheader.Instrs = append(preheader.Instrs, instr{})
+		copy(preheader.Instrs[pos+1:], preheader.Instrs[pos:])
+		preheader.Instrs[pos] = sp
+		splatOf[src] = v
+	}
+	return splatOf
+}

@@ -191,14 +191,16 @@ func main() {
 // fail (they gate once the baseline is refreshed).
 func compare(w io.Writer, base, run map[string]float64, threshold float64, calibrate bool) int {
 	names := make([]string, 0, len(base))
-	ratios := make([]float64, 0, len(base))
-	for name, old := range base {
+	for name := range base {
 		names = append(names, name)
-		if v, ok := run[name]; ok && old > 0 {
-			ratios = append(ratios, v/old)
-		}
 	}
 	sort.Strings(names)
+	ratios := make([]float64, 0, len(base))
+	for _, name := range names {
+		if v, ok := run[name]; ok && base[name] > 0 {
+			ratios = append(ratios, v/base[name])
+		}
+	}
 	scale := 1.0
 	if calibrate && len(ratios) > 0 {
 		scale = median(ratios)
