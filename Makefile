@@ -55,7 +55,9 @@ chaos:
 conformance:
 	$(GO) run ./cmd/compose-lint -quiet
 	$(GO) run ./cmd/compose-lint -quiet -compact
+	$(GO) run ./cmd/compose-lint -quiet -target alpha64
 	$(GO) run ./cmd/compose-lint -mutate -quiet -region hmmer.0
+	$(GO) run ./cmd/compose-lint -mutate -quiet -region hmmer.0 -target alpha64
 	$(GO) test -run 'TestMutationDetection|TestCleanCompilerOutput' ./internal/check/
 
 bench:
@@ -99,7 +101,8 @@ serve-smoke:
 # 30-second fuzz pass over the superset instruction codec (the CI fuzz
 # step, locally).
 fuzz:
-	$(GO) test -fuzz FuzzEncodeDecodeVerify -fuzztime 30s -run '^$$' ./internal/encoding/
+	$(GO) test -fuzz 'FuzzEncodeDecodeVerify$$' -fuzztime 30s -run '^$$' ./internal/encoding/
+	$(GO) test -fuzz 'FuzzEncodeDecodeVerifyAlpha64$$' -fuzztime 30s -run '^$$' ./internal/encoding/
 
 cover:
 	$(GO) test -coverprofile=coverage.out ./internal/...

@@ -472,6 +472,33 @@ func BenchmarkPredecode(b *testing.B) {
 	}
 }
 
+// BenchmarkPredecodeAlpha64 measures predecode over the fixed-length
+// alpha64 encoding of the same region: decode is one-step (constant
+// 4-byte stride, no length parsing), so this bounds the decode-side cost
+// of the vendor baseline's measured Alpha design points.
+func BenchmarkPredecodeAlpha64(b *testing.B) {
+	var reg workload.Region
+	for _, r := range workload.Regions() {
+		if r.Name == "gobmk.0" {
+			reg = r
+		}
+	}
+	fs := isa.X86izedAlpha
+	f, _, err := reg.Build(fs.Width)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := compiler.Compile(f, fs, compiler.Options{Target: "alpha64"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog.Name = reg.Name
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cpu.Predecode(prog)
+	}
+}
+
 // BenchmarkBatchScore measures scoring one profile across the full
 // exploration configuration grid through the batch Scorer.
 func BenchmarkBatchScore(b *testing.B) {

@@ -23,6 +23,7 @@ func main() {
 	width := flag.Int("width", 64, "register width: 32 | 64")
 	depth := flag.Int("depth", 16, "register depth: 8 | 16 | 32 | 64")
 	pred := flag.String("pred", "partial", "partial | full")
+	target := flag.String("target", "", "guest-ISA encoding target: x86 | alpha64 (empty = x86)")
 	asm := flag.Bool("asm", false, "dump the generated machine code")
 	flag.Parse()
 
@@ -65,12 +66,16 @@ func main() {
 	fmt.Printf("IR: %d blocks, %d virtual registers, max live pressure %d int / %d fp\n",
 		len(f.Blocks), f.NumVRegs(), f.MaxLivePressure(false), f.MaxLivePressure(true))
 
-	prog, err := compiler.Compile(f, fs, compiler.Options{})
+	prog, err := compiler.Compile(f, fs, compiler.Options{Target: *target})
 	if err != nil {
 		log.Fatal(err)
 	}
 	st := prog.Stats
-	fmt.Printf("code: %d instructions, %d bytes\n", len(prog.Instrs), prog.Size)
+	tgt, err := isa.ResolveTarget(*target)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("code: %d instructions, %d bytes (%s encoding)\n", len(prog.Instrs), prog.Size, tgt.Name)
 	fmt.Printf("stats: %d spill stores, %d refill loads, %d remats, %d if-conversions,\n",
 		st.SpillStores, st.RefillLoads, st.Remats, st.IfConversions)
 	fmt.Printf("       %d vector loops, %d scalarized loops, %d folded loads\n",

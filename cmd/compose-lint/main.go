@@ -42,6 +42,7 @@ func main() {
 	bench := flag.String("bench", "", "restrict to one benchmark (e.g. hmmer)")
 	region := flag.String("region", "", "restrict to one region (e.g. hmmer.0)")
 	fsName := flag.String("fs", "", "restrict to one feature set by short name (e.g. ux86-8D-32W-P)")
+	target := flag.String("target", "", "guest-ISA encoding target: x86 | alpha64 (empty = x86); restricted targets drop unsupported feature sets")
 	rules := flag.String("rules", "", "comma-separated rule IDs to run (default: all)")
 	compact := flag.Bool("compact", false, "lay programs out under the compact superset encoding")
 	mutate := flag.Bool("mutate", false, "run the seeded mutation harness and report detection power")
@@ -66,6 +67,32 @@ func main() {
 		log.Println(err)
 		os.Exit(2)
 	}
+	tgt, err := isa.ResolveTarget(*target)
+	if err != nil {
+		log.Println(err)
+		os.Exit(2)
+	}
+	if !tgt.Default() {
+		// Restricted targets encode a subset of the composite matrix; lint
+		// the sets they support rather than failing on the rest. An
+		// explicitly requested -fs outside the envelope still errors below.
+		var kept []isa.FeatureSet
+		for _, fs := range sets {
+			if serr := tgt.SupportsFS(fs); serr != nil {
+				if *fsName != "" {
+					log.Printf("feature set %s: %v", fs.ShortName(), serr)
+					os.Exit(2)
+				}
+				continue
+			}
+			kept = append(kept, fs)
+		}
+		sets = kept
+		if len(sets) == 0 {
+			log.Printf("target %s supports none of the selected feature sets", tgt.Name)
+			os.Exit(2)
+		}
+	}
 	var ruleIDs []string
 	if *rules != "" {
 		known := map[string]bool{}
@@ -83,12 +110,12 @@ func main() {
 	}
 
 	if *mutate {
-		os.Exit(runMutate(regions, sets, *seed, *compact, *jsonOut, *quiet))
+		os.Exit(runMutate(regions, sets, *target, *seed, *compact, *jsonOut, *quiet))
 	}
 	if *facts {
-		os.Exit(runFacts(regions, sets, *compact))
+		os.Exit(runFacts(regions, sets, *target, *compact))
 	}
-	os.Exit(runLint(regions, sets, ruleIDs, *compact, *jsonOut, *quiet))
+	os.Exit(runLint(regions, sets, ruleIDs, *target, *compact, *jsonOut, *quiet))
 }
 
 func selectRegions(bench, region string) ([]workload.Region, error) {
@@ -126,14 +153,14 @@ func selectFeatureSets(name string) ([]isa.FeatureSet, error) {
 	return nil, fmt.Errorf("unknown feature set %q (known: %s)", name, strings.Join(names, ", "))
 }
 
-func compile(r workload.Region, fs isa.FeatureSet, compact bool) (*code.Program, error) {
+func compile(r workload.Region, fs isa.FeatureSet, target string, compact bool) (*code.Program, error) {
 	f, _, err := r.Build(fs.Width)
 	if err != nil {
 		return nil, fmt.Errorf("%s for %s: build: %w", r.Name, fs.ShortName(), err)
 	}
 	// The lint IS the verification; run the compiler without its own gate.
 	prog, err := compiler.Compile(f, fs, compiler.Options{
-		CompactEncoding: compact, Verify: compiler.VerifyOff,
+		Target: target, CompactEncoding: compact, Verify: compiler.VerifyOff,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("%s for %s: compile: %w", r.Name, fs.ShortName(), err)
@@ -142,12 +169,12 @@ func compile(r workload.Region, fs isa.FeatureSet, compact bool) (*code.Program,
 	return prog, nil
 }
 
-func runLint(regions []workload.Region, sets []isa.FeatureSet, ruleIDs []string, compact, jsonOut, quiet bool) int {
+func runLint(regions []workload.Region, sets []isa.FeatureSet, ruleIDs []string, target string, compact, jsonOut, quiet bool) int {
 	var reports []*check.Report
 	programs, findings := 0, 0
 	for _, fs := range sets {
 		for _, r := range regions {
-			prog, err := compile(r, fs, compact)
+			prog, err := compile(r, fs, target, compact)
 			if err != nil {
 				log.Println(err)
 				return 1
@@ -191,11 +218,11 @@ func runLint(regions []workload.Region, sets []isa.FeatureSet, ruleIDs []string,
 // set, region) pair as a JSON array. The encoding is deliberately map-free
 // and the iteration order fixed, so the output is byte-identical across
 // runs — downstream consumers may cache and diff it.
-func runFacts(regions []workload.Region, sets []isa.FeatureSet, compact bool) int {
+func runFacts(regions []workload.Region, sets []isa.FeatureSet, target string, compact bool) int {
 	var all []*check.Facts
 	for _, fs := range sets {
 		for _, r := range regions {
-			prog, err := compile(r, fs, compact)
+			prog, err := compile(r, fs, target, compact)
 			if err != nil {
 				log.Println(err)
 				return 1
@@ -228,12 +255,12 @@ type mutationRow struct {
 	Rules   map[string]int `json:"rules,omitempty"`
 }
 
-func runMutate(regions []workload.Region, sets []isa.FeatureSet, seed uint64, compact, jsonOut, quiet bool) int {
+func runMutate(regions []workload.Region, sets []isa.FeatureSet, target string, seed uint64, compact, jsonOut, quiet bool) int {
 	var rows []mutationRow
 	applied, caught := 0, 0
 	for _, fs := range sets {
 		for _, r := range regions {
-			prog, err := compile(r, fs, compact)
+			prog, err := compile(r, fs, target, compact)
 			if err != nil {
 				log.Println(err)
 				return 1

@@ -46,10 +46,20 @@ func main() {
 	toWidth := flag.Int("to-width", 32, "target register width")
 	toDepth := flag.Int("to-depth", 16, "target register depth")
 	toPred := flag.String("to-pred", "partial", "partial | full")
+	fromTarget := flag.String("from-target", "", "source core's guest-ISA encoding (x86 | alpha64; empty = x86)")
+	toTarget := flag.String("to-target", "", "destination core's guest-ISA encoding (x86 | alpha64; empty = x86)")
 	flag.Parse()
 
 	src := parseFS(*fromCplx, *fromWidth, *fromDepth, *fromPred)
 	dst := parseFS(*toCplx, *toWidth, *toDepth, *toPred)
+	fromTgt, err := isa.ResolveTarget(*fromTarget)
+	if err != nil {
+		log.Fatal(err)
+	}
+	toTgt, err := isa.ResolveTarget(*toTarget)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	var reg *workload.Region
 	for _, r := range workload.Regions() {
@@ -66,15 +76,34 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	prog, err := compiler.Compile(f, src, compiler.Options{})
+	prog, err := compiler.Compile(f, src, compiler.Options{Target: *fromTarget})
 	if err != nil {
 		log.Fatal(err)
 	}
 	prog.Name = reg.Name
 
+	// Cross-encoding migrations pay a one-time binary-translation and
+	// state-transformation latency on top of (and independent of) any
+	// feature-set downgrade cost; it is priced from the measured code size
+	// of the source encoding and the targets' register-file geometries.
+	printCrossISA := func() {
+		if fromTgt.Name == toTgt.Name {
+			fmt.Printf("cross-ISA: none (both cores fetch the %s encoding)\n", fromTgt.Name)
+			return
+		}
+		c := migrate.MigrationCost(prog, toTgt)
+		fmt.Printf("cross-ISA %s -> %s: %d cycles one-time migration latency (%.1f us at 3 GHz)\n",
+			fromTgt.Name, toTgt.Name, c.Total(), float64(c.Total())/3000)
+		fmt.Printf("  translation %d cycles (%d code bytes measured in the %s encoding)\n",
+			c.TranslationCycles, prog.Size, fromTgt.Name)
+		fmt.Printf("  state       %d cycles (union register file)\n", c.StateCycles)
+		fmt.Printf("  runtime     %d cycles fixed handoff\n", c.FixedCycles)
+	}
+
 	if dst.Subsumes(src) {
 		fmt.Printf("%s -> %s is an upgrade: native execution, zero translation cost\n",
 			src.Name(), dst.Name())
+		printCrossISA()
 		return
 	}
 	fmt.Printf("downgrades required: %v\n", isa.Downgrades(src, dst))
@@ -112,4 +141,5 @@ func main() {
 	fmt.Printf("checksum %#x preserved\n", sumA)
 	fmt.Printf("cycles: native %d, translated %d => %+.1f%% emulation cost\n",
 		cycA, cycB, 100*(float64(cycB)/float64(cycA)-1))
+	printCrossISA()
 }

@@ -50,6 +50,93 @@ func TestCleanCompilerOutput(t *testing.T) {
 	}
 }
 
+// TestCleanCompilerOutputAlpha64 extends the conformance matrix to the
+// alpha64 target: for every derived feature set within the alpha64 encoding
+// envelope, every region must compile to a program with zero findings —
+// including the target-parameterized imm/struct rules and the fixed-length
+// encode → one-step-decode → compare round trip.
+func TestCleanCompilerOutputAlpha64(t *testing.T) {
+	regions := workload.Regions()
+	if testing.Short() {
+		var sample []workload.Region
+		seen := map[string]bool{}
+		for _, r := range regions {
+			if !seen[r.Benchmark] {
+				seen[r.Benchmark] = true
+				sample = append(sample, r)
+			}
+		}
+		regions = sample
+	}
+	covered := 0
+	for _, fs := range isa.Derive() {
+		if isa.Alpha64Target.SupportsFS(fs) != nil {
+			continue
+		}
+		covered++
+		fs := fs
+		t.Run(fs.ShortName(), func(t *testing.T) {
+			t.Parallel()
+			for _, r := range regions {
+				f, _, err := r.Build(fs.Width)
+				if err != nil {
+					t.Fatalf("%s: build: %v", r.Name, err)
+				}
+				prog, err := compiler.Compile(f, fs, compiler.Options{Target: "alpha64"})
+				if err != nil {
+					t.Fatalf("%s: compile: %v", r.Name, err)
+				}
+				prog.Name = r.Name
+				rep := check.Analyze(prog)
+				if len(rep.Findings) != 0 {
+					t.Errorf("%s: %d finding(s) on clean alpha64 output:\n%s", r.Name, len(rep.Findings), rep.String())
+				}
+			}
+		})
+	}
+	if covered == 0 {
+		t.Fatal("no derived feature set fits the alpha64 envelope — matrix not extended")
+	}
+}
+
+// TestMutationDetectionAlpha64 runs the mutation sweep on an alpha64-encoded
+// program: every applicable class must still be caught through the
+// target-parameterized rules, and the encode and imm classes must apply.
+func TestMutationDetectionAlpha64(t *testing.T) {
+	fs := isa.X86izedAlpha
+	bench, err := workload.ByName("hmmer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := bench.Regions[0]
+	f, _, err := r.Build(fs.Width)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := compiler.Compile(f, fs, compiler.Options{Target: "alpha64"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog.Name = r.Name
+	for seed := uint64(1); seed <= 3; seed++ {
+		applied := map[string]bool{}
+		for _, d := range check.MutationSweep(prog, seed) {
+			applied[d.Class] = d.Applied
+			if d.Applied && !d.Caught {
+				t.Errorf("seed %d: class %s not caught (%s); rules: %v", seed, d.Class, d.Desc, d.Rules)
+			}
+		}
+		for _, class := range []string{check.RuleImm, check.RuleEncode, check.RuleDepth} {
+			if !applied[class] {
+				t.Errorf("seed %d: class %s should apply to an alpha64 program", seed, class)
+			}
+		}
+	}
+	if rep := check.Analyze(prog); len(rep.Findings) != 0 {
+		t.Errorf("sweep mutated the original program:\n%s", rep.String())
+	}
+}
+
 // TestMutationDetection asserts the verifier's detection power: every
 // violation class the harness can seed into a program is caught by the rule
 // that owns it. The microx86/32-bit/depth-8/partial feature set makes all

@@ -20,6 +20,9 @@ func checkEncode(a *analysis) []Finding {
 		return []Finding{{Rule: RuleEncode, Index: -1, Severity: SevError,
 			Detail: fmt.Sprintf("program has no layout (%d PCs for %d instructions)", len(p.PC), len(p.Instrs))}}
 	}
+	if p.Target != "" {
+		return checkEncodeTarget(a)
+	}
 	var out []Finding
 	ild := encoding.NewILD(p.CompactEncoding)
 	img := make([]byte, 0, p.Size)
@@ -71,6 +74,63 @@ func checkEncode(a *analysis) []Finding {
 			out = append(out, a.finding(RuleEncode, i,
 				fmt.Sprintf("marker boundary %#x disagrees with layout PC offset %#x", off, p.PC[i]-p.Base)))
 		}
+	}
+	return out
+}
+
+// checkEncodeTarget is the non-x86 variant of the round-trip rule: every
+// instruction must encode through the target's coder into the bytes the
+// layout claims, the one-step length decode must agree, and — for targets
+// whose single decode step recovers the whole instruction — the decoded
+// instruction must equal the canonical normalization of the original. For
+// fixed-length targets the layout itself is also checked against the fixed
+// stride, which is what the paper's one-step-decode fetch model assumes.
+func checkEncodeTarget(a *analysis) []Finding {
+	p := a.p
+	c := encoding.ForProgram(p)
+	dec, _ := c.(encoding.InstrDecoder)
+	stride := c.Target().FixedLen
+	var out []Finding
+	total := 0
+	for i := range p.Instrs {
+		in := &p.Instrs[i]
+		if stride != 0 && p.PC[i]-p.Base != uint32(stride*i) {
+			out = append(out, a.finding(RuleEncode, i,
+				fmt.Sprintf("layout PC offset %#x off the fixed %d-byte stride", p.PC[i]-p.Base, stride)))
+		}
+		want := encoding.Length(p, i)
+		b, err := c.EncodeInstr(in, want, p.CompactEncoding)
+		if err != nil {
+			out = append(out, a.finding(RuleEncode, i, fmt.Sprintf("encode: %v", err)))
+			continue
+		}
+		total += len(b)
+		n, err := c.DecodeLength(b, p.CompactEncoding)
+		if err != nil {
+			out = append(out, a.finding(RuleEncode, i, fmt.Sprintf("decode: %v", err)))
+			continue
+		}
+		if n != len(b) {
+			out = append(out, a.finding(RuleEncode, i,
+				fmt.Sprintf("decoder claims %d bytes where the encoder emitted %d", n, len(b))))
+			continue
+		}
+		if dec != nil {
+			got, err := dec.DecodeInstr(b)
+			if err != nil {
+				out = append(out, a.finding(RuleEncode, i, fmt.Sprintf("instruction decode: %v", err)))
+				continue
+			}
+			if want := dec.Normalize(in); got != want {
+				out = append(out, a.finding(RuleEncode, i,
+					fmt.Sprintf("decode round trip disagrees: got %s want %s",
+						code.FormatInstr(&got), code.FormatInstr(&want))))
+			}
+		}
+	}
+	if total > 0 && total != p.Size {
+		out = append(out, Finding{Rule: RuleEncode, Index: -1, Severity: SevError,
+			Detail: fmt.Sprintf("image is %d bytes but layout claims %d", total, p.Size)})
 	}
 	return out
 }

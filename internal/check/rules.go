@@ -199,6 +199,17 @@ func (a *analysis) spillMustStoredIn() []*spillMustState {
 	return a.mustIn
 }
 
+// target resolves the program's non-default encoding target, or nil when the
+// program uses the default x86 encoding (whose legality the feature-set
+// rules already govern) or names an unknown target (rejected by Validate).
+func (a *analysis) target() *isa.Target {
+	tgt, ok := isa.TargetByName(a.p.Target)
+	if !ok || tgt.Default() {
+		return nil
+	}
+	return tgt
+}
+
 func newAnalysis(p *code.Program) *analysis {
 	a := &analysis{p: p}
 	if err := structural(p); err != nil {
@@ -366,8 +377,19 @@ func checkComplexity(a *analysis) []Finding {
 
 func checkImm(a *analysis) []Finding {
 	var out []Finding
+	tgt := a.target()
 	for i := range a.p.Instrs {
 		in := &a.p.Instrs[i]
+		if tgt != nil {
+			if in.HasImm && !code.ImmOK(in.Op, in.Imm, tgt) {
+				out = append(out, a.finding(RuleImm, i,
+					fmt.Sprintf("immediate %d exceeds the %s target's %d-bit field", in.Imm, tgt.Name, tgt.ImmBits)))
+			}
+			if in.HasMem && !code.DispOK(in.Mem.Disp, tgt) {
+				out = append(out, a.finding(RuleImm, i,
+					fmt.Sprintf("displacement %d exceeds the %s target's %d-bit field", in.Mem.Disp, tgt.Name, tgt.DispBits)))
+			}
+		}
 		if in.HasImm {
 			if in.Op == code.SHL || in.Op == code.SHR || in.Op == code.SAR {
 				bits := int64(in.Sz) * 8
@@ -431,8 +453,14 @@ func memLegal(op code.Op) bool {
 
 func checkStruct(a *analysis) []Finding {
 	var out []Finding
+	tgt := a.target()
 	for i := range a.p.Instrs {
 		in := &a.p.Instrs[i]
+		if tgt != nil {
+			if err := code.TargetShapeOK(in, tgt); err != nil {
+				out = append(out, a.finding(RuleStruct, i, err.Error()))
+			}
+		}
 		if in.HasImm && in.Src2 != code.NoReg {
 			out = append(out, a.finding(RuleStruct, i, "both an immediate and a second register source"))
 		}

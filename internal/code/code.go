@@ -140,6 +140,19 @@ func (o Op) WritesFlags() bool {
 	return false
 }
 
+// TwoAddress reports whether the op uses the destructive two-address form
+// (Dst == Src1): both the x86 and alpha64 encoders carry no separate
+// first-source field for these, so the encodings imply Src1 = Dst.
+func (o Op) TwoAddress() bool {
+	switch o {
+	case ADD, SUB, IMUL, AND, OR, XOR, SHL, SHR, SAR, ADC, SBB,
+		FADD, FSUB, FMUL, FDIV,
+		VADDF, VSUBF, VMULF, VADDI, VSUBI, VMULI:
+		return true
+	}
+	return false
+}
+
 // CC is an x86-style condition code evaluated against the flags register.
 type CC uint8
 

@@ -57,7 +57,12 @@ type PoolConst struct {
 type Program struct {
 	Name string
 	// FS is the feature set the region was compiled for.
-	FS     isa.FeatureSet
+	FS isa.FeatureSet
+	// Target names the guest-ISA encoding the program is laid out and
+	// encoded for (isa.TargetByName); empty means the default variable-
+	// length x86 encoding. Execution semantics are target-independent —
+	// only layout, encoding, and operand legality differ.
+	Target string
 	Instrs []Instr
 	// PC is the byte address of each instruction after layout; Size is
 	// the total code size. Filled by encoding.Layout.
@@ -163,9 +168,16 @@ func FormatInstr(in *Instr) string {
 // output must satisfy.
 func (p *Program) Validate() error {
 	fs := p.FS
+	tgt, ok := isa.TargetByName(p.Target)
+	if !ok {
+		return fmt.Errorf("%s: unknown target %q", p.Name, p.Target)
+	}
 	var iregs, fregs []Reg
 	for i := range p.Instrs {
 		in := &p.Instrs[i]
+		if err := TargetCheck(in, tgt); err != nil {
+			return fmt.Errorf("%s[%d] %s: %w", p.Name, i, FormatInstr(in), err)
+		}
 		iregs = in.IntRegs(iregs[:0])
 		for _, r := range iregs {
 			if int(r) >= fs.Depth {

@@ -1,0 +1,105 @@
+package code
+
+import (
+	"fmt"
+
+	"compisa/internal/isa"
+)
+
+// Target legality: per-instruction checks against an isa.Target descriptor.
+// For the default x86 target these return nil/true — x86 legality predates
+// the target seam and is governed by the feature-set rules in Validate and
+// internal/check. Restricted targets (alpha64) add the encoding-level
+// constraints a fixed 32-bit word imposes.
+
+// ImmOK reports whether an inline immediate is encodable on the target.
+// Shift counts and logical immediates are zero-extended from the target's
+// immediate field; arithmetic immediates (and MOV) are sign-extended.
+func ImmOK(op Op, imm int64, t *isa.Target) bool {
+	if t.Default() || t.ImmBits >= 32 {
+		return true
+	}
+	switch op {
+	case SHL, SHR, SAR:
+		return imm >= 0 && imm < 64
+	case AND, OR, XOR, TEST:
+		return imm >= 0 && imm < 1<<uint(t.ImmBits)
+	default:
+		lim := int64(1) << uint(t.ImmBits-1)
+		return imm >= -lim && imm < lim
+	}
+}
+
+// DispOK reports whether a memory displacement is encodable on the target.
+func DispOK(disp int32, t *isa.Target) bool {
+	if t.Default() || t.DispBits >= 32 {
+		return true
+	}
+	lim := int32(1) << uint(t.DispBits-1)
+	return disp >= -lim && disp < lim
+}
+
+// TargetShapeOK verifies one instruction's structural legality on the
+// target: addressing modes, operand forms, and register-file geometry.
+// Immediate/displacement ranges are checked separately by ImmOK/DispOK so
+// the conformance rules can attribute violations to the right rule class.
+func TargetShapeOK(in *Instr, t *isa.Target) error {
+	if t.Default() {
+		return nil
+	}
+	if !t.Vector && in.Op.IsVector() {
+		return fmt.Errorf("target %s has no vector encodings", t.Name)
+	}
+	if !t.Predication && in.Predicated() {
+		return fmt.Errorf("target %s has no predicate field", t.Name)
+	}
+	if t.TwoAddress && in.Op.TwoAddress() && in.Src1 != in.Dst {
+		return fmt.Errorf("target %s requires destructive form (dst=%d src1=%d)", t.Name, in.Dst, in.Src1)
+	}
+	if in.HasMem {
+		if !t.MemOperands {
+			switch in.Op {
+			case LD, ST, FLD, FST:
+			default:
+				return fmt.Errorf("target %s is load/store only (%v with memory operand)", t.Name, in.Op)
+			}
+		}
+		if !t.MemAbsolute && in.Mem.Base == NoReg {
+			return fmt.Errorf("target %s has no absolute addressing", t.Name)
+		}
+		if !t.MemIndex && in.Mem.Index != NoReg {
+			return fmt.Errorf("target %s has no indexed addressing", t.Name)
+		}
+	}
+	var iregs, fregs []Reg
+	for _, r := range in.IntRegs(iregs) {
+		if int(r) >= t.IntRegs {
+			return fmt.Errorf("target %s: integer register r%d exceeds the %d-register file", t.Name, r, t.IntRegs)
+		}
+	}
+	for _, r := range in.FPRegs(fregs) {
+		if int(r) >= t.FPRegs {
+			return fmt.Errorf("target %s: fp register x%d exceeds the %d-register file", t.Name, r, t.FPRegs)
+		}
+	}
+	return nil
+}
+
+// TargetCheck verifies one instruction against the target's full
+// encoding-level legality: shape plus immediate/displacement widths. It
+// returns nil for default x86 targets.
+func TargetCheck(in *Instr, t *isa.Target) error {
+	if t.Default() {
+		return nil
+	}
+	if err := TargetShapeOK(in, t); err != nil {
+		return err
+	}
+	if in.HasMem && !DispOK(in.Mem.Disp, t) {
+		return fmt.Errorf("target %s: displacement %d exceeds %d bits", t.Name, in.Mem.Disp, t.DispBits)
+	}
+	if in.HasImm && !ImmOK(in.Op, in.Imm, t) {
+		return fmt.Errorf("target %s: immediate %d exceeds %d bits", t.Name, in.Imm, t.ImmBits)
+	}
+	return nil
+}

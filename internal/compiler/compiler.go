@@ -45,6 +45,13 @@ type Options struct {
 	// from-scratch superset encoding (1-byte REXBC/predicate prefixes),
 	// the tighter-encoding variant the paper sketches in Section V.A.
 	CompactEncoding bool
+	// Target selects the guest-ISA encoding backend the program is lowered
+	// and laid out for: "" or "x86" for the default variable-length x86
+	// encoding, "alpha64" for the fixed-length 32-bit RISC target. The
+	// backend adapts lowering to the target's legality: memory-operand
+	// folding off, load/store-only addressing, and fixed-width immediates
+	// built by ld-imm splitting.
+	Target string
 	// FaultHook, if non-nil, is consulted before compilation; a non-nil
 	// return aborts the compile with that error. The exploration layer
 	// uses it to inject compile failures through the real pipeline so
@@ -84,6 +91,13 @@ func Compile(f *ir.Func, fs isa.FeatureSet, opts Options) (*code.Program, error)
 			return nil, fmt.Errorf("compile %s for %s: %w", f.Name, fs.ShortName(), err)
 		}
 	}
+	tgt, err := isa.ResolveTarget(opts.Target)
+	if err != nil {
+		return nil, fmt.Errorf("compile %s: %w", f.Name, err)
+	}
+	if err := tgt.SupportsFS(fs); err != nil {
+		return nil, fmt.Errorf("compile %s for %s: target %s: %w", f.Name, fs.ShortName(), tgt.Name, err)
+	}
 	if err := f.Verify(); err != nil {
 		return nil, fmt.Errorf("compile %s: %w", f.Name, err)
 	}
@@ -91,7 +105,9 @@ func Compile(f *ir.Func, fs isa.FeatureSet, opts Options) (*code.Program, error)
 
 	runVectorize(f, fs, &mf.stats)
 
-	if err := runISel(f, fs, mf, opts.DisableFolding); err != nil {
+	// Targets without memory operands never fold loads into ALU ops; the
+	// legalization pass then only has to rewrite the remaining LD/ST forms.
+	if err := runISel(f, fs, mf, opts.DisableFolding || !tgt.MemOperands); err != nil {
 		return nil, fmt.Errorf("compile %s for %s: isel: %w", f.Name, fs.ShortName(), err)
 	}
 
@@ -109,9 +125,9 @@ func Compile(f *ir.Func, fs isa.FeatureSet, opts Options) (*code.Program, error)
 		return nil, fmt.Errorf("compile %s for %s: %w", f.Name, fs.ShortName(), err)
 	}
 
-	alloc := runRegAlloc(mf, fs)
+	alloc := runRegAlloc(mf, fs, tgt)
 
-	prog, err := emitProgram(mf, fs, alloc, f.Name, opts.CompactEncoding)
+	prog, err := emitProgram(mf, fs, alloc, f.Name, opts.CompactEncoding, tgt)
 	if err != nil {
 		return nil, fmt.Errorf("compile %s for %s: %w", f.Name, fs.ShortName(), err)
 	}

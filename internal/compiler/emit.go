@@ -341,7 +341,7 @@ func log2u(s uint8) int {
 
 // emitProgram lowers the allocated machine function into final code with
 // layout.
-func emitProgram(f *mFunc, fs isa.FeatureSet, alloc *allocation, name string, compact bool) (*code.Program, error) {
+func emitProgram(f *mFunc, fs isa.FeatureSet, alloc *allocation, name string, compact bool, tgt *isa.Target) (*code.Program, error) {
 	e := &emitter{f: f, fs: fs, alloc: alloc, start: map[*mBlock]int{}, stats: &f.stats}
 	for bi, b := range f.blocks {
 		e.start[b] = len(e.out)
@@ -403,8 +403,8 @@ func emitProgram(f *mFunc, fs isa.FeatureSet, alloc *allocation, name string, co
 		}
 		e.out[fx.idx].Target = int32(tgt)
 	}
-	p := &code.Program{Name: name, FS: fs, Instrs: e.out, Pool: f.pool,
-		CompactEncoding: compact, Stats: f.stats}
+	p := &code.Program{Name: name, FS: fs, Target: tgt.ProgTarget(), Instrs: e.out,
+		Pool: f.pool, CompactEncoding: compact, Stats: f.stats}
 	// Peephole: the per-instruction spill discipline emits `st s -> slot`
 	// after every spilled def and `ld s <- slot` before every spilled use,
 	// so back-to-back def/use of one vreg leaves a same-register
@@ -412,6 +412,12 @@ func emitProgram(f *mFunc, fs isa.FeatureSet, alloc *allocation, name string, co
 	// peephole removes exactly what the spillpair rule would flag and
 	// clean output stays finding-free by construction.
 	p.Stats.ElidedReloads = check.ElideRedundantReloads(p)
+	// Target legalization runs after the peephole (which matches the
+	// absolute-addressed spill pattern emitted above) and before layout, so
+	// the encoder only ever sees target-legal instructions.
+	if err := legalizeTarget(p, tgt, alloc); err != nil {
+		return nil, fmt.Errorf("%s: %w", f.name, err)
+	}
 	if err := encoding.Layout(p, code.CodeBase); err != nil {
 		return nil, err
 	}

@@ -260,14 +260,5 @@ func (f *mFunc) verify() error {
 }
 
 // isTwoAddressALU reports whether the op requires Dst == Src1, matching
-// x86's two-address instruction format.
-func isTwoAddressALU(op code.Op) bool {
-	switch op {
-	case code.ADD, code.SUB, code.IMUL, code.AND, code.OR, code.XOR,
-		code.SHL, code.SHR, code.SAR, code.ADC, code.SBB,
-		code.FADD, code.FSUB, code.FMUL, code.FDIV,
-		code.VADDF, code.VSUBF, code.VMULF, code.VADDI, code.VSUBI, code.VMULI:
-		return true
-	}
-	return false
-}
+// the two-address instruction format both encoders share.
+func isTwoAddressALU(op code.Op) bool { return op.TwoAddress() }

@@ -32,7 +32,12 @@ type allocation struct {
 	// scratch registers reserved from the architectural file.
 	intScratch []code.Reg
 	fpScratch  []code.Reg
-	numSlots   int32
+	// spillBase is the register reserved to hold the spill-window base
+	// address on targets without absolute addressing (NoReg otherwise).
+	// Spill references become single flag-safe [spillBase+disp] accesses,
+	// which keeps reloads legal between a flag producer and its consumer.
+	spillBase code.Reg
+	numSlots  int32
 	// vsz records the maximum operand size observed per FP vreg (4, 8, or
 	// 16), which determines the spill access width.
 	vsz []uint8
@@ -57,9 +62,9 @@ func intScratchCount(depth int) int {
 // preferred, matching the compiler strategy of Section IV. Unallocated
 // intervals are spilled to the register context block, except single-def
 // constants, which are rematerialized at their uses.
-func runRegAlloc(f *mFunc, fs isa.FeatureSet) *allocation {
+func runRegAlloc(f *mFunc, fs isa.FeatureSet, tgt *isa.Target) *allocation {
 	n := f.nvregs
-	a := &allocation{locs: make([]loc, n), vsz: make([]uint8, n)}
+	a := &allocation{locs: make([]loc, n), vsz: make([]uint8, n), spillBase: code.NoReg}
 
 	nScratch := intScratchCount(fs.Depth)
 	for i := 0; i < nScratch; i++ {
@@ -69,6 +74,10 @@ func runRegAlloc(f *mFunc, fs isa.FeatureSet) *allocation {
 	a.fpScratch = []code.Reg{code.Reg(fpRegs - 1), code.Reg(fpRegs - 2)}
 	intAvail := fs.Depth - nScratch
 	fpAvail := fpRegs - 2
+	if !tgt.MemAbsolute {
+		a.spillBase = code.Reg(fs.Depth - 1 - nScratch)
+		intAvail--
+	}
 
 	// Record FP operand sizes and remat candidates.
 	defCnt := make([]int, n)
@@ -79,7 +88,12 @@ func runRegAlloc(f *mFunc, fs isa.FeatureSet) *allocation {
 			in := &b.instrs[i]
 			if d, fp := in.def(); d != noVR {
 				defCnt[d]++
-				isConst[d] = in.Op == code.MOV && in.HasImm
+				// Rematerialization re-emits the constant MOV at each use,
+				// which may sit between a flag producer and its consumer, so
+				// on narrow-immediate targets only constants that stay a
+				// single flag-safe MOV (no ld-imm splitting) qualify.
+				isConst[d] = in.Op == code.MOV && in.HasImm &&
+					code.ImmOK(code.MOV, in.Imm, tgt)
 				constOf[d] = in.Imm
 				if fp && in.Sz > a.vsz[d] {
 					a.vsz[d] = in.Sz

@@ -1,0 +1,336 @@
+package compiler
+
+import (
+	"fmt"
+
+	"compisa/internal/code"
+	"compisa/internal/isa"
+)
+
+// This file legalizes emitted code for restricted encoding targets (alpha64):
+// every instruction the x86-oriented emitter produced that the target cannot
+// encode is rewritten into an equivalent target-legal sequence. The pass runs
+// on the final linear instruction stream, after the spill peephole and before
+// layout, so the encoder only ever sees legal instructions.
+//
+// Rewrites (all specific to fixed-word RISC targets):
+//
+//   - absolute spill references  -> [spillBase + slot*16] (single flag-safe
+//     access through the reserved spill-base register)
+//   - other absolute references (constant pool) -> ld-imm address + [reg]
+//   - base+index*scale addressing -> mov/shl/add flattening into one register
+//   - displacements beyond the target's field -> folded into the address
+//   - immediates beyond the target's field -> ld-imm splitting (16-bit chunks
+//     composed with MOV/SHL/OR)
+//
+// Several rewrites insert flag-writing instructions (SHL/OR/ADD), which would
+// corrupt a condition-flag value live across the insertion point. The pass
+// therefore computes flag liveness over the stream and refuses — loudly — to
+// insert a flag-writing sequence where flags are live. The register allocator
+// cooperates so this cannot happen for the common cases: spill reloads go
+// through the spill-base register (no flag writes), and rematerialization is
+// restricted to constants that stay a single flag-safe MOV.
+
+// buildImm returns the shortest MOV/SHL/OR sequence that materializes v into
+// dst at operand size sz. Chunks are composed high to low with zero-extending
+// OR (the executor zero-extends logical immediates), so no sign smear occurs;
+// a leading chunk >= 0x8000 would sign-extend through MOV and is built as
+// MOV #0 / OR #chunk instead.
+func buildImm(dst code.Reg, v int64, sz uint8) []code.Instr {
+	u := uint64(v)
+	if sz == 4 {
+		u &= 0xffff_ffff
+	}
+	// Highest non-zero 16-bit chunk.
+	top := 0
+	for k := int(sz)/2 - 1; k > 0; k-- {
+		if (u>>(16*k))&0xffff != 0 {
+			top = k
+			break
+		}
+	}
+	var out []code.Instr
+	lead := (u >> (16 * top)) & 0xffff
+	if lead < 0x8000 {
+		mv := cInstr(code.MOV, sz)
+		mv.Dst = dst
+		mv.HasImm, mv.Imm = true, int64(lead)
+		out = append(out, mv)
+	} else {
+		mv := cInstr(code.MOV, sz)
+		mv.Dst = dst
+		mv.HasImm, mv.Imm = true, 0
+		or := cInstr(code.OR, sz)
+		or.Dst, or.Src1 = dst, dst
+		or.HasImm, or.Imm = true, int64(lead)
+		out = append(out, mv, or)
+	}
+	for k := top - 1; k >= 0; k-- {
+		sh := cInstr(code.SHL, sz)
+		sh.Dst, sh.Src1 = dst, dst
+		sh.HasImm, sh.Imm = true, 16
+		out = append(out, sh)
+		if c := (u >> (16 * k)) & 0xffff; c != 0 {
+			or := cInstr(code.OR, sz)
+			or.Dst, or.Src1 = dst, dst
+			or.HasImm, or.Imm = true, int64(c)
+			out = append(out, or)
+		}
+	}
+	return out
+}
+
+// seqWritesFlags reports whether any instruction of the sequence writes the
+// condition flags.
+func seqWritesFlags(seq []code.Instr) bool {
+	for i := range seq {
+		if seq[i].Op.WritesFlags() {
+			return true
+		}
+	}
+	return false
+}
+
+type legalizer struct {
+	tgt     *isa.Target
+	sb      code.Reg // spill-base register (NoReg when unused)
+	addrSz  uint8    // pointer width in bytes
+	scratch []code.Reg
+}
+
+// spillWindow reports whether an absolute displacement addresses the spill
+// slot window.
+func spillWindow(disp int32) bool {
+	return int64(disp) >= code.SpillBase && int64(disp) < code.ContextBase
+}
+
+// pick returns a reserved scratch register not referenced by the current
+// instruction. The emitter's spill discipline keeps scratch values live only
+// within one rewritten instruction group, and every scratch carrying a live
+// value there appears as an operand of the instruction being legalized, so
+// avoiding the instruction's own registers is sufficient.
+func (lz *legalizer) pick(in *code.Instr) (code.Reg, error) {
+	var buf [8]code.Reg
+	used := in.IntRegs(buf[:0])
+	for _, s := range lz.scratch {
+		free := true
+		for _, u := range used {
+			if u == s {
+				free = false
+				break
+			}
+		}
+		if free {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("no free scratch register for legalization")
+}
+
+// instr legalizes one instruction, returning its replacement sequence.
+// flagLive reports whether condition flags are live immediately before the
+// instruction; flag-writing helper sequences are refused there.
+func (lz *legalizer) instr(in code.Instr, flagLive bool) ([]code.Instr, error) {
+	tgt := lz.tgt
+	var pre []code.Instr
+	emit := func(seq []code.Instr) error {
+		if flagLive && seqWritesFlags(seq) {
+			return fmt.Errorf("flag-writing legalization sequence where flags are live")
+		}
+		pre = append(pre, seq...)
+		return nil
+	}
+
+	if tgt.TwoAddress && in.Op.TwoAddress() && in.Src1 != in.Dst && in.Src1 != code.NoReg {
+		return nil, fmt.Errorf("non-destructive ALU form survived to legalization")
+	}
+
+	if in.HasMem {
+		m := &in.Mem
+		// Base+index*scale: flatten into one address register. Integer
+		// loads may use their own destination (dead on entry) as that
+		// register; everything else takes a scratch.
+		if m.Index != code.NoReg && !tgt.MemIndex {
+			var a code.Reg
+			if in.Op == code.LD && in.Dst != m.Base && in.Dst != m.Index && !in.Predicated() {
+				a = in.Dst
+			} else {
+				s, err := lz.pick(&in)
+				if err != nil {
+					return nil, err
+				}
+				a = s
+			}
+			mv := cInstr(code.MOV, lz.addrSz)
+			mv.Dst, mv.Src1 = a, m.Index
+			seq := []code.Instr{mv}
+			if m.Scale > 1 {
+				sh := cInstr(code.SHL, lz.addrSz)
+				sh.Dst, sh.Src1 = a, a
+				sh.HasImm, sh.Imm = true, int64(log2u(m.Scale))
+				seq = append(seq, sh)
+			}
+			if m.Base != code.NoReg {
+				add := cInstr(code.ADD, lz.addrSz)
+				add.Dst, add.Src1, add.Src2 = a, a, m.Base
+				seq = append(seq, add)
+			}
+			if err := emit(seq); err != nil {
+				return nil, err
+			}
+			m.Base, m.Index, m.Scale = a, code.NoReg, 1
+		}
+		// Absolute addressing: spill slots go through the reserved spill
+		// base (flag-safe single access); pool constants materialize their
+		// address into a register.
+		if m.Base == code.NoReg && !tgt.MemAbsolute {
+			addr := int64(m.Disp)
+			rel := addr - code.SpillBase
+			if spillWindow(m.Disp) && lz.sb != code.NoReg && code.DispOK(int32(rel), tgt) {
+				m.Base, m.Disp = lz.sb, int32(rel)
+			} else {
+				var a code.Reg
+				if in.Op == code.LD && !in.Predicated() {
+					a = in.Dst
+				} else {
+					s, err := lz.pick(&in)
+					if err != nil {
+						return nil, err
+					}
+					a = s
+				}
+				if err := emit(buildImm(a, addr, lz.addrSz)); err != nil {
+					return nil, err
+				}
+				m.Base, m.Disp = a, 0
+			}
+			m.Index, m.Scale = code.NoReg, 1
+		}
+		// Displacement beyond the target's field: fold into the address.
+		if !code.DispOK(m.Disp, tgt) {
+			var a code.Reg
+			if in.Op == code.LD && in.Dst != m.Base && !in.Predicated() {
+				a = in.Dst
+			} else {
+				s, err := lz.pick(&in)
+				if err != nil {
+					return nil, err
+				}
+				a = s
+			}
+			seq := buildImm(a, int64(m.Disp), lz.addrSz)
+			add := cInstr(code.ADD, lz.addrSz)
+			add.Dst, add.Src1, add.Src2 = a, a, m.Base
+			seq = append(seq, add)
+			if err := emit(seq); err != nil {
+				return nil, err
+			}
+			m.Base, m.Disp = a, 0
+		}
+	}
+
+	if in.HasImm && !code.ImmOK(in.Op, in.Imm, tgt) {
+		// Sub-word operations only observe the low Sz bytes (the executor
+		// masks immediates to the operand size), so their immediates
+		// canonicalize to a sign-extended form that always fits.
+		if in.Sz <= 2 {
+			bits := uint(8 * in.Sz)
+			masked := int64(uint64(in.Imm) & (1<<bits - 1))
+			switch in.Op {
+			case code.AND, code.OR, code.XOR, code.TEST:
+				in.Imm = masked // logical immediates zero-extend
+			default:
+				in.Imm = masked << (64 - bits) >> (64 - bits)
+			}
+		} else if in.Op == code.MOV {
+			// Wide constant: replace the MOV with a build sequence.
+			seq := buildImm(in.Dst, in.Imm, in.Sz)
+			if err := emit(seq); err != nil {
+				return nil, err
+			}
+			return pre, nil
+		} else {
+			// Wide ALU/compare immediate: materialize into a scratch and
+			// use the register form. The operation itself overwrites the
+			// flags, so flags are never live here and the build sequence
+			// is safe by construction (emit still checks).
+			s, err := lz.pick(&in)
+			if err != nil {
+				return nil, err
+			}
+			if err := emit(buildImm(s, in.Imm, in.Sz)); err != nil {
+				return nil, err
+			}
+			in.HasImm, in.Imm = false, 0
+			in.Src2 = s
+		}
+	}
+
+	return append(pre, in), nil
+}
+
+// legalizeTarget rewrites p in place so every instruction is encodable on the
+// target, remapping branch targets across the insertions. It is a no-op for
+// the default x86 target.
+func legalizeTarget(p *code.Program, tgt *isa.Target, alloc *allocation) error {
+	if tgt.Default() {
+		return nil
+	}
+	n := len(p.Instrs)
+
+	// Flag liveness immediately before each instruction, scanned backward.
+	// Ops that both read and write (ADC/SBB) keep flags live before them.
+	flagLive := make([]bool, n)
+	live := false
+	for i := n - 1; i >= 0; i-- {
+		op := p.Instrs[i].Op
+		if op.WritesFlags() {
+			live = false
+		}
+		if op.ReadsFlags() {
+			live = true
+		}
+		flagLive[i] = live
+	}
+
+	lz := &legalizer{
+		tgt:     tgt,
+		sb:      alloc.spillBase,
+		addrSz:  uint8(p.FS.Width / 8),
+		scratch: alloc.intScratch,
+	}
+
+	out := make([]code.Instr, 0, n+n/4)
+
+	// Prologue: establish the spill-base register if any instruction
+	// references the spill window. Flags are dead at entry.
+	for i := range p.Instrs {
+		in := &p.Instrs[i]
+		if in.HasMem && in.Mem.Base == code.NoReg && spillWindow(in.Mem.Disp) {
+			if lz.sb == code.NoReg {
+				return fmt.Errorf("legalize %s: spill references but no spill-base register reserved", tgt.Name)
+			}
+			out = append(out, buildImm(lz.sb, code.SpillBase, lz.addrSz)...)
+			break
+		}
+	}
+
+	newIdx := make([]int32, n)
+	for i := range p.Instrs {
+		newIdx[i] = int32(len(out))
+		seq, err := lz.instr(p.Instrs[i], flagLive[i])
+		if err != nil {
+			return fmt.Errorf("legalize %s[%d] %s: %w", tgt.Name, i, code.FormatInstr(&p.Instrs[i]), err)
+		}
+		out = append(out, seq...)
+	}
+	// Inserted helper sequences contain no branches, so remapping every
+	// branch in the output through the old-index table is exact.
+	for i := range out {
+		if op := out[i].Op; op == code.JCC || op == code.JMP {
+			out[i].Target = newIdx[out[i].Target]
+		}
+	}
+	p.Instrs = out
+	return nil
+}

@@ -58,9 +58,14 @@ func Predecode(p *code.Program) *Predecoded {
 	}
 	var zero Event
 	var buf [3]uopSpec
+	// Instruction lengths come from the program's target decoder: the
+	// variable-length x86 layout or a fixed-length one-step-decode word.
+	// The micro-op executor, timing walk, and profiler below are
+	// target-independent — only fetch geometry differs between encodings.
+	coder := encoding.ForProgram(p)
 	for i := range p.Instrs {
 		in := &p.Instrs[i]
-		pd.len[i] = uint8(encoding.Length(p, i))
+		pd.len[i] = uint8(coder.InstrLen(p, i))
 		pd.nuops[i] = uint8(in.NumUops())
 		pd.step[i] = stepTab[in.Op]
 

@@ -300,11 +300,13 @@ func log2u(s uint8) byte {
 	return n
 }
 
-// Image encodes the whole laid-out program into its byte image.
+// Image encodes the whole laid-out program into its byte image under its
+// target's encoding.
 func Image(p *code.Program) ([]byte, error) {
+	c := ForProgram(p)
 	out := make([]byte, 0, p.Size)
 	for i := range p.Instrs {
-		b, err := EncodeInstr(&p.Instrs[i], Length(p, i), p.CompactEncoding)
+		b, err := c.EncodeInstr(&p.Instrs[i], Length(p, i), p.CompactEncoding)
 		if err != nil {
 			return nil, fmt.Errorf("%s[%d]: %w", p.Name, i, err)
 		}

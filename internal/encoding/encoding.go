@@ -140,11 +140,17 @@ func BaseLengthStyle(in *code.Instr, compact bool) int {
 // sib + disp32 + imm64).
 const MaxInstrLen = 20
 
-// Layout assigns byte addresses to every instruction of the program,
+// Layout assigns byte addresses to every instruction of the program under
+// its target's encoding, filling p.PC, p.Size, and p.Base.
+func Layout(p *code.Program, base uint32) error {
+	return ForProgram(p).Layout(p, base)
+}
+
+// layoutX86 lays a program out under the variable-length x86 encoding,
 // relaxing branch displacements: it starts with every branch in its short
 // rel8 form and grows branches that cannot reach their targets until a fixed
-// point. It fills p.PC and p.Size.
-func Layout(p *code.Program, base uint32) error {
+// point.
+func layoutX86(p *code.Program, base uint32) error {
 	n := len(p.Instrs)
 	long := make([]bool, n) // branch needs rel32
 	lens := make([]int, n)

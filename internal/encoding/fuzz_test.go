@@ -67,6 +67,194 @@ func FuzzEncodeDecodeVerify(f *testing.F) {
 	})
 }
 
+// FuzzEncodeDecodeVerifyAlpha64 is the alpha64 leg of the round-trip fuzzer:
+// arbitrary operand shapes are sanitized onto the fixed-length target's
+// envelope (destructive two-address ALU forms, load/store-only base+disp12
+// memory, 16-bit immediates, no predication or vectors) and pushed through
+// layout, the word encoder, the one-step decoder, and the target-
+// parameterized operand rules plus the encode round-trip rule. A finding
+// means the sanitizer, the encoder, and the rules disagree about the
+// target's envelope.
+func FuzzEncodeDecodeVerifyAlpha64(f *testing.F) {
+	f.Add(byte(code.ADD), byte(1), byte(2), byte(0), byte(1), byte(1), int64(-42), int32(0))
+	f.Add(byte(code.MOV), byte(5), byte(0xff), byte(0), byte(2), byte(1), int64(0x7fff), int32(0))
+	f.Add(byte(code.LD), byte(9), byte(4), byte(4), byte(2), byte(0), int64(0), int32(-124))
+	f.Add(byte(code.SHL), byte(3), byte(3), byte(0), byte(2), byte(1), int64(63), int32(0))
+	f.Add(byte(code.FCMP), byte(1), byte(2), byte(0), byte(1), byte(0), int64(0), int32(0))
+	f.Add(byte(code.SETCC), byte(7), byte(0), byte(0), byte(0), byte(6), int64(0), int32(2))
+	f.Fuzz(func(t *testing.T, opb, dst, srcb, base, szSel, flags byte, imm int64, disp int32) {
+		in, ok := sanitizeAlpha64(opb, dst, srcb, base, szSel, flags, imm, disp)
+		if !ok {
+			t.Skip()
+		}
+		p := &code.Program{
+			Name: "fuzz", FS: isa.X86izedAlpha, Target: "alpha64",
+			Instrs: []code.Instr{in, retInstr()},
+		}
+		if err := encoding.Layout(p, code.CodeBase); err != nil {
+			t.Fatalf("layout rejected sanitized %s: %v", code.FormatInstr(&in), err)
+		}
+		img, err := encoding.Image(p)
+		if err != nil {
+			t.Fatalf("image of %s: %v", code.FormatInstr(&in), err)
+		}
+		if len(img) != p.Size || p.Size != 4*len(p.Instrs) {
+			t.Fatalf("%s: image %d bytes, layout %d, want fixed %d",
+				code.FormatInstr(&in), len(img), p.Size, 4*len(p.Instrs))
+		}
+		rules := append(check.OperandRuleIDs(), check.RuleEncode)
+		rep := check.AnalyzeOpts(p, check.Options{Rules: rules})
+		for _, fd := range rep.Findings {
+			t.Errorf("rule rejected sanitized alpha64 instruction %s: %s", code.FormatInstr(&in), fd)
+		}
+	})
+}
+
+// sanitizeAlpha64 maps arbitrary fuzz bytes onto an instruction that is
+// legal for the alpha64 target under the x86-ized Alpha feature set,
+// mirroring both the base operand rules and the target's encoding envelope.
+// It reports false for shapes the fixed 32-bit word has no encoding for
+// (branches need real targets; vectors, LEA, and folded memory operands do
+// not exist on a load/store machine).
+func sanitizeAlpha64(opb, dst, srcb, base, szSel, flags byte, imm int64, disp int32) (code.Instr, bool) {
+	op := code.Op(opb) % (code.VRSUM + 1)
+	in := code.Instr{Op: op, Dst: code.NoReg, Src1: code.NoReg, Src2: code.NoReg,
+		Pred: code.NoReg, Mem: code.Mem{Base: code.NoReg, Index: code.NoReg, Scale: 1}}
+	reg := func(b byte) code.Reg { return code.Reg(b % 16) } // under FPRegs=16 and depth 32
+	cc := code.CC((flags >> 1) % 10)
+	hasImm := flags&1 != 0
+	// clamp maps imm into [lo, hi], preserving fuzz-driven variety.
+	clamp := func(lo, hi int64) int64 {
+		span := hi - lo + 1
+		return lo + (((imm-lo)%span)+span)%span
+	}
+
+	switch op {
+	case code.NOP:
+		return in, true
+
+	case code.RET:
+		in.Src1 = reg(srcb)
+		return in, true
+
+	case code.LD, code.ST, code.FLD, code.FST: // M-format: base+disp12 only
+		fp := op == code.FLD || op == code.FST
+		if fp {
+			in.Sz = []uint8{4, 8}[szSel%2]
+		} else {
+			in.Sz = []uint8{1, 4, 8}[szSel%3]
+		}
+		in.HasMem = true
+		in.Mem.Base = reg(base)
+		in.Mem.Disp = ((disp%0x1000)+0x1000)%0x1000 - 0x800
+		if op == code.LD || op == code.FLD {
+			in.Dst = reg(dst)
+		} else {
+			in.Src1 = reg(dst)
+		}
+		return in, true
+
+	case code.MOV:
+		in.Sz = []uint8{1, 4, 8}[szSel%3]
+		in.Dst = reg(dst)
+		if hasImm {
+			in.HasImm = true
+			if in.Sz == 1 {
+				in.Imm = clamp(-128, 255)
+			} else {
+				in.Imm = clamp(-0x8000, 0x7fff)
+			}
+		} else {
+			in.Src1 = reg(srcb)
+		}
+		return in, true
+
+	case code.MOVSX:
+		in.Sz = []uint8{1, 4}[szSel%2]
+		in.Dst, in.Src1 = reg(dst), reg(srcb)
+		return in, true
+
+	case code.ADD, code.SUB, code.IMUL, code.AND, code.OR, code.XOR,
+		code.ADC, code.SBB, code.SHL, code.SHR, code.SAR: // destructive int ALU
+		in.Sz = []uint8{1, 4, 8}[szSel%3]
+		in.Dst = reg(dst)
+		in.Src1 = in.Dst // two-address discipline
+		if hasImm {
+			in.HasImm = true
+			switch {
+			case op == code.SHL || op == code.SHR || op == code.SAR:
+				in.Imm = clamp(0, int64(in.Sz)*8-1)
+			case op == code.AND || op == code.OR || op == code.XOR:
+				if in.Sz == 1 {
+					in.Imm = clamp(0, 255)
+				} else {
+					in.Imm = clamp(0, 0xffff)
+				}
+			case in.Sz == 1:
+				in.Imm = clamp(-128, 255)
+			default:
+				in.Imm = clamp(-0x8000, 0x7fff)
+			}
+		} else {
+			in.Src2 = reg(srcb)
+		}
+		return in, true
+
+	case code.FADD, code.FSUB, code.FMUL, code.FDIV: // destructive FP ALU
+		in.Sz = []uint8{4, 8}[szSel%2]
+		in.Dst = reg(dst)
+		in.Src1 = in.Dst
+		in.Src2 = reg(srcb)
+		return in, true
+
+	case code.CMP, code.TEST:
+		in.Sz = []uint8{1, 4, 8}[szSel%3]
+		in.Src1 = reg(dst)
+		if hasImm {
+			in.HasImm = true
+			switch {
+			case op == code.TEST && in.Sz == 1:
+				in.Imm = clamp(0, 255)
+			case op == code.TEST:
+				in.Imm = clamp(0, 0xffff)
+			case in.Sz == 1:
+				in.Imm = clamp(-128, 255)
+			default:
+				in.Imm = clamp(-0x8000, 0x7fff)
+			}
+		} else {
+			in.Src2 = reg(srcb)
+		}
+		return in, true
+
+	case code.FCMP:
+		in.Sz = []uint8{4, 8}[szSel%2]
+		in.Src1, in.Src2 = reg(dst), reg(srcb)
+		return in, true
+
+	case code.SETCC:
+		in.Sz = 1
+		in.Dst, in.CC = reg(dst), cc
+		return in, true
+
+	case code.CMOVCC:
+		in.Sz = []uint8{1, 4, 8}[szSel%3]
+		in.Dst, in.Src1, in.CC = reg(dst), reg(srcb), cc
+		return in, true
+
+	case code.FMOV:
+		in.Sz = []uint8{4, 8}[szSel%2]
+		in.Dst, in.Src1 = reg(dst), reg(srcb)
+		return in, true
+
+	case code.CVTIF, code.CVTFI:
+		in.Sz = []uint8{4, 8}[szSel%2]
+		in.Dst, in.Src1 = reg(dst), reg(srcb)
+		return in, true
+	}
+	return code.Instr{}, false
+}
+
 func retInstr() code.Instr {
 	return code.Instr{Op: code.RET, Src1: 0, Dst: code.NoReg, Src2: code.NoReg,
 		Pred: code.NoReg, Mem: code.Mem{Base: code.NoReg, Index: code.NoReg, Scale: 1}}

@@ -25,11 +25,18 @@ func (c ISAChoice) Key() string {
 	return c.FS.ShortName()
 }
 
-// Traits returns the hardware-model traits.
+// Traits returns the hardware-model traits. For vendors with a real
+// encoding backend, fixed-length decode is derived from the target
+// descriptor (one-step decode drops the ILD from the power model); the
+// VendorISA.FixedLength scalar remains only for backend-less vendors.
 func (c ISAChoice) Traits() power.Traits {
 	t := power.Traits{FS: c.FS}
 	if c.Vendor != nil {
-		t.FixedLength = c.Vendor.FixedLength
+		if tgt, ok := isa.TargetByName(c.Vendor.Target); ok && c.Vendor.HasBackend() {
+			t.FixedLength = tgt.OneStepDecode
+		} else {
+			t.FixedLength = c.Vendor.FixedLength
+		}
 	}
 	return t
 }

@@ -287,6 +287,13 @@ func (db *DB) profileOnce(ctx context.Context, r workload.Region, c ISAChoice, a
 	// classification and stats); skip the compiler's internal gate so the
 	// work isn't done twice and failures carry the right stage.
 	copts := compiler.Options{Verify: compiler.VerifyOff}
+	if c.Vendor != nil {
+		// Vendors with a real encoding backend compile through it: the
+		// profile's code bytes, instruction lengths, and I-side cache
+		// behavior are measured from the target's encoder instead of being
+		// scaled by the analytic CodeDensity fallback below.
+		copts.Target = c.Vendor.Target
+	}
 	if d.Kind == fault.KindCompile {
 		copts.FaultHook = func() error { return d.Errorf() }
 	}
@@ -347,16 +354,20 @@ func (db *DB) profileOnce(ctx context.Context, r workload.Region, c ISAChoice, a
 		return nil, classify(fault.StageExec, err)
 	}
 	db.Stats.ExecTime.Since(execStart)
-	if c.Vendor != nil {
+	if c.Vendor != nil && !c.Vendor.HasBackend() {
 		p = vendorAdjust(p, c)
 	}
 	return p, nil
 }
 
 // vendorAdjust applies a vendor ISA's encoding traits to a profile built
-// from its x86-ized equivalent: code density scales the static and dynamic
-// code footprint (Thumb: 0.70), which shifts I-cache misses and micro-op
-// cache reach; fixed-length decode is handled by the power model.
+// from its x86-ized equivalent. It is the documented analytic FALLBACK for
+// vendors without a real encoding backend (today only Thumb, whose
+// compressed target does not exist yet): code density scales the static and
+// dynamic code footprint (Thumb: 0.70), which shifts I-cache misses and
+// micro-op cache reach; fixed-length decode is handled by the power model.
+// Vendors with a backend (x86-64, Alpha) never reach this path — their
+// profiles carry measured code bytes from the target's encoder.
 func vendorAdjust(p *cpu.Profile, c ISAChoice) *cpu.Profile {
 	v := c.Vendor
 	q := *p

@@ -1,0 +1,63 @@
+package eval
+
+import (
+	"context"
+	"math"
+	"testing"
+)
+
+// TestAlphaMeasuredCodeDensity is the regression gate for the measured
+// vendor-profile path: the Alpha vendor's code footprint now comes from the
+// alpha64 encoder, not the old analytic CodeDensity constant (1.05). The
+// measured suite-wide density ratio versus the x86 encoding of the same
+// feature set must land in a sane band around that constant — far enough
+// that we know the measurement is real (fixed 4-byte words plus ld-imm
+// splitting are not a 5% scalar), close enough that the Table II modeling
+// assumption (Alpha code is mildly less dense than x86) still holds.
+func TestAlphaMeasuredCodeDensity(t *testing.T) {
+	db := NewDB()
+	if testing.Short() {
+		db.Regions = db.Regions[:8]
+	}
+	ctx := context.Background()
+	alpha := VendorChoices()[1]
+	if alpha.Vendor.Name != "Alpha" {
+		t.Fatalf("unexpected vendor order: %s", alpha.Vendor.Name)
+	}
+	ap, err := db.Profiles(ctx, alpha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xp, err := db.Profiles(ctx, ISAChoice{FS: alpha.FS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	logSum, n := 0.0, 0
+	for i := range ap {
+		if ap[i] == nil || xp[i] == nil {
+			t.Fatalf("region %s quarantined", db.Regions[i].Name)
+		}
+		if ap[i].AvgInstrLen != 4 {
+			t.Errorf("%s: alpha64 profile avg instr len %.2f, want the fixed 4",
+				db.Regions[i].Name, ap[i].AvgInstrLen)
+		}
+		d := float64(ap[i].CodeBytes) / float64(xp[i].CodeBytes)
+		t.Logf("%-16s alpha64 %6d B  x86 %6d B  density %.3f",
+			db.Regions[i].Name, ap[i].CodeBytes, xp[i].CodeBytes, d)
+		logSum += math.Log(d)
+		n++
+	}
+	geo := math.Exp(logSum / float64(n))
+	t.Logf("geomean density %.3f (analytic constant was 1.05)", geo)
+	// Band: the fixed-length encoding must cost something over x86's
+	// variable-length bytes (>1.0) but stay under 1.8x — the regime real
+	// fixed-length RISC code lives in versus x86 (the current measurement is
+	// ~1.54: 4-byte words against x86's ~2.7-byte average, plus ld-imm
+	// splitting and spill-base materialization). Outside the band, either
+	// the encoder or the legalizer is emitting pathological code — or
+	// someone reverted to the analytic 1.05 scalar, which the lower bound
+	// alone cannot catch, hence the AvgInstrLen == 4 assertion above.
+	if geo < 1.0 || geo > 1.8 {
+		t.Errorf("measured alpha64 geomean density %.3f outside the sane band [1.0, 1.8]", geo)
+	}
+}

@@ -34,7 +34,11 @@ var ErrCheckpointCorrupt = errors.New("checkpoint corrupt")
 // profile layout); earlier versions serialized those fields as objects and
 // cannot be decoded into the current schema, so they are rejected as corrupt
 // and quarantined by RecoverCheckpoint rather than silently misread.
-const checkpointVersion = 3
+// Version 4 switched vendor ISAs with a real encoding backend (x86-64,
+// Alpha) from analytic CodeDensity scaling to measured target profiles;
+// vendor design points cached by earlier versions carry scaled metrics the
+// current pipeline would never produce.
+const checkpointVersion = 4
 
 // SavedSearch records one completed multicore search as its four design
 // points; resume re-evaluates the points against the restored caches,

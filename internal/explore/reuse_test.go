@@ -48,10 +48,12 @@ func TestCandidateReuseAcrossSearchers(t *testing.T) {
 }
 
 // TestCheckpointStaleVersions: pre-v3 checkpoints carry the old map-shaped
-// profile schema, which the SoA profile arrays made incompatible — they are
-// rejected as corrupt (and so quarantined by RecoverCheckpoint, starting the
-// run cold) rather than half-migrated. Unknown future versions are rejected
-// the same way.
+// profile schema (made incompatible by the SoA profile arrays), and v3
+// checkpoints carry vendor design points scaled by the analytic CodeDensity
+// traits that the measured target backends replaced — all are rejected as
+// corrupt (and so quarantined by RecoverCheckpoint, starting the run cold)
+// rather than half-migrated. Unknown future versions are rejected the same
+// way.
 func TestCheckpointLegacyV1(t *testing.T) {
 	for _, tc := range []struct {
 		name string
@@ -59,7 +61,8 @@ func TestCheckpointLegacyV1(t *testing.T) {
 	}{
 		{"v1", `{"version":1,"profiles":{}}`},
 		{"v2", `{"version":2,"profiles":{}}`},
-		{"future", `{"version":4,"profiles":{}}`},
+		{"v3", `{"version":3,"profiles":{}}`},
+		{"future", `{"version":99,"profiles":{}}`},
 	} {
 		path := filepath.Join(t.TempDir(), tc.name+".ckpt")
 		if err := os.WriteFile(path, []byte(tc.data), 0o644); err != nil {

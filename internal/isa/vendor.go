@@ -30,7 +30,19 @@ type VendorISA struct {
 	// translation and state transformation (disjoint encodings and ABI),
 	// unlike the overlapping composite feature sets.
 	CrossISA bool
+	// Target names the real encoding backend (see Target/TargetByName) the
+	// vendor's programs are compiled, encoded, and executed with. Vendors
+	// with a backend are profiled mechanistically — measured code bytes,
+	// L1I and micro-op-cache behavior — and the analytic CodeDensity /
+	// FixedLength traits above apply only to vendors whose Target is empty
+	// (Thumb, until a compressed target exists).
+	Target string
 }
+
+// HasBackend reports whether the vendor has a real encoding backend, i.e.
+// its design points are profiled from compiled + encoded programs rather
+// than scaled by the analytic CodeDensity traits.
+func (v *VendorISA) HasBackend() bool { return v.Target != "" }
 
 // VendorThumb models ARM Thumb: Thumb-like features of microx86-8D-32W plus
 // code compression and fixed-length decoding.
@@ -49,11 +61,12 @@ var VendorThumb = VendorISA{
 var VendorAlpha = VendorISA{
 	Name:        "Alpha",
 	Features:    X86izedAlpha,
-	CodeDensity: 1.05, // fixed 32-bit instructions are slightly less dense than x86
+	CodeDensity: 1.05, // superseded by the alpha64 backend; kept for reference
 	FixedLength: true,
 	FPRegs:      32,
 	HasFP:       true,
 	CrossISA:    true,
+	Target:      "alpha64",
 }
 
 // VendorX8664 models commercial x86-64 + SSE.
@@ -65,6 +78,7 @@ var VendorX8664 = VendorISA{
 	FPRegs:      16,
 	HasFP:       true,
 	CrossISA:    false, // same ISA as the composite substrate's baseline
+	Target:      "x86",
 }
 
 // VendorISAs returns the three vendor ISAs of the heterogeneous-ISA CMP

@@ -1,0 +1,74 @@
+package migrate
+
+import (
+	"testing"
+
+	"compisa/internal/compiler"
+	"compisa/internal/isa"
+	"compisa/internal/workload"
+)
+
+// TestMigrationCost pins the cross-ISA cost model to its measured inputs:
+// zero for same-encoding migrations, translation cycles proportional to the
+// program's code size in its actual target encoding, and state cycles
+// driven by the union of the two targets' register files.
+func TestMigrationCost(t *testing.T) {
+	fs := isa.X86izedAlpha
+	bench, err := workload.ByName("gobmk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := bench.Regions[0]
+	f, _, err := r.Build(fs.Width)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x86Prog, err := compiler.Compile(f, fs, compiler.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alphaProg, err := compiler.Compile(f, fs, compiler.Options{Target: "alpha64"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Same encoding: the composite-overlap case, no cross-ISA cliff.
+	if c := MigrationCost(x86Prog, &isa.X86Target); c.Total() != 0 {
+		t.Errorf("x86 -> x86 must be free, got %d cycles", c.Total())
+	}
+	if c := MigrationCost(alphaProg, &isa.Alpha64Target); c.Total() != 0 {
+		t.Errorf("alpha64 -> alpha64 must be free, got %d cycles", c.Total())
+	}
+
+	toAlpha := MigrationCost(x86Prog, &isa.Alpha64Target)
+	toX86 := MigrationCost(alphaProg, &isa.X86Target)
+	for name, c := range map[string]CrossISACost{"x86->alpha64": toAlpha, "alpha64->x86": toX86} {
+		if c.TranslationCycles <= 0 || c.StateCycles <= 0 || c.FixedCycles <= 0 {
+			t.Errorf("%s: all components must be positive: %+v", name, c)
+		}
+	}
+	// Translation is priced from the MEASURED code size of the source
+	// encoding: the alpha64 image of the same region is larger (fixed
+	// 4-byte words, ld-imm splitting), so translating out of it costs more.
+	if toX86.TranslationCycles <= toAlpha.TranslationCycles {
+		t.Errorf("alpha64 image (%d B) must out-cost the x86 image (%d B): %d vs %d cycles",
+			alphaProg.Size, x86Prog.Size, toX86.TranslationCycles, toAlpha.TranslationCycles)
+	}
+	if want := int64(x86Prog.Size) * transCyclesPerByte; toAlpha.TranslationCycles != want {
+		t.Errorf("translation cycles %d, want measured-size-derived %d", toAlpha.TranslationCycles, want)
+	}
+	// State transformation covers the union of the register files: x86's 64
+	// integer + 16 FP against alpha64's 32 + 16 -> 80 registers either way.
+	if want := int64(64+16) * stateCyclesPerReg; toAlpha.StateCycles != want || toX86.StateCycles != want {
+		t.Errorf("state cycles (%d, %d), want geometry-derived %d",
+			toAlpha.StateCycles, toX86.StateCycles, want)
+	}
+	// Magnified View sanity band: a real region's cross-ISA migration is
+	// tens-to-hundreds of microseconds (~3 GHz), orders beyond a same-ISA
+	// composite switch, but nowhere near a process restart.
+	for name, c := range map[string]CrossISACost{"x86->alpha64": toAlpha, "alpha64->x86": toX86} {
+		if tot := c.Total(); tot < 50_000 || tot > 50_000_000 {
+			t.Errorf("%s: total %d cycles outside the plausible migration band", name, tot)
+		}
+	}
+}
