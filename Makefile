@@ -1,7 +1,7 @@
 GO ?= go
 
 .PHONY: check build vet vettool lint test race fault-smoke chaos conformance bench bench-smoke \
-	bench-baseline bench-diff serve-smoke fuzz cover
+	bench-baseline bench-diff serve-smoke fuzz cover jit-diff cross-build
 
 build:
 	$(GO) build ./...
@@ -36,6 +36,20 @@ test:
 # store appends and the store circuit breaker).
 race:
 	$(GO) test -race ./internal/par/ ./internal/metrics/ ./internal/eval/ ./internal/explore/ ./internal/fault/ ./internal/cpu/ ./internal/serve/ ./internal/store/
+
+# The JIT equivalence gate, locally (the CI jit-differential job): the
+# native executor must match the interpreter byte for byte across the
+# full region matrix, every deopt guard, and the eval-pipeline wiring —
+# under the race detector, since one engine is shared across workers.
+jit-diff:
+	$(GO) test -race ./internal/jit/
+	$(GO) test -race -run 'TestJIT' ./internal/eval/
+
+# Prove platforms without the native emitter still build (the CI
+# cross-build job): these link the pure-Go JIT fallback.
+cross-build:
+	GOOS=linux GOARCH=arm64 $(GO) build ./...
+	GOOS=darwin GOARCH=arm64 $(GO) build ./...
 
 # Fault-tolerance smoke: the TestFault* suite exercises injection, retry,
 # quarantine, cancellation, determinism, and checkpoint/resume.

@@ -12,10 +12,14 @@ import (
 	"testing"
 
 	"compisa/internal/check"
+	"compisa/internal/code"
 	"compisa/internal/compiler"
 	"compisa/internal/cpu"
+	"compisa/internal/encoding"
 	"compisa/internal/explore"
 	"compisa/internal/isa"
+	"compisa/internal/jit"
+	"compisa/internal/mem"
 	"compisa/internal/perfmodel"
 	"compisa/internal/power"
 	"compisa/internal/workload"
@@ -380,6 +384,171 @@ func BenchmarkProfilePass(b *testing.B) {
 		if _, _, err := cpu.CollectProfile(prog, m, 40_000_000); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// jitHotLoopProg hand-builds the JIT benchmark workload: a two-level loop
+// summing and writing back an 8192-qword array for 160 passes (~8M retired
+// instructions of loads, stores, ALU, compares, and taken branches). Suite
+// regions retire well under 100k instructions, so a profile pass over them
+// is dominated by event modeling, not execution; this loop is the regime
+// the executor's speed actually governs. The array is materialized in
+// memory up front so the engine's data window covers it.
+func jitHotLoopProg(b *testing.B) (*code.Program, *mem.Memory) {
+	b.Helper()
+	const elems, passes = 8192, 160
+	ins := func(op code.Op, sz uint8) code.Instr {
+		return code.Instr{Op: op, Sz: sz, Dst: code.NoReg, Src1: code.NoReg, Src2: code.NoReg,
+			Pred: code.NoReg, Mem: code.Mem{Base: code.NoReg, Index: code.NoReg, Scale: 1}}
+	}
+	movImm := func(dst code.Reg, v int64) code.Instr {
+		in := ins(code.MOV, 8)
+		in.Dst = dst
+		in.HasImm, in.Imm = true, v
+		return in
+	}
+	alu := func(op code.Op, dst, src2 code.Reg) code.Instr {
+		in := ins(op, 8)
+		in.Dst, in.Src1, in.Src2 = dst, dst, src2
+		return in
+	}
+	arr := func(op code.Op) code.Instr {
+		in := ins(op, 8)
+		in.HasMem = true
+		in.Mem = code.Mem{Base: 8, Index: 1, Scale: 8}
+		return in
+	}
+	ld := arr(code.LD)
+	ld.Dst = 3
+	st := arr(code.ST)
+	st.Src1 = 0
+	cmpIN := ins(code.CMP, 8)
+	cmpIN.Src1, cmpIN.Src2 = 1, 2
+	cmpOUT := ins(code.CMP, 8)
+	cmpOUT.Src1, cmpOUT.Src2 = 4, 5
+	jlt := func(target int32) code.Instr {
+		in := ins(code.JCC, 0)
+		in.CC, in.Target = code.CCLT, target
+		return in
+	}
+	ret := ins(code.RET, 0)
+	ret.Src1 = 0
+	p := &code.Program{Name: "jit-hot-loop", FS: isa.X8664, Instrs: []code.Instr{
+		movImm(8, int64(code.DataBase)), // 0: base
+		movImm(2, elems),               // 1
+		movImm(6, 1),                   // 2: constant one
+		movImm(0, 0),                   // 3: sum
+		movImm(4, 0),                   // 4: pass
+		movImm(5, passes),              // 5
+		movImm(1, 0),                   // 6: i = 0 (outer loop head)
+		ld,                             // 7: r3 = a[i] (inner loop head)
+		alu(code.ADD, 0, 3),            // 8: sum += r3
+		st,                             // 9: a[i] = sum
+		alu(code.ADD, 1, 6),            // 10: i++
+		cmpIN,                          // 11
+		jlt(7),                         // 12
+		alu(code.ADD, 4, 6),            // 13: pass++
+		cmpOUT,                         // 14
+		jlt(6),                         // 15
+		ret,                            // 16
+	}}
+	if err := p.Validate(); err != nil {
+		b.Fatal(err)
+	}
+	if err := encoding.Layout(p, code.CodeBase); err != nil {
+		b.Fatal(err)
+	}
+	m := mem.New()
+	for i := uint64(0); i < elems; i++ {
+		m.Write(code.DataBase+8*i, 8, i)
+	}
+	return p, m
+}
+
+// jitColdExec measures one cold execution of the hot-loop workload through
+// cpu.RunPredecoded — the seam -jit plugs into. Memory cloning, state
+// setup, and (on the JIT side) engine construction are untimed, so the JIT
+// iterations pay native compilation plus native execution against the
+// interpreter's execution alone.
+func jitColdExec(b *testing.B, useJIT bool) {
+	if useJIT && !jit.Available() {
+		b.Skip("jit: native execution unavailable on this platform")
+	}
+	p, m := jitHotLoopProg(b)
+	pd := cpu.Predecode(p)
+	var instrs int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		st := cpu.NewState(m.Clone())
+		opts := cpu.RunOptions{MaxInstrs: 100_000_000}
+		var eng *jit.Engine
+		if useJIT {
+			eng = jit.New(jit.Config{}) // fresh engine: every iteration compiles cold
+			opts.JIT = eng
+		}
+		b.StartTimer()
+		res, err := cpu.RunPredecoded(pd, st, opts, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		instrs += res.Instrs
+		if eng != nil {
+			if s := eng.Stats(); s.Runs != 1 || s.Deopts != 0 {
+				b.Fatalf("benchmark workload not served natively deopt-free: %+v", s)
+			}
+		}
+	}
+	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds(), "instrs/s")
+}
+
+// BenchmarkJITCold is the headline number for the -jit flag: a cold run
+// of the hot-loop workload through the template JIT, including native
+// compilation. Compare against BenchmarkJITColdInterp — the same run on
+// the interpreter — for the speedup the flag buys; the committed baseline
+// records the native side at least 5x faster.
+func BenchmarkJITCold(b *testing.B) { jitColdExec(b, true) }
+
+// BenchmarkJITColdInterp is BenchmarkJITCold's interpreter companion: the
+// identical execution with no engine wired.
+func BenchmarkJITColdInterp(b *testing.B) { jitColdExec(b, false) }
+
+// BenchmarkJITCompile isolates template compilation: translating one
+// predecoded region to native code, cold each iteration. Two programs
+// alternate through a one-entry cache so every Compile both recompiles
+// cold and promptly unmaps the evicted module.
+func BenchmarkJITCompile(b *testing.B) {
+	if !jit.Available() {
+		b.Skip("jit: native execution unavailable on this platform")
+	}
+	var pds [2]*cpu.Predecoded
+	for i, name := range []string{"gobmk.0", "hmmer.0"} {
+		var reg workload.Region
+		for _, r := range workload.Regions() {
+			if r.Name == name {
+				reg = r
+			}
+		}
+		f, _, err := reg.Build(64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		prog, err := compiler.Compile(f, isa.X8664, compiler.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		prog.Name = name
+		pds[i] = cpu.Predecode(prog)
+	}
+	eng := jit.New(jit.Config{CacheEntries: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Compile(pds[i%2]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if s := eng.Stats(); s.CacheHits > 0 {
+		b.Fatalf("compiles were not cold: %+v", s)
 	}
 }
 

@@ -104,6 +104,10 @@ type RunOptions struct {
 	Interrupt func() error
 	// InterruptEvery is the polling stride (default 65536 instructions).
 	InterruptEvery int64
+	// JIT, if non-nil, is offered the execution before the interpreter
+	// runs (see JITRunner). A nil or declining runner costs one interface
+	// check; the interpreter path is otherwise unchanged.
+	JIT JITRunner
 }
 
 // Run executes the program functionally from instruction 0 until RET,

@@ -490,6 +490,16 @@ func stepVRSUM(st *State, in *code.Instr, ev *Event, addrMask uint64, idx int) (
 // from the predecode arrays instead of recomputing them per dynamic
 // instruction.
 func RunPredecoded(pd *Predecoded, st *State, opts RunOptions, consume func(*Event)) (ExecResult, error) {
+	if opts.JIT != nil {
+		// Offer the execution to the native-code engine. The inner options
+		// drop the runner so deoptimized interpreter steps (and the
+		// full-interpreter fallback on bailout) cannot recurse.
+		inner := opts
+		inner.JIT = nil
+		if res, ok, err := opts.JIT.RunJIT(pd, st, inner, consume); ok {
+			return res, err
+		}
+	}
 	var res ExecResult
 	p := pd.P
 	InstallPool(p, st.Mem)

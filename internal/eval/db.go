@@ -12,6 +12,7 @@ import (
 	"compisa/internal/compiler"
 	"compisa/internal/cpu"
 	"compisa/internal/fault"
+	"compisa/internal/jit"
 	"compisa/internal/par"
 	"compisa/internal/workload"
 )
@@ -67,6 +68,14 @@ type DB struct {
 	Persist Persister
 	// Stats instruments the pipeline's stages and cache tiers.
 	Stats Stats
+	// JIT, when set, offers each region's functional execution to the
+	// native-code executor first (internal/jit). The interpreter stays the
+	// semantic oracle — native runs reproduce it bit for bit and anything
+	// unsupported deopts back — so profiles are identical either way; the
+	// engine merely makes the cold exec stage several times faster. One
+	// engine is safely shared by all par.Map workers. StatsSnapshot folds
+	// the engine's counters into the pipeline stats.
+	JIT *jit.Engine
 
 	// persistDown tracks the durable tier's health for edge-triggered
 	// logging (a dead disk must not flood the log per evaluation).
@@ -336,6 +345,9 @@ func (db *DB) profileOnce(ctx context.Context, r workload.Region, c ISAChoice, a
 		}
 	}
 	ropts := cpu.RunOptions{MaxInstrs: MaxRegionInstrs, Interrupt: ctx.Err}
+	if db.JIT != nil {
+		ropts.JIT = db.JIT
+	}
 	switch d.Kind {
 	case fault.KindRunaway:
 		ropts.MaxInstrs = runawayInstrs

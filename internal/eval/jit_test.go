@@ -1,0 +1,70 @@
+package eval
+
+import (
+	"context"
+	"testing"
+
+	"compisa/internal/jit"
+)
+
+// TestJITPipelineEquivalence is the pipeline-level leg of the JIT's
+// differential suite (internal/jit holds the exhaustive one): profiling the
+// same ISA choice with and without a wired engine must produce identical
+// profiles, and the engine's counters must surface through StatsSnapshot.
+func TestJITPipelineEquivalence(t *testing.T) {
+	ctx := context.Background()
+
+	ref := NewDB()
+	ref.Regions = ref.Regions[:6]
+	jd := NewDB()
+	jd.Regions = jd.Regions[:6]
+	jd.JIT = jit.New(jit.Config{})
+
+	choice := X8664Choice()
+	want, err := ref.Profiles(ctx, choice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := jd.Profiles(ctx, choice)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if want[i] == nil || got[i] == nil {
+			t.Fatalf("region %s quarantined", ref.Regions[i].Name)
+		}
+		wb, err := want[i].MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		gb, err := got[i].MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(wb) != string(gb) {
+			t.Errorf("region %s: profile diverges with the JIT wired", ref.Regions[i].Name)
+		}
+	}
+
+	sn := jd.StatsSnapshot()
+	js := jd.JIT.Stats()
+	if js.Runs+js.Bailouts == 0 {
+		t.Fatal("the engine was never offered a run")
+	}
+	if jit.Available() && js.Runs == 0 {
+		t.Fatalf("native execution available but never used: %+v", js)
+	}
+	if sn.JITRuns != js.Runs || sn.JITRegions != js.Regions ||
+		sn.JITDeopts != js.Deopts || sn.JITBailouts != js.Bailouts {
+		t.Fatalf("StatsSnapshot does not mirror the engine: %+v vs %+v", sn, js)
+	}
+
+	// The counters must survive a checkpoint round trip: Export folds them
+	// into the serialized stats, Import merges them into a fresh DB.
+	cold := NewDB()
+	cold.Regions = cold.Regions[:6]
+	cold.Import(jd.Export())
+	if got := cold.StatsSnapshot().JITRuns; got != js.Runs {
+		t.Fatalf("checkpointed JIT runs = %d, want %d", got, js.Runs)
+	}
+}

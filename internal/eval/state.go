@@ -65,6 +65,22 @@ type State struct {
 	Stats StatsSnapshot `json:"stats,omitzero"`
 }
 
+// StatsSnapshot returns the pipeline counters with the native executor's
+// own counters folded in when a JIT engine is wired: the engine keeps the
+// live atomics (it may be shared beyond this DB), while the Stats fields
+// carry only history merged from resumed checkpoints.
+func (db *DB) StatsSnapshot() StatsSnapshot {
+	sn := db.Stats.Snapshot()
+	if db.JIT != nil {
+		js := db.JIT.Stats()
+		sn.JITRegions += js.Regions
+		sn.JITRuns += js.Runs
+		sn.JITDeopts += js.Deopts
+		sn.JITBailouts += js.Bailouts
+	}
+	return sn
+}
+
 // Export copies both cache tiers, the quarantine list, and the stats for
 // checkpointing.
 func (db *DB) Export() State {
@@ -91,7 +107,7 @@ func (db *DB) Export() State {
 	}
 	st.Ref = db.ref
 	db.mu.Unlock()
-	st.Stats = db.Stats.Snapshot()
+	st.Stats = db.StatsSnapshot()
 	return st
 }
 

@@ -35,6 +35,13 @@ type Stats struct {
 	// Durable tier (the write-through Persist hook).
 	Persisted     metrics.Counter // candidates written through to the store
 	PersistErrors metrics.Counter // write-throughs that failed (durability degraded)
+	// Native-code executor (internal/jit). The engine owns the live
+	// atomics; these counters hold history merged from resumed checkpoints,
+	// and DB.StatsSnapshot folds the live engine values on top.
+	JITRegions  metrics.Counter // programs compiled to native code
+	JITRuns     metrics.Counter // executions served natively
+	JITDeopts   metrics.Counter // instructions bounced to the interpreter mid-run
+	JITBailouts metrics.Counter // executions declined entirely (interpreter ran)
 	// Stage timings.
 	CompileTime metrics.Histogram // successful build+compile passes
 	VerifyTime  metrics.Histogram // static-conformance verification passes
@@ -60,6 +67,10 @@ type StatsSnapshot struct {
 	DegradedRegions int64 `json:"degraded_regions"`
 	Persisted       int64 `json:"persisted,omitempty"`
 	PersistErrors   int64 `json:"persist_errors,omitempty"`
+	JITRegions      int64 `json:"jit_regions,omitempty"`
+	JITRuns         int64 `json:"jit_runs,omitempty"`
+	JITDeopts       int64 `json:"jit_deopts,omitempty"`
+	JITBailouts     int64 `json:"jit_bailouts,omitempty"`
 
 	CompileTime metrics.HistogramSnapshot `json:"compile_time"`
 	VerifyTime  metrics.HistogramSnapshot `json:"verify_time,omitempty"`
@@ -85,6 +96,10 @@ func (s *Stats) Snapshot() StatsSnapshot {
 		DegradedRegions: s.DegradedRegions.Load(),
 		Persisted:       s.Persisted.Load(),
 		PersistErrors:   s.PersistErrors.Load(),
+		JITRegions:      s.JITRegions.Load(),
+		JITRuns:         s.JITRuns.Load(),
+		JITDeopts:       s.JITDeopts.Load(),
+		JITBailouts:     s.JITBailouts.Load(),
 		CompileTime:     s.CompileTime.Snapshot(),
 		VerifyTime:      s.VerifyTime.Snapshot(),
 		ExecTime:        s.ExecTime.Snapshot(),
@@ -109,6 +124,10 @@ func (s *Stats) Merge(sn StatsSnapshot) {
 	s.DegradedRegions.Add(sn.DegradedRegions)
 	s.Persisted.Add(sn.Persisted)
 	s.PersistErrors.Add(sn.PersistErrors)
+	s.JITRegions.Add(sn.JITRegions)
+	s.JITRuns.Add(sn.JITRuns)
+	s.JITDeopts.Add(sn.JITDeopts)
+	s.JITBailouts.Add(sn.JITBailouts)
 	s.CompileTime.Merge(sn.CompileTime)
 	s.VerifyTime.Merge(sn.VerifyTime)
 	s.ExecTime.Merge(sn.ExecTime)
@@ -125,6 +144,7 @@ func (sn StatsSnapshot) IsZero() bool {
 		sn.CandidateHits == 0 && sn.CandidateMisses == 0 &&
 		sn.Retries == 0 && sn.Quarantines == 0 && sn.DegradedRegions == 0 &&
 		sn.Persisted == 0 && sn.PersistErrors == 0 &&
+		sn.JITRuns == 0 && sn.JITBailouts == 0 &&
 		sn.CompileTime.Count == 0 && sn.ExecTime.Count == 0 && sn.ModelTime.Count == 0
 }
 
@@ -149,6 +169,10 @@ func (sn StatsSnapshot) Format() string {
 	if sn.Persisted > 0 || sn.PersistErrors > 0 {
 		fmt.Fprintf(&sb, "  durable store:    %8d persisted %6d persist errors\n",
 			sn.Persisted, sn.PersistErrors)
+	}
+	if sn.JITRuns > 0 || sn.JITBailouts > 0 {
+		fmt.Fprintf(&sb, "  jit executor:     %8d native runs %4d compiled %6d deopts %6d bailouts\n",
+			sn.JITRuns, sn.JITRegions, sn.JITDeopts, sn.JITBailouts)
 	}
 	return sb.String()
 }

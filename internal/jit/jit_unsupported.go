@@ -1,0 +1,21 @@
+//go:build !(amd64 && linux)
+
+package jit
+
+import "compisa/internal/cpu"
+
+// archEngine is the no-op backend for platforms without a native emitter:
+// every RunJIT offer is declined, so execution falls through to the
+// interpreter and behavior is identical to a build without the JIT.
+type archEngine struct{}
+
+func (*archEngine) init() {}
+
+func archAvailable() bool { return false }
+
+func (e *Engine) runNative(progKey, *cpu.Predecoded, *cpu.State, cpu.RunOptions, func(*cpu.Event)) (cpu.ExecResult, bool, error) {
+	e.stats.bailouts.Add(1)
+	return cpu.ExecResult{}, false, nil
+}
+
+func (e *Engine) compile(*cpu.Predecoded) (bool, error) { return false, nil }

@@ -1,0 +1,30 @@
+//go:build amd64 && linux
+
+#include "textflag.h"
+
+// func jitcall(entry uintptr, ctx *jitCtx)
+//
+// Transfers control to a generated module with the jitCtx pointer in DI.
+// Generated code clobbers the scratch registers freely and pins BP, BX and
+// R12-R15, so everything callee-saved under the Go internal ABI is
+// preserved around the call. The module's exit stubs end in RET, which
+// returns here. Generated code pushes nothing (besides this CALL's return
+// address) and never calls back into Go, so NOSPLIT's guard headroom is
+// ample.
+TEXT ·jitcall(SB), NOSPLIT|NOFRAME, $0-16
+	MOVQ entry+0(FP), AX
+	MOVQ ctx+8(FP), DI
+	PUSHQ BP
+	PUSHQ BX
+	PUSHQ R12
+	PUSHQ R13
+	PUSHQ R14
+	PUSHQ R15
+	CALL AX
+	POPQ R15
+	POPQ R14
+	POPQ R13
+	POPQ R12
+	POPQ BX
+	POPQ BP
+	RET

@@ -126,3 +126,44 @@ func (m *Memory) Write128(addr uint64, lo, hi uint64) {
 
 // Pages returns the number of resident pages (for tests and stats).
 func (m *Memory) Pages() int { return len(m.pages) }
+
+// Alias maps the address range [base, base+len(buf)) onto buf: every page in
+// the range becomes a view into buf, so reads and writes through Memory and
+// direct accesses to buf observe the same bytes. Existing page contents are
+// copied into buf first, so the aliasing is semantically invisible. base and
+// len(buf) must be page-aligned.
+//
+// This is the coherence seam for the native-code executor (internal/jit):
+// the JIT addresses buf directly while deoptimized interpreter steps go
+// through Memory, and neither side ever needs an explicit sync.
+func (m *Memory) Alias(base uint64, buf []byte) {
+	if base&pageMask != 0 || len(buf)&pageMask != 0 {
+		panic("mem: Alias range not page-aligned")
+	}
+	if m.pages == nil {
+		m.pages = make(map[uint64]*[PageSize]byte)
+	}
+	for off := 0; off < len(buf); off += PageSize {
+		pb := base + uint64(off)
+		view := (*[PageSize]byte)(buf[off : off+PageSize])
+		if old := m.pages[pb]; old != nil && old != view {
+			copy(view[:], old[:])
+		}
+		m.pages[pb] = view
+	}
+	// The lookaside may point at a replaced page.
+	m.lastBase, m.lastPage = 0, nil
+}
+
+// Extent returns the exclusive end of the highest resident page within
+// [lo, hi), or lo when no page in the range is resident (used to size
+// aliasing windows).
+func (m *Memory) Extent(lo, hi uint64) uint64 {
+	end := lo
+	for base := range m.pages {
+		if base >= lo && base < hi && base+PageSize > end {
+			end = base + PageSize
+		}
+	}
+	return end
+}

@@ -10,6 +10,12 @@
 //	    compare a run against the baseline; exit 1 on regression or on a
 //	    baseline benchmark missing from the run
 //
+// Benchmarks present in the run but absent from the baseline cannot gate
+// regressions; they are listed with a warning so a stale baseline is visible
+// in the comparison output instead of silently shrinking coverage. With
+// -require-baseline (CI's mode) they fail the comparison outright, forcing a
+// re-baseline whenever a benchmark is added.
+//
 // Committed baselines are recorded on one machine and checked on another,
 // so absolute ns/op differences mostly measure the hardware. Calibration
 // (default on) removes that: each benchmark's new/old ratio is divided by
@@ -122,6 +128,7 @@ func main() {
 	write := flag.Bool("write", false, "write the parsed run as the new baseline instead of comparing")
 	threshold := flag.Float64("threshold", 0.15, "fail when a benchmark regresses more than this fraction")
 	calibrate := flag.Bool("calibrate", true, "normalize by the median new/old ratio to cancel machine-speed differences")
+	requireBaseline := flag.Bool("require-baseline", false, "fail when the run contains benchmarks absent from the baseline (instead of warning)")
 	note := flag.String("note", "go test -bench . -benchtime 3x", "note recorded in a written baseline")
 	out := flag.String("out", "", "also write the parsed run as JSON to this file (artifact upload)")
 	flag.Parse()
@@ -176,10 +183,10 @@ func main() {
 	if err := json.Unmarshal(data, &base); err != nil {
 		log.Fatalf("benchdiff: %s: %v", *baselinePath, err)
 	}
-	failures := compare(os.Stdout, base.Benchmarks, run, *threshold, *calibrate)
+	failures := compare(os.Stdout, base.Benchmarks, run, *threshold, *calibrate, *requireBaseline)
 	failures += compareAllocs(os.Stdout, base.Allocs, runAllocs, *threshold)
 	if failures > 0 {
-		fmt.Printf("\nFAIL: %d benchmark(s) regressed beyond %.0f%% (or went missing)\n", failures, *threshold*100)
+		fmt.Printf("\nFAIL: %d benchmark(s) regressed beyond %.0f%%, went missing, or lack a baseline\n", failures, *threshold*100)
 		os.Exit(1)
 	}
 	fmt.Printf("\nok: %d benchmarks within %.0f%% of baseline\n", len(base.Benchmarks), *threshold*100)
@@ -187,9 +194,10 @@ func main() {
 
 // compare prints a per-benchmark table and returns the number of failures:
 // regressions beyond the threshold plus baseline benchmarks missing from
-// the run. New benchmarks absent from the baseline are reported but never
-// fail (they gate once the baseline is refreshed).
-func compare(w io.Writer, base, run map[string]float64, threshold float64, calibrate bool) int {
+// the run. Run benchmarks absent from the baseline are listed with a warning
+// — they cannot gate until the baseline is refreshed — and additionally
+// count as failures when requireBaseline is set.
+func compare(w io.Writer, base, run map[string]float64, threshold float64, calibrate, requireBaseline bool) int {
 	names := make([]string, 0, len(base))
 	for name := range base {
 		names = append(names, name)
@@ -232,8 +240,21 @@ func compare(w io.Writer, base, run map[string]float64, threshold float64, calib
 		}
 	}
 	sort.Strings(extra)
+	mark := "  (new, not gated)"
+	if requireBaseline {
+		mark = "  NO BASELINE"
+		failures += len(extra)
+	}
 	for _, name := range extra {
-		fmt.Fprintf(w, "%-42s %14s %14.0f %9s  (new, not gated)\n", name, "-", run[name], "-")
+		fmt.Fprintf(w, "%-42s %14s %14.0f %9s%s\n", name, "-", run[name], "-", mark)
+	}
+	if len(extra) > 0 {
+		verb := "warning: not gated against the baseline"
+		if requireBaseline {
+			verb = "failing (-require-baseline)"
+		}
+		fmt.Fprintf(w, "%d new benchmark(s) %s — re-baseline to gate them: %s\n",
+			len(extra), verb, strings.Join(extra, ", "))
 	}
 	return failures
 }

@@ -63,16 +63,16 @@ func TestCompareCalibrated(t *testing.T) {
 	base := map[string]float64{"A": 1000, "B": 2000, "C": 4000}
 	// Machine uniformly 2x slower, but C also regressed 50% on top.
 	run := map[string]float64{"A": 2000, "B": 4000, "C": 12000}
-	if f := compare(io.Discard, base, run, 0.15, true); f != 1 {
+	if f := compare(io.Discard, base, run, 0.15, true, false); f != 1 {
 		t.Errorf("calibrated compare flagged %d failures, want 1 (only C)", f)
 	}
 	// Without calibration the uniform slowdown trips everything.
-	if f := compare(io.Discard, base, run, 0.15, false); f != 3 {
+	if f := compare(io.Discard, base, run, 0.15, false, false); f != 3 {
 		t.Errorf("absolute compare flagged %d failures, want 3", f)
 	}
 	// A clean uniform shift passes calibrated.
 	clean := map[string]float64{"A": 2000, "B": 4000, "C": 8000}
-	if f := compare(io.Discard, base, clean, 0.15, true); f != 0 {
+	if f := compare(io.Discard, base, clean, 0.15, true, false); f != 0 {
 		t.Errorf("uniform shift flagged %d failures, want 0", f)
 	}
 }
@@ -80,8 +80,30 @@ func TestCompareCalibrated(t *testing.T) {
 func TestCompareMissingAndNew(t *testing.T) {
 	base := map[string]float64{"A": 1000, "B": 2000}
 	run := map[string]float64{"A": 1000, "New": 5}
-	if f := compare(io.Discard, base, run, 0.15, false); f != 1 {
+	if f := compare(io.Discard, base, run, 0.15, false, false); f != 1 {
 		t.Errorf("missing benchmark flagged %d failures, want 1", f)
+	}
+}
+
+func TestCompareRequireBaseline(t *testing.T) {
+	base := map[string]float64{"A": 1000}
+	run := map[string]float64{"A": 1000, "New1": 5, "New2": 7}
+	// Default mode: new benchmarks warn but never fail.
+	var lax strings.Builder
+	if f := compare(&lax, base, run, 0.15, false, false); f != 0 {
+		t.Errorf("lax compare flagged %d failures, want 0", f)
+	}
+	if !strings.Contains(lax.String(), "warning: not gated") ||
+		!strings.Contains(lax.String(), "New1, New2") {
+		t.Errorf("lax compare did not warn-and-list the new benchmarks:\n%s", lax.String())
+	}
+	// Strict mode: each baseline-less benchmark is a failure.
+	var strict strings.Builder
+	if f := compare(&strict, base, run, 0.15, false, true); f != 2 {
+		t.Errorf("strict compare flagged %d failures, want 2", f)
+	}
+	if !strings.Contains(strict.String(), "NO BASELINE") {
+		t.Errorf("strict compare did not mark baseline-less benchmarks:\n%s", strict.String())
 	}
 }
 
